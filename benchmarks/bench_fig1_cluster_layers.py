@@ -1,0 +1,47 @@
+"""E2 (Fig. 1, top and bottom views): cluster map layers and 3D exports.
+
+The map display paints each cluster's members in the cluster's colour; the 3D
+display shows the members as (x, y, t) polylines.  This benchmark regenerates
+both data products from one S2T result and reports per-cluster layer sizes.
+"""
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.s2t.pipeline import S2TClustering
+from repro.va.maps import cluster_map_layers, export_3d_points
+
+
+@pytest.fixture(scope="module")
+def s2t_result(aircraft_data):
+    mod, _truth = aircraft_data
+    return S2TClustering().fit(mod)
+
+
+@pytest.mark.repro("E2")
+def test_fig1_cluster_map_layers(benchmark, s2t_result):
+    layers = benchmark(cluster_map_layers, s2t_result)
+
+    rows = [
+        {"layer": layer.label, "color": layer.color, "members": layer.size}
+        for layer in layers[:12]
+    ]
+    print()
+    print(format_table(rows, title="E2 / Fig.1(top): map layers (cluster colour coding)"))
+
+    assert len(layers) == s2t_result.num_clusters + 1
+    # Every cluster member appears in exactly one layer.
+    total = sum(layer.size for layer in layers)
+    assert total == s2t_result.num_clustered + s2t_result.num_outliers
+    # Distinct neighbouring clusters get distinct colours.
+    colors = [layer.color for layer in layers[:10] if layer.cluster_id is not None]
+    assert len(set(colors)) == len(colors)
+
+
+@pytest.mark.repro("E2")
+def test_fig1_3d_export(benchmark, s2t_result):
+    rows = benchmark(export_3d_points, s2t_result)
+    # One row per sample of every clustered/outlier sub-trajectory.
+    assert len(rows) > 0
+    assert {"x", "y", "t", "cluster", "color"} <= set(rows[0])
+    print(f"\nE2 / Fig.1(bottom): {len(rows)} coloured (x, y, t) points exported for the 3D display")

@@ -1,0 +1,47 @@
+"""E1 (Fig. 1, middle view): time histogram of cluster cardinalities.
+
+The paper's VA tool shows, for a clustering result, a stacked time histogram
+whose bars give the number of cluster members alive in each bin.  This
+benchmark regenerates that series for an S2T run on the aircraft scenario and
+times the histogram construction.
+"""
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.s2t.pipeline import S2TClustering
+from repro.va.histogram import cluster_time_histogram
+
+
+@pytest.fixture(scope="module")
+def s2t_result(aircraft_data):
+    mod, _truth = aircraft_data
+    return S2TClustering().fit(mod)
+
+
+@pytest.mark.repro("E1")
+def test_fig1_time_histogram(benchmark, s2t_result):
+    histogram = benchmark(cluster_time_histogram, s2t_result, 60)
+
+    # -- the series the figure reports -------------------------------------------
+    totals = histogram.total_per_bin()
+    rows = [
+        {
+            "bin": b,
+            "t_start": round(float(histogram.bin_edges[b]), 1),
+            "members_alive": int(totals[b]),
+        }
+        for b in range(histogram.num_bins)
+        if totals[b] > 0
+    ]
+    print()
+    print(format_table(rows[:20], title="E1 / Fig.1(middle): cluster members alive per time bin"))
+
+    # -- shape checks -------------------------------------------------------------
+    # Clusters exist, their cardinality varies over time, and every cluster has
+    # a bounded existence period inside the data's timespan.
+    assert histogram.counts.shape[0] == s2t_result.num_clusters > 0
+    assert totals.max() > totals.min()
+    for cluster_id in histogram.cluster_ids:
+        existence = histogram.existence_period(cluster_id)
+        assert existence is not None and existence.duration >= 0

@@ -1,0 +1,62 @@
+"""E4 (Fig. 3): comparing the representatives of two S2T runs.
+
+The demonstration runs S2T twice with different settings and places both sets
+of cluster representatives in one 3D display.  The data behind that view is
+the correspondence between the two runs' representatives, which this
+benchmark computes and summarises.
+"""
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.s2t.params import S2TParams
+from repro.s2t.pipeline import S2TClustering
+from repro.va.compare import compare_runs
+
+
+@pytest.fixture(scope="module")
+def two_runs(aircraft_data):
+    mod, _truth = aircraft_data
+    diag = (mod.bbox.dx**2 + mod.bbox.dy**2) ** 0.5
+    run_a = S2TClustering(S2TParams(eps=0.04 * diag, min_cluster_support=3)).fit(mod)
+    run_b = S2TClustering(S2TParams(eps=0.08 * diag, min_cluster_support=3)).fit(mod)
+    return mod, run_a, run_b
+
+
+@pytest.mark.repro("E4")
+def test_fig3_two_run_comparison(benchmark, two_runs):
+    mod, run_a, run_b = two_runs
+    diag = (mod.bbox.dx**2 + mod.bbox.dy**2) ** 0.5
+
+    comparison = benchmark(compare_runs, run_a, run_b, 0.08 * diag)
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "run": "A (fine eps)",
+                    "clusters": run_a.num_clusters,
+                    "outliers": run_a.num_outliers,
+                },
+                {
+                    "run": "B (coarse eps)",
+                    "clusters": run_b.num_clusters,
+                    "outliers": run_b.num_outliers,
+                },
+            ],
+            title="E4 / Fig.3: the two S2T runs",
+        )
+    )
+    print()
+    print(format_table([comparison.summary()], title="Representative correspondence"))
+    print()
+    print(format_table(comparison.to_rows()[:15], title="First matched/unmatched representatives"))
+
+    # -- shape checks ----------------------------------------------------------------
+    # The coarser run must not produce more clusters than the finer one, the
+    # two runs share a good part of their structure, and the matching is 1:1.
+    assert run_b.num_clusters <= run_a.num_clusters
+    assert comparison.num_matched > 0
+    assert comparison.num_matched + len(comparison.only_in_a) == run_a.num_clusters
+    assert comparison.num_matched + len(comparison.only_in_b) == run_b.num_clusters

@@ -1,0 +1,68 @@
+"""E9 (Section I claim): progressive analysis without re-preprocessing.
+
+"We allow a data analyst to select different time periods to perform his/her
+analysis, without being obliged to apply from scratch costly preprocessing or
+iterative clustering procedures."
+
+This benchmark replays an interactive session — a sequence of shifted and
+widened windows — twice: once through QuT over the (already built) ReTraTree
+and once by re-clustering from scratch per window.  The per-step latency of
+the progressive path must stay well below the from-scratch path for every
+step of the session.
+"""
+
+import pytest
+
+from repro.baselines.range_then_cluster import RangeThenCluster
+from repro.core.session import ProgressiveSession
+from repro.eval.harness import format_table
+from repro.hermes.types import Period
+
+
+def session_windows(period: Period) -> list[Period]:
+    """The windows an analyst would explore: landing phase, then widening/shifting."""
+    duration = period.duration
+    windows = [Period(period.tmax - 0.2 * duration, period.tmax)]
+    for step in range(1, 4):
+        windows.append(Period(period.tmax - (0.2 + 0.2 * step) * duration, period.tmax))
+    windows.append(Period(period.tmin, period.tmin + 0.4 * duration))
+    windows.append(Period(period.tmin + 0.3 * duration, period.tmin + 0.7 * duration))
+    return windows
+
+
+@pytest.mark.repro("E9")
+def test_progressive_session_latency(benchmark, aircraft_engine, aircraft_data):
+    mod, _truth = aircraft_data
+    engine = aircraft_engine
+    windows = session_windows(mod.period)
+
+    session = ProgressiveSession(engine, "flights")
+    alternative = RangeThenCluster(mod)
+
+    rows = []
+    for i, window in enumerate(windows):
+        qut_result = session.query(window)
+        alt_result = alternative.query(window)
+        rows.append(
+            {
+                "step": i,
+                "w_duration": round(window.duration, 1),
+                "qut_latency_s": round(qut_result.total_runtime, 4),
+                "from_scratch_s": round(alt_result.total_runtime, 4),
+                "clusters": qut_result.num_clusters,
+            }
+        )
+    print()
+    print(format_table(rows, title="E9: progressive session — per-step latency"))
+
+    # Every interactive step is served faster by the progressive path.
+    assert all(row["qut_latency_s"] < row["from_scratch_s"] for row in rows)
+
+    # Timing target: one full interactive session through QuT.
+    def replay():
+        s = ProgressiveSession(engine, "flights")
+        for window in windows:
+            s.query(window)
+        return len(s.history)
+
+    benchmark(replay)

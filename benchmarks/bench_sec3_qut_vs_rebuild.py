@@ -1,0 +1,63 @@
+"""E7 (Section III, scenario 2 — the headline claim): QuT vs re-clustering.
+
+For varying temporal windows W, compare QuT-Clustering over a pre-built
+ReTraTree against the alternative the paper spells out: (i) temporal range
+query, (ii) fresh R-tree on the result, (iii) S2T-Clustering from scratch.
+
+Expected shape (paper): QuT is faster for every W, and the advantage is
+largest for small W (where the alternative still pays a large fraction of the
+full clustering cost while QuT touches only a few sub-chunks).
+"""
+
+import pytest
+
+from repro.baselines.range_then_cluster import RangeThenCluster
+from repro.eval.harness import format_table
+from repro.hermes.types import Period
+from repro.qut.query import QuTClustering
+
+
+@pytest.mark.repro("E7")
+def test_sec3_qut_vs_range_rebuild_cluster(benchmark, aircraft_engine, aircraft_data):
+    mod, _truth = aircraft_data
+    engine = aircraft_engine
+    period = mod.period
+    tree = engine.retratree("flights")
+    qut = QuTClustering(tree)
+    alternative = RangeThenCluster(mod)
+
+    rows = []
+    speedups = []
+    for fraction in (0.1, 0.25, 0.5, 0.75, 1.0):
+        window = Period(period.tmax - fraction * period.duration, period.tmax)
+        qut_result = qut.query(window)
+        alt_result = alternative.query(window)
+        speedup = alt_result.total_runtime / max(qut_result.total_runtime, 1e-9)
+        speedups.append(speedup)
+        rows.append(
+            {
+                "|W| / timespan": fraction,
+                "qut_time_s": round(qut_result.total_runtime, 4),
+                "rebuild_time_s": round(alt_result.total_runtime, 4),
+                "speedup_x": round(speedup, 1),
+                "qut_clusters": qut_result.num_clusters,
+                "rebuild_clusters": alt_result.num_clusters,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows, title="E7 / scenario 2: QuT vs (range query + fresh R-tree + S2T) across W"
+        )
+    )
+
+    # -- shape checks -------------------------------------------------------------------
+    # QuT wins for every window width.
+    assert all(s > 1.0 for s in speedups)
+    # Both methods agree that there is cluster structure in every window.
+    assert all(row["qut_clusters"] > 0 and row["rebuild_clusters"] > 0 for row in rows)
+
+    # Timing target for pytest-benchmark: the mid-sized window through QuT.
+    window = Period(period.tmax - 0.5 * period.duration, period.tmax)
+    benchmark(qut.query, window)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's figures or claims (see
+DESIGN.md, experiment index).  The datasets here are module-scoped so the
+expensive generation and index building are paid once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import HermesEngine
+from repro.datagen import aircraft_scenario, lane_scenario, urban_scenario
+
+
+def pytest_configure(config):
+    # Benchmarks print the series each figure reports; -s is not always given,
+    # so keep the output compact but visible in the captured summary.
+    config.addinivalue_line("markers", "repro(experiment): maps a benchmark to a DESIGN.md experiment id")
+
+
+@pytest.fixture(scope="session")
+def aircraft_data():
+    """The paper's demonstration-style dataset: flights with holding loops."""
+    return aircraft_scenario(n_trajectories=80, holding_fraction=0.3, n_samples=60, seed=2018)
+
+
+@pytest.fixture(scope="session")
+def lanes_data():
+    """Lane scenario with switchers — the sub-trajectory-friendly workload."""
+    return lane_scenario(n_trajectories=60, n_lanes=4, n_samples=50, seed=7)
+
+
+@pytest.fixture(scope="session")
+def urban_data():
+    """Urban scenario used by the cross-method comparison."""
+    return urban_scenario(n_trajectories=50, n_samples=40, seed=3)
+
+
+@pytest.fixture(scope="session")
+def aircraft_engine(aircraft_data):
+    """An engine with the aircraft MOD loaded and its ReTraTree built."""
+    mod, _truth = aircraft_data
+    engine = HermesEngine.in_memory()
+    engine.load_mod("flights", mod)
+    engine.retratree("flights")
+    return engine

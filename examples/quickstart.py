@@ -1,0 +1,70 @@
+"""Quickstart: load a MOD, run S2T-Clustering, inspect the result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import HermesEngine
+from repro.datagen import aircraft_scenario
+from repro.eval import clustering_quality, format_table
+from repro.hermes.types import Period
+from repro.va import cluster_time_histogram
+
+
+def main() -> None:
+    # 1. Create an engine and register a dataset.  The aircraft scenario
+    #    mimics the paper's demonstration MOD: flights approaching a
+    #    metropolitan area along a few corridors, some flying holding loops.
+    engine = HermesEngine.in_memory()
+    mod, truth = aircraft_scenario(n_trajectories=80, seed=42)
+    engine.load_mod("flights", mod)
+    print(format_table([engine.dataset_summary("flights")], title="Dataset"))
+
+    # 2. Run S2T-Clustering on the whole dataset.
+    result = engine.s2t("flights")
+    print()
+    print(format_table([result.summary()], title="S2T-Clustering result"))
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "cluster": c.cluster_id,
+                    "members": c.size,
+                    "objects": len(c.object_ids()),
+                    "tmin": round(c.period.tmin, 1),
+                    "tmax": round(c.period.tmax, 1),
+                }
+                for c in result.clusters[:10]
+            ],
+            title="Largest clusters (top 10)",
+        )
+    )
+
+    # 3. Quality against the planted ground truth (only possible because the
+    #    scenario is synthetic — the paper's aircraft data has no labels).
+    print()
+    print(format_table([clustering_quality(result, truth).as_dict()], title="Quality"))
+
+    # 4. The VA time histogram (Fig. 1 middle): cluster cardinality over time.
+    histogram = cluster_time_histogram(result, n_bins=12)
+    print()
+    print(format_table(histogram.to_rows()[:15], title="Cluster cardinality histogram (first rows)"))
+
+    # 5. Time-aware, progressive analysis: build the ReTraTree once, then ask
+    #    for the clusters alive in a window of interest via QuT.
+    period = mod.period
+    window = Period(period.tmin + 0.5 * period.duration, period.tmax)
+    qut_result = engine.qut("flights", window)
+    print()
+    print(format_table([qut_result.summary()], title=f"QuT-Clustering in W=[{window.tmin:.0f}, {window.tmax:.0f}]"))
+
+    # 6. The same analysis via the SQL API.
+    rows = engine.sql(f"SELECT QUT(flights, {window.tmin}, {window.tmax})")
+    print()
+    print(format_table(rows[:10], title="SELECT QUT(flights, Wi, We) — first rows"))
+
+
+if __name__ == "__main__":
+    main()

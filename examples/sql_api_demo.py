@@ -1,0 +1,84 @@
+"""The SQL API: the "preparatory phase" of the paper's demonstration.
+
+Shows the datatypes and operands of the engine through plain SQL: creating
+and populating datasets, running legacy-style point queries, and invoking the
+sub-trajectory clustering table functions — most importantly the paper's own
+
+    SELECT QUT(D, Wi, We, tau, delta, t, d, gamma);
+
+Run with::
+
+    python examples/sql_api_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import HermesEngine
+from repro.datagen import urban_scenario
+from repro.eval import format_table
+from repro.hermes.io import write_csv
+
+
+def show(title: str, rows: list[dict], limit: int = 8) -> None:
+    print(format_table(rows[:limit], title=title))
+    if len(rows) > limit:
+        print(f"... ({len(rows) - limit} more rows)")
+    print()
+
+
+def main() -> None:
+    engine = HermesEngine.in_memory()
+
+    # -- loading data -----------------------------------------------------------
+    # Either bulk-load a CSV...
+    mod, _truth = urban_scenario(n_trajectories=60, seed=11)
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "urban.csv"
+        write_csv(mod, csv_path)
+        show("LOAD DATASET", engine.sql(f"LOAD DATASET traffic FROM '{csv_path}'"))
+
+    # ...or create a dataset and INSERT point records directly.
+    show("CREATE DATASET", engine.sql("CREATE DATASET probes"))
+    show(
+        "INSERT INTO probes",
+        engine.sql(
+            "INSERT INTO probes VALUES "
+            "('bus1', '0', 0.0, 0.0, 0.0), ('bus1', '0', 1.0, 0.5, 10.0), "
+            "('bus1', '0', 2.0, 1.0, 20.0), ('bus2', '0', 0.1, 0.0, 0.0), "
+            "('bus2', '0', 1.1, 0.6, 10.0), ('bus2', '0', 2.1, 1.1, 20.0)"
+        ),
+    )
+    show("SHOW DATASETS", engine.sql("SHOW DATASETS"))
+
+    # -- legacy operands: point-level queries --------------------------------------
+    show("SELECT SUMMARY(traffic)", engine.sql("SELECT SUMMARY(traffic)"))
+    show("SELECT COUNT(*)", engine.sql("SELECT COUNT(*) FROM traffic"))
+    show(
+        "Point query with WHERE / ORDER BY / LIMIT",
+        engine.sql(
+            "SELECT obj_id, x, y, t FROM traffic WHERE t BETWEEN 0 AND 300 "
+            "ORDER BY t LIMIT 5"
+        ),
+    )
+
+    # -- sub-trajectory clustering via SQL --------------------------------------------
+    summary = engine.dataset_summary("traffic")
+    tmin, tmax = float(summary["tmin"]), float(summary["tmax"])
+    w_start = tmin + 0.25 * (tmax - tmin)
+
+    show("SELECT S2T(traffic)", engine.sql("SELECT S2T(traffic)"))
+    show(
+        f"SELECT QUT(traffic, {w_start:.0f}, {tmax:.0f})",
+        engine.sql(f"SELECT QUT(traffic, {w_start}, {tmax})"),
+    )
+    show(
+        "SELECT CLUSTER_HISTOGRAM(traffic, 12)",
+        engine.sql("SELECT CLUSTER_HISTOGRAM(traffic, 12)"),
+    )
+    show("SELECT TRACLUS(traffic)", engine.sql("SELECT TRACLUS(traffic)"))
+    show("SELECT CONVOY(traffic)", engine.sql("SELECT CONVOY(traffic)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro: reproduction of "Time-aware Sub-Trajectory Clustering in
+Hermes@PostgreSQL" (Tampakis et al., ICDE 2018).
+
+The package provides a pure-Python Moving Object Database (MOD) engine in
+the spirit of Hermes@PostgreSQL, together with the two sub-trajectory
+clustering modules the paper demonstrates:
+
+* :mod:`repro.s2t` -- Sampling-based Sub-Trajectory Clustering
+  (voting, segmentation, sampling, greedy clustering, outlier detection),
+* :mod:`repro.qut` -- Query-based Trajectory Clustering on top of the
+  ReTraTree hierarchical index,
+
+plus the substrates they need (storage engine, GiST/3D R-tree indexing,
+SQL front-end, baselines, visual-analytics data products and synthetic
+data generation).
+
+The convenience facade for end users lives in :mod:`repro.core`:
+
+>>> from repro.core import HermesEngine
+>>> from repro.datagen import aircraft_scenario
+>>> engine = HermesEngine.in_memory()
+>>> engine.load_mod("flights", aircraft_scenario(n_trajectories=40, seed=7))
+>>> result = engine.s2t("flights")
+>>> len(result.clusters) > 0
+True
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

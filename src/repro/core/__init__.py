@@ -1,0 +1,13 @@
+"""High-level public API.
+
+:class:`~repro.core.engine.HermesEngine` is the facade end users interact
+with: it manages named datasets (MODs), builds and caches ReTraTrees, and
+exposes every clustering method plus the SQL front-end.
+:class:`~repro.core.session.ProgressiveSession` wraps the progressive
+time-aware analysis workflow of the paper's scenario 2.
+"""
+
+from repro.core.engine import HermesEngine
+from repro.core.session import ProgressiveSession
+
+__all__ = ["HermesEngine", "ProgressiveSession"]

@@ -1,0 +1,198 @@
+"""The Hermes engine facade.
+
+The engine is the Python analogue of a Hermes@PostgreSQL installation:
+datasets are registered under names, clustering runs are invoked against a
+dataset name, and the ReTraTree built for a dataset is cached so subsequent
+QuT queries are progressive (no rebuilding).  The SQL front-end
+(:mod:`repro.sql`) executes against an engine instance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
+from repro.baselines.range_then_cluster import RangeThenCluster
+from repro.baselines.toptics import TOpticsClustering, TOpticsParams
+from repro.baselines.traclus import TraclusClustering, TraclusParams
+from repro.hermes.io import read_csv, write_csv
+from repro.hermes.mod import MOD
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.query import QuTClustering
+from repro.qut.retratree import ReTraTree
+from repro.s2t.params import S2TParams
+from repro.s2t.pipeline import S2TClustering
+from repro.s2t.result import ClusteringResult
+from repro.storage.catalog import StorageManager
+
+__all__ = ["HermesEngine"]
+
+
+class HermesEngine:
+    """Manage datasets and run in-engine sub-trajectory clustering.
+
+    Examples
+    --------
+    >>> from repro.core import HermesEngine
+    >>> from repro.datagen import lane_scenario
+    >>> engine = HermesEngine.in_memory()
+    >>> mod, _ = lane_scenario(n_trajectories=25, seed=3)
+    >>> engine.load_mod("demo", mod)
+    >>> engine.s2t("demo").num_clusters > 0
+    True
+    """
+
+    def __init__(self, storage_directory: str | Path | None = None) -> None:
+        self.storage_directory = Path(storage_directory) if storage_directory else None
+        self._datasets: dict[str, MOD] = {}
+        self._retratrees: dict[str, ReTraTree] = {}
+        self._last_results: dict[str, ClusteringResult] = {}
+        self._sql_executor = None
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls) -> "HermesEngine":
+        """An engine whose ReTraTree partitions live purely in memory."""
+        return cls(storage_directory=None)
+
+    @classmethod
+    def on_disk(cls, directory: str | Path) -> "HermesEngine":
+        """An engine whose ReTraTree partitions are stored under ``directory``."""
+        return cls(storage_directory=directory)
+
+    # -- dataset management ----------------------------------------------------------
+
+    def load_mod(self, name: str, mod: MOD) -> None:
+        """Register an in-memory MOD under ``name`` (replaces any previous one)."""
+        self._datasets[name] = mod
+        self._retratrees.pop(name, None)
+        self._last_results.pop(name, None)
+
+    def load_csv(self, name: str, path: str | Path) -> MOD:
+        """Load a point-record CSV and register it under ``name``."""
+        mod = read_csv(path, name=name)
+        self.load_mod(name, mod)
+        return mod
+
+    def export_csv(self, name: str, path: str | Path) -> None:
+        """Write a registered dataset to a point-record CSV."""
+        write_csv(self.get_mod(name), path)
+
+    def get_mod(self, name: str) -> MOD:
+        """The MOD registered under ``name``; raises :class:`KeyError` if unknown."""
+        if name not in self._datasets:
+            raise KeyError(f"unknown dataset {name!r}; loaded: {sorted(self._datasets)}")
+        return self._datasets[name]
+
+    def datasets(self) -> list[str]:
+        """Names of the registered datasets."""
+        return sorted(self._datasets)
+
+    def drop(self, name: str) -> None:
+        """Remove a dataset and any index built for it."""
+        self._datasets.pop(name, None)
+        tree = self._retratrees.pop(name, None)
+        if tree is not None:
+            tree.storage.close()
+        self._last_results.pop(name, None)
+
+    def dataset_summary(self, name: str) -> dict[str, object]:
+        """Descriptive statistics of a dataset (used by ``SELECT SUMMARY``)."""
+        mod = self.get_mod(name)
+        period = mod.period
+        bbox = mod.bbox
+        return {
+            "dataset": name,
+            "trajectories": len(mod),
+            "objects": len(mod.object_ids()),
+            "points": mod.total_points,
+            "tmin": period.tmin,
+            "tmax": period.tmax,
+            "xmin": bbox.xmin,
+            "xmax": bbox.xmax,
+            "ymin": bbox.ymin,
+            "ymax": bbox.ymax,
+        }
+
+    # -- clustering methods ----------------------------------------------------------------
+
+    def s2t(self, name: str, params: S2TParams | None = None) -> ClusteringResult:
+        """Run S2T-Clustering on the whole dataset."""
+        result = S2TClustering(params).fit(self.get_mod(name))
+        self._last_results[name] = result
+        return result
+
+    def retratree(self, name: str, params: QuTParams | None = None, rebuild: bool = False) -> ReTraTree:
+        """The (cached) ReTraTree of a dataset, building it on first use."""
+        if rebuild or name not in self._retratrees:
+            storage = None
+            if self.storage_directory is not None:
+                storage = StorageManager(self.storage_directory / name)
+            self._retratrees[name] = ReTraTree.build(
+                self.get_mod(name), params=params, storage=storage, name=name
+            )
+        return self._retratrees[name]
+
+    def qut(
+        self,
+        name: str,
+        window: Period,
+        params: QuTParams | None = None,
+    ) -> ClusteringResult:
+        """QuT-Clustering: clusters/outliers intersecting ``window``.
+
+        The first call builds (and caches) the dataset's ReTraTree; later
+        calls only pay the query cost — that is the progressive behaviour the
+        paper demonstrates.
+        """
+        tree = self.retratree(name, params=params)
+        result = QuTClustering(tree).query(window)
+        self._last_results[name] = result
+        return result
+
+    def range_then_cluster(
+        self, name: str, window: Period, params: S2TParams | None = None
+    ) -> ClusteringResult:
+        """The paper's scenario-2 baseline: range query + fresh index + S2T."""
+        result = RangeThenCluster(self.get_mod(name), params).query(window)
+        self._last_results[name] = result
+        return result
+
+    def traclus(self, name: str, params: TraclusParams | None = None) -> ClusteringResult:
+        """TRACLUS baseline."""
+        result = TraclusClustering(params).fit(self.get_mod(name))
+        self._last_results[name] = result
+        return result
+
+    def toptics(self, name: str, params: TOpticsParams | None = None) -> ClusteringResult:
+        """T-OPTICS baseline."""
+        result = TOpticsClustering(params).fit(self.get_mod(name))
+        self._last_results[name] = result
+        return result
+
+    def convoy(self, name: str, params: ConvoyParams | None = None) -> ClusteringResult:
+        """Convoy-discovery baseline."""
+        result = ConvoyDiscovery(params).fit(self.get_mod(name))
+        self._last_results[name] = result
+        return result
+
+    # -- results ----------------------------------------------------------------------------------
+
+    def last_result(self, name: str) -> ClusteringResult:
+        """The most recent clustering result produced for a dataset."""
+        if name not in self._last_results:
+            raise KeyError(f"no clustering has been run on dataset {name!r} yet")
+        return self._last_results[name]
+
+    def sql(self, statement: str) -> list[dict[str, object]]:
+        """Execute an SQL statement against this engine (see :mod:`repro.sql`).
+
+        The executor (and therefore its INSERT buffer) persists across calls.
+        """
+        from repro.sql.executor import SQLExecutor
+
+        if self._sql_executor is None:
+            self._sql_executor = SQLExecutor(self)
+        return self._sql_executor.execute(statement)

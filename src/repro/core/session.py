@@ -1,0 +1,84 @@
+"""Progressive time-aware analysis sessions (the paper's scenario 2 workflow).
+
+A :class:`ProgressiveSession` holds a dataset and a ReTraTree and lets the
+analyst repeatedly re-query with different time windows — widening the window
+into the past to watch patterns evolve from the cruising to the landing
+phase, in the paper's aircraft narrative — while recording the history of
+windows, results and latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import HermesEngine
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.s2t.result import ClusteringResult
+
+__all__ = ["ProgressiveSession", "SessionStep"]
+
+
+@dataclass
+class SessionStep:
+    """One step of a progressive analysis: the window and what it produced."""
+
+    window: Period
+    result: ClusteringResult
+
+    @property
+    def latency(self) -> float:
+        return self.result.total_runtime
+
+    @property
+    def num_clusters(self) -> int:
+        return self.result.num_clusters
+
+
+@dataclass
+class ProgressiveSession:
+    """Interactive, index-backed exploration of one dataset."""
+
+    engine: HermesEngine
+    dataset: str
+    params: QuTParams | None = None
+    history: list[SessionStep] = field(default_factory=list)
+
+    def query(self, window: Period) -> ClusteringResult:
+        """Run a QuT query and record it in the session history."""
+        result = self.engine.qut(self.dataset, window, params=self.params)
+        self.history.append(SessionStep(window=window, result=result))
+        return result
+
+    def widen(self, amount: float) -> ClusteringResult:
+        """Extend the last window ``amount`` time units into the past and re-query.
+
+        This is the paper's "increase the value of W to the past in order to
+        realise the evolution of patterns" interaction.
+        """
+        if not self.history:
+            raise ValueError("no previous window; call query() first")
+        last = self.history[-1].window
+        return self.query(Period(last.tmin - amount, last.tmax))
+
+    def shift(self, amount: float) -> ClusteringResult:
+        """Slide the last window forward by ``amount`` and re-query."""
+        if not self.history:
+            raise ValueError("no previous window; call query() first")
+        last = self.history[-1].window
+        return self.query(Period(last.tmin + amount, last.tmax + amount))
+
+    def evolution(self) -> list[dict[str, object]]:
+        """Per-step summary rows: window bounds, cluster count, latency."""
+        return [
+            {
+                "step": i,
+                "w_start": step.window.tmin,
+                "w_end": step.window.tmax,
+                "w_duration": step.window.duration,
+                "clusters": step.num_clusters,
+                "outliers": step.result.num_outliers,
+                "latency_s": round(step.latency, 6),
+            }
+            for i, step in enumerate(self.history)
+        ]

@@ -1,0 +1,30 @@
+"""Synthetic MOD generators.
+
+The real dataset shown in the paper (aircraft approaching London airports) is
+not publicly available, so the scenarios here generate MODs with the same
+structural properties the clustering algorithms exploit:
+
+* lanes / corridors of objects that co-move for part of their lifespan,
+* temporally overlapping but spatially distinct flows,
+* holding-pattern loops before landing (for Figure 4),
+* random outliers that belong to no flow.
+
+Each generator also returns a point-level :class:`~repro.datagen.truth.GroundTruth`
+used by the quality metrics in :mod:`repro.eval`.
+"""
+
+from repro.datagen.truth import GroundTruth
+from repro.datagen.scenarios import (
+    aircraft_scenario,
+    maritime_scenario,
+    urban_scenario,
+    lane_scenario,
+)
+
+__all__ = [
+    "GroundTruth",
+    "aircraft_scenario",
+    "maritime_scenario",
+    "urban_scenario",
+    "lane_scenario",
+]

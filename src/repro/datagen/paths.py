@@ -1,0 +1,83 @@
+"""Geometric path primitives used by the scenario generators.
+
+A *path* is a 2D polyline with a travel duration.  The generators place
+moving objects on paths: each object follows the path with lateral noise,
+speed jitter and a staggered start time, producing trajectories that co-move
+with the other objects on the same path — the "flows" that sub-trajectory
+clustering should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Path", "circle_path", "concatenate_paths"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A 2D polyline parameterised by arc length."""
+
+    waypoints: np.ndarray  # shape (k, 2)
+
+    def __post_init__(self) -> None:
+        wp = np.asarray(self.waypoints, dtype=float)
+        if wp.ndim != 2 or wp.shape[1] != 2 or len(wp) < 2:
+            raise ValueError("a path needs at least two 2D waypoints")
+        object.__setattr__(self, "waypoints", wp)
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the polyline."""
+        diffs = np.diff(self.waypoints, axis=0)
+        return float(np.sum(np.hypot(diffs[:, 0], diffs[:, 1])))
+
+    def _cumulative(self) -> np.ndarray:
+        diffs = np.diff(self.waypoints, axis=0)
+        seg = np.hypot(diffs[:, 0], diffs[:, 1])
+        return np.concatenate([[0.0], np.cumsum(seg)])
+
+    def sample(self, fractions: np.ndarray) -> np.ndarray:
+        """Positions at the given arc-length fractions in ``[0, 1]``.
+
+        Returns an ``(len(fractions), 2)`` array.
+        """
+        fractions = np.clip(np.asarray(fractions, dtype=float), 0.0, 1.0)
+        cum = self._cumulative()
+        total = cum[-1]
+        if total <= 0:
+            return np.repeat(self.waypoints[:1], len(fractions), axis=0)
+        targets = fractions * total
+        xs = np.interp(targets, cum, self.waypoints[:, 0])
+        ys = np.interp(targets, cum, self.waypoints[:, 1])
+        return np.column_stack([xs, ys])
+
+    def reversed(self) -> "Path":
+        """The same polyline travelled in the opposite direction."""
+        return Path(self.waypoints[::-1].copy())
+
+
+def circle_path(
+    center: tuple[float, float],
+    radius: float,
+    n_turns: float = 1.0,
+    n_points: int = 40,
+    start_angle: float = 0.0,
+) -> Path:
+    """A circular (holding-pattern) path around ``center``."""
+    angles = start_angle + np.linspace(0.0, 2.0 * np.pi * n_turns, n_points)
+    xs = center[0] + radius * np.cos(angles)
+    ys = center[1] + radius * np.sin(angles)
+    return Path(np.column_stack([xs, ys]))
+
+
+def concatenate_paths(*paths: Path) -> Path:
+    """Join several paths into one, bridging gaps with straight hops."""
+    if not paths:
+        raise ValueError("need at least one path")
+    pieces = [paths[0].waypoints]
+    for path in paths[1:]:
+        pieces.append(path.waypoints)
+    return Path(np.vstack(pieces))

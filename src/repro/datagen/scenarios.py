@@ -1,0 +1,378 @@
+"""Synthetic MOD scenarios with ground truth.
+
+Every scenario returns ``(MOD, GroundTruth)``.  The aircraft scenario is the
+one matching the paper's demonstration dataset (approach corridors towards
+airports, optionally with holding loops); the urban and maritime scenarios
+exercise the "other domains" the paper mentions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.paths import Path, circle_path, concatenate_paths
+from repro.datagen.truth import GroundTruth
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+
+__all__ = [
+    "lane_scenario",
+    "aircraft_scenario",
+    "urban_scenario",
+    "maritime_scenario",
+]
+
+
+def _follow_path(
+    rng: np.random.Generator,
+    path: Path,
+    t_start: float,
+    duration: float,
+    n_samples: int,
+    lateral_noise: float,
+    speed_jitter: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate samples of one object travelling along ``path``.
+
+    Returns ``(xs, ys, ts)``.  The object's progress along the path is a
+    monotone but jittered function of time, so objects on the same path are
+    roughly aligned in time without moving in lockstep.
+    """
+    ts = np.linspace(t_start, t_start + duration, n_samples)
+    # Monotone progress with speed jitter.
+    increments = rng.normal(1.0, speed_jitter, n_samples - 1)
+    increments = np.clip(increments, 0.05, None)
+    progress = np.concatenate([[0.0], np.cumsum(increments)])
+    progress /= progress[-1]
+    pos = path.sample(progress)
+    # Lateral deviation is smooth (a moving-average of white noise), not
+    # per-sample jitter: a vehicle drifts off the centreline gradually, it
+    # does not teleport sideways between consecutive GPS fixes.
+    white = rng.normal(0.0, lateral_noise, size=(n_samples + 8, 2))
+    kernel = np.ones(9) / 9.0
+    smooth = np.column_stack(
+        [np.convolve(white[:, 0], kernel, mode="valid"), np.convolve(white[:, 1], kernel, mode="valid")]
+    )
+    # Restore the requested deviation magnitude lost by averaging.
+    smooth *= 3.0
+    pos = pos + smooth[:n_samples]
+    return pos[:, 0], pos[:, 1], ts
+
+
+def _random_walk(
+    rng: np.random.Generator,
+    bbox: tuple[float, float, float, float],
+    t_start: float,
+    duration: float,
+    n_samples: int,
+    step_scale: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate an outlier trajectory: a bounded random walk."""
+    xmin, ymin, xmax, ymax = bbox
+    ts = np.linspace(t_start, t_start + duration, n_samples)
+    xs = np.empty(n_samples)
+    ys = np.empty(n_samples)
+    xs[0] = rng.uniform(xmin, xmax)
+    ys[0] = rng.uniform(ymin, ymax)
+    for i in range(1, n_samples):
+        xs[i] = np.clip(xs[i - 1] + rng.normal(0, step_scale), xmin, xmax)
+        ys[i] = np.clip(ys[i - 1] + rng.normal(0, step_scale), ymin, ymax)
+    return xs, ys, ts
+
+
+def lane_scenario(
+    n_trajectories: int = 100,
+    n_lanes: int = 4,
+    outlier_fraction: float = 0.1,
+    switcher_fraction: float = 0.2,
+    duration: float = 1000.0,
+    n_samples: int = 60,
+    lateral_noise: float = 1.0,
+    area: float = 100.0,
+    seed: int | None = 0,
+    name: str = "lanes",
+) -> tuple[MOD, GroundTruth]:
+    """Generic lane scenario: ``n_lanes`` straightish corridors across an area.
+
+    A fraction of objects ("switchers") follow one lane for the first half of
+    their lifespan and a different lane afterwards — exactly the behaviour
+    whole-trajectory clustering cannot represent but sub-trajectory
+    clustering can.  ``outlier_fraction`` of the objects wander randomly.
+
+    Returns ``(mod, ground_truth)`` where the ground truth labels every
+    sample with its lane id or ``None`` for outliers.
+    """
+    rng = np.random.default_rng(seed)
+    mod = MOD(name=name)
+    truth = GroundTruth()
+
+    lanes: list[Path] = []
+    for k in range(n_lanes):
+        # Lanes sweep across the area at different offsets/orientations.
+        offset = (k + 0.5) * area / n_lanes
+        if k % 2 == 0:
+            waypoints = np.array(
+                [[0.0, offset], [area * 0.4, offset + area * 0.05], [area, offset]]
+            )
+        else:
+            waypoints = np.array(
+                [[offset, 0.0], [offset - area * 0.05, area * 0.5], [offset, area]]
+            )
+        lanes.append(Path(waypoints))
+
+    n_outliers = int(round(n_trajectories * outlier_fraction))
+    n_switchers = int(round(n_trajectories * switcher_fraction))
+    n_followers = n_trajectories - n_outliers - n_switchers
+
+    idx = 0
+    for i in range(n_followers):
+        lane = int(rng.integers(n_lanes))
+        t_start = rng.uniform(0.0, duration * 0.2)
+        dur = duration * rng.uniform(0.6, 0.8)
+        xs, ys, ts = _follow_path(
+            rng, lanes[lane], t_start, dur, n_samples, lateral_noise, 0.15
+        )
+        traj = Trajectory(f"obj{idx}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([f"lane{lane}"] * n_samples, dtype=object))
+        idx += 1
+
+    for i in range(n_switchers):
+        lane_a, lane_b = rng.choice(n_lanes, size=2, replace=False)
+        t_start = rng.uniform(0.0, duration * 0.2)
+        dur = duration * rng.uniform(0.6, 0.8)
+        half = n_samples // 2
+        xs_a, ys_a, ts_a = _follow_path(
+            rng, lanes[int(lane_a)], t_start, dur / 2, half, lateral_noise, 0.15
+        )
+        xs_b, ys_b, ts_b = _follow_path(
+            rng,
+            lanes[int(lane_b)],
+            t_start + dur / 2 + 1e-6,
+            dur / 2,
+            n_samples - half,
+            lateral_noise,
+            0.15,
+        )
+        xs = np.concatenate([xs_a, xs_b])
+        ys = np.concatenate([ys_a, ys_b])
+        ts = np.concatenate([ts_a, ts_b])
+        traj = Trajectory(f"obj{idx}", "0", xs, ys, ts)
+        mod.add(traj)
+        labels = np.array(
+            [f"lane{int(lane_a)}"] * half + [f"lane{int(lane_b)}"] * (n_samples - half),
+            dtype=object,
+        )
+        truth.set_labels(traj.key, labels)
+        idx += 1
+
+    for i in range(n_outliers):
+        t_start = rng.uniform(0.0, duration * 0.3)
+        dur = duration * rng.uniform(0.4, 0.7)
+        xs, ys, ts = _random_walk(
+            rng, (0.0, 0.0, area, area), t_start, dur, n_samples, area * 0.05
+        )
+        traj = Trajectory(f"obj{idx}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+        idx += 1
+
+    return mod, truth
+
+
+def aircraft_scenario(
+    n_trajectories: int = 120,
+    n_corridors: int = 3,
+    holding_fraction: float = 0.25,
+    outlier_fraction: float = 0.08,
+    duration: float = 3600.0,
+    n_samples: int = 80,
+    area: float = 200.0,
+    seed: int | None = 0,
+    name: str = "flights",
+) -> tuple[MOD, GroundTruth]:
+    """Aircraft approaching airports of a metropolitan area.
+
+    Mirrors the paper's demonstration dataset: a few approach corridors
+    converge towards airport locations; a fraction of flights perform a
+    holding pattern (one or two loops) before the final approach — the
+    pattern visualised in the paper's Figure 4.
+
+    Ground-truth labels are ``corridor<k>`` while following the corridor
+    (including during the holding loop, which happens on the corridor) and
+    ``None`` for outliers.
+    """
+    rng = np.random.default_rng(seed)
+    mod = MOD(name=name)
+    truth = GroundTruth()
+
+    airports = [
+        (area * 0.5, area * 0.45),
+        (area * 0.55, area * 0.6),
+        (area * 0.42, area * 0.58),
+    ]
+    corridors: list[Path] = []
+    holding_centers: list[tuple[float, float]] = []
+    for k in range(n_corridors):
+        airport = airports[k % len(airports)]
+        angle = 2.0 * np.pi * k / n_corridors + 0.3
+        entry = (
+            airport[0] + area * 0.45 * np.cos(angle),
+            airport[1] + area * 0.45 * np.sin(angle),
+        )
+        mid = (
+            airport[0] + area * 0.2 * np.cos(angle + 0.15),
+            airport[1] + area * 0.2 * np.sin(angle + 0.15),
+        )
+        corridors.append(Path(np.array([entry, mid, airport])))
+        holding_centers.append(mid)
+
+    n_outliers = int(round(n_trajectories * outlier_fraction))
+    n_flights = n_trajectories - n_outliers
+
+    for i in range(n_flights):
+        corridor_idx = int(rng.integers(n_corridors))
+        corridor = corridors[corridor_idx]
+        has_holding = rng.random() < holding_fraction
+        t_start = rng.uniform(0.0, duration * 0.3)
+        dur = duration * rng.uniform(0.3, 0.5)
+        if has_holding:
+            # Approach the holding fix, loop, then final approach.
+            loop = circle_path(
+                holding_centers[corridor_idx],
+                radius=area * 0.04,
+                n_turns=rng.uniform(1.0, 2.0),
+                n_points=30,
+            )
+            entry_leg = Path(corridor.waypoints[:2])
+            final_leg = Path(corridor.waypoints[1:])
+            full = concatenate_paths(entry_leg, loop, final_leg)
+        else:
+            full = corridor
+        xs, ys, ts = _follow_path(
+            rng, full, t_start, dur, n_samples, lateral_noise=area * 0.005, speed_jitter=0.2
+        )
+        traj = Trajectory(f"flight{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(
+            traj.key, np.array([f"corridor{corridor_idx}"] * n_samples, dtype=object)
+        )
+
+    for i in range(n_outliers):
+        t_start = rng.uniform(0.0, duration * 0.4)
+        dur = duration * rng.uniform(0.2, 0.5)
+        xs, ys, ts = _random_walk(
+            rng, (0.0, 0.0, area, area), t_start, dur, n_samples, area * 0.04
+        )
+        traj = Trajectory(f"ga{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+
+    return mod, truth
+
+
+def urban_scenario(
+    n_trajectories: int = 150,
+    grid_size: int = 5,
+    outlier_fraction: float = 0.1,
+    duration: float = 1800.0,
+    n_samples: int = 50,
+    area: float = 50.0,
+    seed: int | None = 0,
+    name: str = "urban",
+) -> tuple[MOD, GroundTruth]:
+    """Urban traffic: vehicles following routes on a street grid.
+
+    Routes are L-shaped paths on a ``grid_size`` x ``grid_size`` street grid;
+    vehicles on the same route form a flow.
+    """
+    rng = np.random.default_rng(seed)
+    mod = MOD(name=name)
+    truth = GroundTruth()
+
+    cell = area / grid_size
+    routes: list[Path] = []
+    n_routes = max(3, grid_size)
+    for k in range(n_routes):
+        row = (k % grid_size + 0.5) * cell
+        col = ((k * 2 + 1) % grid_size + 0.5) * cell
+        # Travel along the row, then turn onto the column.
+        waypoints = np.array([[0.0, row], [col, row], [col, area]])
+        routes.append(Path(waypoints))
+
+    n_outliers = int(round(n_trajectories * outlier_fraction))
+    n_vehicles = n_trajectories - n_outliers
+
+    for i in range(n_vehicles):
+        route_idx = int(rng.integers(n_routes))
+        t_start = rng.uniform(0.0, duration * 0.4)
+        dur = duration * rng.uniform(0.2, 0.4)
+        xs, ys, ts = _follow_path(
+            rng, routes[route_idx], t_start, dur, n_samples, lateral_noise=cell * 0.05,
+            speed_jitter=0.25,
+        )
+        traj = Trajectory(f"veh{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([f"route{route_idx}"] * n_samples, dtype=object))
+
+    for i in range(n_outliers):
+        t_start = rng.uniform(0.0, duration * 0.5)
+        dur = duration * rng.uniform(0.2, 0.4)
+        xs, ys, ts = _random_walk(
+            rng, (0.0, 0.0, area, area), t_start, dur, n_samples, cell * 0.5
+        )
+        traj = Trajectory(f"taxi{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+
+    return mod, truth
+
+
+def maritime_scenario(
+    n_trajectories: int = 80,
+    n_lanes: int = 3,
+    outlier_fraction: float = 0.1,
+    duration: float = 7200.0,
+    n_samples: int = 60,
+    area: float = 500.0,
+    seed: int | None = 0,
+    name: str = "maritime",
+) -> tuple[MOD, GroundTruth]:
+    """Maritime traffic: vessels following long, gently curved shipping lanes."""
+    rng = np.random.default_rng(seed)
+    mod = MOD(name=name)
+    truth = GroundTruth()
+
+    lanes: list[Path] = []
+    for k in range(n_lanes):
+        y0 = area * (0.2 + 0.6 * k / max(1, n_lanes - 1))
+        xs = np.linspace(0.0, area, 8)
+        ys = y0 + area * 0.05 * np.sin(np.linspace(0, np.pi, 8) + k)
+        lanes.append(Path(np.column_stack([xs, ys])))
+
+    n_outliers = int(round(n_trajectories * outlier_fraction))
+    n_vessels = n_trajectories - n_outliers
+
+    for i in range(n_vessels):
+        lane_idx = int(rng.integers(n_lanes))
+        lane = lanes[lane_idx] if rng.random() < 0.5 else lanes[lane_idx].reversed()
+        t_start = rng.uniform(0.0, duration * 0.3)
+        dur = duration * rng.uniform(0.5, 0.7)
+        xs, ys, ts = _follow_path(
+            rng, lane, t_start, dur, n_samples, lateral_noise=area * 0.005, speed_jitter=0.1
+        )
+        traj = Trajectory(f"vessel{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([f"lane{lane_idx}"] * n_samples, dtype=object))
+
+    for i in range(n_outliers):
+        t_start = rng.uniform(0.0, duration * 0.4)
+        dur = duration * rng.uniform(0.3, 0.6)
+        xs, ys, ts = _random_walk(
+            rng, (0.0, 0.0, area, area), t_start, dur, n_samples, area * 0.02
+        )
+        traj = Trajectory(f"fishing{i}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+
+    return mod, truth

@@ -1,0 +1,18 @@
+"""Evaluation utilities: clustering quality metrics and timing helpers."""
+
+from repro.eval.metrics import (
+    QualityReport,
+    adjusted_rand_index,
+    clustering_quality,
+    point_level_labels,
+)
+from repro.eval.harness import Stopwatch, format_table
+
+__all__ = [
+    "QualityReport",
+    "adjusted_rand_index",
+    "clustering_quality",
+    "point_level_labels",
+    "Stopwatch",
+    "format_table",
+]

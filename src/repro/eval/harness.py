@@ -1,0 +1,69 @@
+"""Small helpers shared by the benchmark scripts."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_table"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements."""
+
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str):
+        """Context manager measuring one named section."""
+        return _Section(self, name)
+
+    def total(self) -> float:
+        return sum(self.timings.values())
+
+
+class _Section:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._watch.timings[self._name] = self._watch.timings.get(self._name, 0.0) + elapsed
+
+
+def format_table(rows: list[dict[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Used by the benchmarks to print the series each paper figure reports.
+    """
+    if not rows:
+        return f"{title or 'table'}: (empty)"
+    columns: list[str] = []
+    for row in rows:
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    widths = {
+        col: max(len(str(col)), *(len(_fmt(row.get(col))) for row in rows)) for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,13 @@
+"""Generalized Search Tree (GiST) framework.
+
+PostgreSQL's GiST interface lets an extension define a balanced search tree
+by supplying a handful of key methods (``consistent``, ``union``,
+``penalty``, ``picksplit``).  Hermes@PostgreSQL uses exactly this interface
+to implement its pg3D-Rtree.  :class:`~repro.gist.tree.GiST` is the generic
+tree; :class:`~repro.gist.tree.KeyAdapter` is the extension point, and the
+3D R-tree instantiation lives in :mod:`repro.index.rtree3d`.
+"""
+
+from repro.gist.tree import GiST, KeyAdapter, Entry
+
+__all__ = ["GiST", "KeyAdapter", "Entry"]

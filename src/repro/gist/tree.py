@@ -1,0 +1,311 @@
+"""The generic GiST tree.
+
+The tree is height-balanced and grows from the leaves upwards, like a B-tree:
+when a node overflows it is split with the key adapter's ``pick_split`` and
+the split propagates towards the root.  All behaviour that depends on the key
+type is delegated to a :class:`KeyAdapter`, mirroring PostgreSQL's GiST
+support functions:
+
+* ``consistent(key, query)``  -- can the subtree under ``key`` contain
+  entries matching ``query``?
+* ``union(keys)``             -- smallest key covering all ``keys``,
+* ``penalty(key, new_key)``   -- cost of inserting ``new_key`` under ``key``
+  (used to choose the insertion subtree),
+* ``pick_split(entries)``     -- partition an overflowing node's entries into
+  two groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, Sequence, TypeVar
+
+__all__ = ["GiST", "KeyAdapter", "Entry"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@dataclass
+class Entry(Generic[K, V]):
+    """A node entry: a key plus either a child node or a leaf value."""
+
+    key: K
+    child: "_Node[K, V] | None" = None
+    value: V | None = None
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+
+@dataclass
+class _Node(Generic[K, V]):
+    """An internal or leaf node."""
+
+    is_leaf: bool
+    entries: list[Entry[K, V]] = field(default_factory=list)
+    parent: "_Node[K, V] | None" = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class KeyAdapter(Generic[K]):
+    """Extension point defining GiST behaviour for a key type.
+
+    Subclasses must implement the four support methods below.  ``pick_split``
+    has a default linear implementation that subclasses may override with a
+    smarter strategy (the 3D R-tree uses a quadratic split).
+    """
+
+    def consistent(self, key: K, query: Any) -> bool:
+        """Whether the subtree under ``key`` may contain matches for ``query``."""
+        raise NotImplementedError
+
+    def union(self, keys: Sequence[K]) -> K:
+        """The smallest key covering every key in ``keys``."""
+        raise NotImplementedError
+
+    def penalty(self, key: K, new_key: K) -> float:
+        """Cost of extending ``key`` to also cover ``new_key``."""
+        raise NotImplementedError
+
+    def pick_split(self, keys: Sequence[K]) -> tuple[list[int], list[int]]:
+        """Partition entry indices into two non-empty groups.
+
+        The default splits the sequence in half, which keeps the tree valid
+        but gives poor clustering; real adapters should override it.
+        """
+        half = max(1, len(keys) // 2)
+        return list(range(half)), list(range(half, len(keys)))
+
+
+class GiST(Generic[K, V]):
+    """A height-balanced generalized search tree.
+
+    Parameters
+    ----------
+    adapter:
+        The key adapter supplying the GiST support methods.
+    max_entries:
+        Node capacity ``M``; a node splits when it exceeds this.
+    min_entries:
+        Minimum fill ``m`` used by ``pick_split`` implementations.
+    """
+
+    def __init__(self, adapter: KeyAdapter[K], max_entries: int = 16, min_entries: int | None = None) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self.adapter = adapter
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max(2, max_entries // 3)
+        if self.min_entries * 2 > max_entries:
+            raise ValueError("min_entries must be at most max_entries / 2")
+        self._root: _Node[K, V] = _Node(is_leaf=True)
+        self._size = 0
+
+    # -- properties -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is just a leaf root)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            h += 1
+            node = node.entries[0].child  # type: ignore[assignment]
+        return h
+
+    @property
+    def root_key(self) -> K | None:
+        """Union key of the whole tree, or ``None`` when empty."""
+        if not self._root.entries:
+            return None
+        return self.adapter.union([e.key for e in self._root.entries])
+
+    # -- insertion -----------------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert a (key, value) pair."""
+        leaf = self._choose_leaf(self._root, key)
+        leaf.entries.append(Entry(key=key, value=value))
+        self._size += 1
+        self._handle_overflow(leaf)
+
+    def _choose_leaf(self, node: _Node[K, V], key: K) -> _Node[K, V]:
+        while not node.is_leaf:
+            best = min(
+                node.entries,
+                key=lambda e: (self.adapter.penalty(e.key, key), id(e)),
+            )
+            best.key = self.adapter.union([best.key, key])
+            node = best.child  # type: ignore[assignment]
+        return node
+
+    def _handle_overflow(self, node: _Node[K, V]) -> None:
+        while len(node.entries) > self.max_entries:
+            left_idx, right_idx = self.adapter.pick_split([e.key for e in node.entries])
+            if not left_idx or not right_idx:
+                raise RuntimeError("pick_split returned an empty group")
+            entries = node.entries
+            left_entries = [entries[i] for i in left_idx]
+            right_entries = [entries[i] for i in right_idx]
+
+            right_node: _Node[K, V] = _Node(is_leaf=node.is_leaf, entries=right_entries)
+            node.entries = left_entries
+            if not node.is_leaf:
+                for entry in node.entries:
+                    entry.child.parent = node  # type: ignore[union-attr]
+                for entry in right_node.entries:
+                    entry.child.parent = right_node  # type: ignore[union-attr]
+
+            left_key = self.adapter.union([e.key for e in node.entries])
+            right_key = self.adapter.union([e.key for e in right_node.entries])
+
+            parent = node.parent
+            if parent is None:
+                # Grow the tree: create a new root above the split node.
+                new_root: _Node[K, V] = _Node(is_leaf=False)
+                new_root.entries = [
+                    Entry(key=left_key, child=node),
+                    Entry(key=right_key, child=right_node),
+                ]
+                node.parent = new_root
+                right_node.parent = new_root
+                self._root = new_root
+                return
+            # Update the parent's entry for the split node and add the new sibling.
+            for entry in parent.entries:
+                if entry.child is node:
+                    entry.key = left_key
+                    break
+            parent.entries.append(Entry(key=right_key, child=right_node))
+            right_node.parent = parent
+            node = parent
+
+    # -- search ------------------------------------------------------------------------
+
+    def search(self, query: Any) -> list[V]:
+        """All values whose leaf keys are consistent with ``query``."""
+        return [value for _key, value in self.search_entries(query)]
+
+    def search_entries(self, query: Any) -> Iterator[tuple[K, V]]:
+        """Iterate over (key, value) pairs consistent with ``query``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not self.adapter.consistent(entry.key, query):
+                    continue
+                if node.is_leaf:
+                    yield entry.key, entry.value  # type: ignore[misc]
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+
+    def search_count_nodes(self, query: Any) -> tuple[list[V], int]:
+        """Like :meth:`search` but also report how many nodes were visited.
+
+        The node count is the index-efficiency measure used by benchmark E6.
+        """
+        results: list[V] = []
+        visited = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            for entry in node.entries:
+                if not self.adapter.consistent(entry.key, query):
+                    continue
+                if node.is_leaf:
+                    results.append(entry.value)  # type: ignore[arg-type]
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+        return results, visited
+
+    def all_values(self) -> list[V]:
+        """Every stored value (full index scan)."""
+        out: list[V] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(e.value for e in node.entries)  # type: ignore[misc]
+            else:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        return out
+
+    # -- deletion ---------------------------------------------------------------------------
+
+    def delete(self, predicate: Callable[[K, V], bool]) -> int:
+        """Delete all leaf entries matching ``predicate``; returns the count.
+
+        Deletion uses the simple "condense by reinsertion" strategy: leaves
+        that underflow are left as-is (GiST does not require minimum fill for
+        correctness), but parent keys are tightened bottom-up.
+        """
+        removed = self._delete_recursive(self._root, predicate)
+        self._size -= removed
+        # If the root is internal and has a single child, shrink the tree.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            child = self._root.entries[0].child
+            assert child is not None
+            child.parent = None
+            self._root = child
+        return removed
+
+    def _delete_recursive(
+        self, node: _Node[K, V], predicate: Callable[[K, V], bool]
+    ) -> int:
+        removed = 0
+        if node.is_leaf:
+            before = len(node.entries)
+            node.entries = [
+                e for e in node.entries if not predicate(e.key, e.value)  # type: ignore[arg-type]
+            ]
+            return before - len(node.entries)
+        kept_entries = []
+        for entry in node.entries:
+            assert entry.child is not None
+            removed += self._delete_recursive(entry.child, predicate)
+            if entry.child.entries:
+                entry.key = self.adapter.union([e.key for e in entry.child.entries])
+                kept_entries.append(entry)
+        node.entries = kept_entries
+        return removed
+
+    # -- validation (used by tests) --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises :class:`AssertionError` on violation.
+
+        * every parent key covers (is the union of) its child's keys,
+        * all leaves are at the same depth,
+        * no node except the root exceeds ``max_entries``.
+        """
+        leaf_depths: set[int] = set()
+
+        def visit(node: _Node[K, V], depth: int) -> None:
+            assert len(node.entries) <= self.max_entries, "node overflow"
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                return
+            for entry in node.entries:
+                assert entry.child is not None, "internal entry without child"
+                child_union = self.adapter.union([e.key for e in entry.child.entries])
+                combined = self.adapter.union([entry.key, child_union])
+                assert self._keys_equal(combined, entry.key), (
+                    "parent key does not cover child keys"
+                )
+                visit(entry.child, depth + 1)
+
+        if self._root.entries:
+            visit(self._root, 0)
+            assert len(leaf_depths) == 1, "leaves at different depths"
+
+    @staticmethod
+    def _keys_equal(a: Any, b: Any) -> bool:
+        return a == b

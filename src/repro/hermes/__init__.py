@@ -1,0 +1,37 @@
+"""Hermes MOD engine substrate.
+
+This package plays the role of the Hermes@PostgreSQL datatypes and operands:
+spatiotemporal primitives (:mod:`repro.hermes.types`), the trajectory model
+(:mod:`repro.hermes.trajectory`), temporal interpolation and resampling
+(:mod:`repro.hermes.interpolation`), spatiotemporal distance functions
+(:mod:`repro.hermes.distances`), the in-memory Moving Object Database
+container (:mod:`repro.hermes.mod`) and CSV import/export
+(:mod:`repro.hermes.io`).
+"""
+
+from repro.hermes.types import Period, PointST, SegmentST, BoxST
+from repro.hermes.trajectory import Trajectory, SubTrajectory
+from repro.hermes.mod import MOD
+from repro.hermes.io import read_csv, write_csv
+from repro.hermes.algebra import (
+    detect_stops,
+    douglas_peucker,
+    heading_series,
+    speed_series,
+)
+
+__all__ = [
+    "Period",
+    "PointST",
+    "SegmentST",
+    "BoxST",
+    "Trajectory",
+    "SubTrajectory",
+    "MOD",
+    "read_csv",
+    "write_csv",
+    "speed_series",
+    "heading_series",
+    "detect_stops",
+    "douglas_peucker",
+]

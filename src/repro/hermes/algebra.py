@@ -1,0 +1,179 @@
+"""Trajectory algebra operands.
+
+Hermes@PostgreSQL exposes a rich set of "legacy operands" over its moving
+object types; the demonstration's preparatory phase shows them off before
+moving to the clustering functions.  This module implements the ones that
+matter for movement analysis on top of :class:`~repro.hermes.trajectory.Trajectory`:
+
+* instantaneous kinematics: :func:`speed_series`, :func:`heading_series`,
+  :func:`acceleration_series`,
+* :func:`detect_stops` — episodes where the object stays within a small disk
+  for a minimum duration (gap/stop annotation),
+* :func:`douglas_peucker` — spatial simplification preserving shape,
+* :func:`travelled_distance_series` — cumulative distance over time,
+* :func:`sampling_rate` statistics for data-quality reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hermes.trajectory import Trajectory
+from repro.hermes.types import Period
+
+__all__ = [
+    "speed_series",
+    "heading_series",
+    "acceleration_series",
+    "travelled_distance_series",
+    "sampling_rate",
+    "Stop",
+    "detect_stops",
+    "douglas_peucker",
+]
+
+
+def speed_series(traj: Trajectory) -> np.ndarray:
+    """Per-segment planar speed (length ``num_segments``)."""
+    dx = np.diff(traj.xs)
+    dy = np.diff(traj.ys)
+    dt = np.diff(traj.ts)
+    return np.hypot(dx, dy) / dt
+
+
+def heading_series(traj: Trajectory) -> np.ndarray:
+    """Per-segment heading in radians, in ``(-pi, pi]`` (length ``num_segments``)."""
+    return np.arctan2(np.diff(traj.ys), np.diff(traj.xs))
+
+
+def acceleration_series(traj: Trajectory) -> np.ndarray:
+    """Per-interior-sample acceleration (change of speed over time)."""
+    speeds = speed_series(traj)
+    mid_times = (traj.ts[:-1] + traj.ts[1:]) / 2.0
+    dt = np.diff(mid_times)
+    return np.diff(speeds) / dt
+
+
+def travelled_distance_series(traj: Trajectory) -> np.ndarray:
+    """Cumulative planar distance at each sample (starts at 0)."""
+    steps = np.hypot(np.diff(traj.xs), np.diff(traj.ys))
+    return np.concatenate([[0.0], np.cumsum(steps)])
+
+
+def sampling_rate(traj: Trajectory) -> dict[str, float]:
+    """Sampling-interval statistics (data-quality report)."""
+    gaps = np.diff(traj.ts)
+    return {
+        "mean_interval": float(np.mean(gaps)),
+        "median_interval": float(np.median(gaps)),
+        "max_gap": float(np.max(gaps)),
+        "min_gap": float(np.min(gaps)),
+    }
+
+
+@dataclass(frozen=True)
+class Stop:
+    """A stop episode: the object stayed within ``radius`` for the period."""
+
+    period: Period
+    center: tuple[float, float]
+    radius: float
+    start_idx: int
+    end_idx: int
+
+    @property
+    def duration(self) -> float:
+        return self.period.duration
+
+
+def detect_stops(
+    traj: Trajectory, max_radius: float, min_duration: float
+) -> list[Stop]:
+    """Detect stop episodes.
+
+    A stop is a maximal run of samples whose positions all lie within
+    ``max_radius`` of the run's centroid and whose time span is at least
+    ``min_duration``.  The scan is greedy: it extends the current candidate
+    run while the radius constraint holds.
+    """
+    if max_radius <= 0 or min_duration < 0:
+        raise ValueError("max_radius must be positive and min_duration non-negative")
+    stops: list[Stop] = []
+    n = traj.num_points
+    start = 0
+    while start < n - 1:
+        end = start + 1
+        best_end = start
+        while end < n:
+            xs = traj.xs[start : end + 1]
+            ys = traj.ys[start : end + 1]
+            cx, cy = float(np.mean(xs)), float(np.mean(ys))
+            radius = float(np.max(np.hypot(xs - cx, ys - cy)))
+            if radius > max_radius:
+                break
+            best_end = end
+            end += 1
+        duration = float(traj.ts[best_end] - traj.ts[start])
+        if best_end > start and duration >= min_duration:
+            xs = traj.xs[start : best_end + 1]
+            ys = traj.ys[start : best_end + 1]
+            cx, cy = float(np.mean(xs)), float(np.mean(ys))
+            radius = float(np.max(np.hypot(xs - cx, ys - cy)))
+            stops.append(
+                Stop(
+                    period=Period(float(traj.ts[start]), float(traj.ts[best_end])),
+                    center=(cx, cy),
+                    radius=radius,
+                    start_idx=start,
+                    end_idx=best_end,
+                )
+            )
+            start = best_end + 1
+        else:
+            start += 1
+    return stops
+
+
+def _dp_mask(xs: np.ndarray, ys: np.ndarray, lo: int, hi: int, eps: float, keep: np.ndarray) -> None:
+    """Recursive Douglas-Peucker marking of kept indices in ``[lo, hi]``."""
+    if hi <= lo + 1:
+        return
+    ax, ay = xs[lo], ys[lo]
+    bx, by = xs[hi], ys[hi]
+    dx, dy = bx - ax, by - ay
+    denom = dx * dx + dy * dy
+    idx = np.arange(lo + 1, hi)
+    if denom <= 0:
+        dists = np.hypot(xs[idx] - ax, ys[idx] - ay)
+    else:
+        u = ((xs[idx] - ax) * dx + (ys[idx] - ay) * dy) / denom
+        u = np.clip(u, 0.0, 1.0)
+        dists = np.hypot(xs[idx] - (ax + u * dx), ys[idx] - (ay + u * dy))
+    worst = int(np.argmax(dists))
+    if dists[worst] > eps:
+        split = idx[worst]
+        keep[split] = True
+        _dp_mask(xs, ys, lo, int(split), eps, keep)
+        _dp_mask(xs, ys, int(split), hi, eps, keep)
+
+
+def douglas_peucker(traj: Trajectory, epsilon: float) -> Trajectory:
+    """Spatial simplification with the Douglas-Peucker tolerance ``epsilon``.
+
+    Timestamps of the kept samples are preserved, so the simplified
+    trajectory remains a valid (coarser) moving object.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    n = traj.num_points
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    _dp_mask(traj.xs, traj.ys, 0, n - 1, epsilon, keep)
+    idx = np.flatnonzero(keep)
+    if len(idx) < 2:
+        idx = np.array([0, n - 1])
+    return Trajectory(
+        traj.obj_id, traj.traj_id, traj.xs[idx], traj.ys[idx], traj.ts[idx]
+    )

@@ -1,0 +1,68 @@
+"""CSV import/export for MODs.
+
+The on-disk interchange format is the flat point-record table commonly used
+for GPS archives (and what Hermes' loader consumes):
+
+``obj_id,traj_id,x,y,t`` — one row per sample, ordered arbitrarily.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+
+__all__ = ["read_csv", "write_csv"]
+
+_HEADER = ["obj_id", "traj_id", "x", "y", "t"]
+
+
+def write_csv(mod: MOD, path: str | Path) -> None:
+    """Write a MOD as a flat point-record CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for traj in mod:
+            for i in range(traj.num_points):
+                writer.writerow(
+                    [traj.obj_id, traj.traj_id, traj.xs[i], traj.ys[i], traj.ts[i]]
+                )
+
+
+def read_csv(path: str | Path, name: str | None = None) -> MOD:
+    """Load a MOD from a flat point-record CSV.
+
+    Rows are grouped by ``(obj_id, traj_id)`` and sorted by time; trajectories
+    with fewer than two samples are dropped (they carry no movement).
+    """
+    path = Path(path)
+    records: dict[tuple[str, str], list[tuple[float, float, float]]] = defaultdict(list)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_HEADER) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV {path} misses required columns: {sorted(missing)}")
+        for row in reader:
+            records[(row["obj_id"], row["traj_id"])].append(
+                (float(row["t"]), float(row["x"]), float(row["y"]))
+            )
+    mod = MOD(name=name or path.stem)
+    for (obj_id, traj_id), samples in records.items():
+        samples.sort()
+        # Drop duplicate timestamps, keeping the first occurrence.
+        ts, xs, ys = [], [], []
+        last_t = None
+        for t, x, y in samples:
+            if last_t is not None and t <= last_t:
+                continue
+            ts.append(t)
+            xs.append(x)
+            ys.append(y)
+            last_t = t
+        if len(ts) >= 2:
+            mod.add(Trajectory(obj_id, traj_id, xs, ys, ts))
+    return mod

@@ -1,0 +1,13 @@
+"""Index structures built on the GiST framework.
+
+* :mod:`repro.index.rtree3d`  -- the pg3D-Rtree: a 3D R-tree over
+  :class:`~repro.hermes.types.BoxST` keys, implemented as a GiST key adapter
+  (quadratic split, area penalty), with STR bulk loading and kNN search.
+* :mod:`repro.index.interval` -- a 1D temporal interval index used by the
+  upper (temporal) levels of the ReTraTree.
+"""
+
+from repro.index.rtree3d import RTree3D, Box3DAdapter, str_bulk_load
+from repro.index.interval import IntervalIndex
+
+__all__ = ["RTree3D", "Box3DAdapter", "str_bulk_load", "IntervalIndex"]

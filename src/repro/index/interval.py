@@ -1,0 +1,67 @@
+"""A 1D temporal interval index.
+
+The top two levels of the ReTraTree organise data purely by time; this index
+answers "which entries overlap period W?" without scanning everything.  It is
+a sorted-by-start list with binary search on the query's upper bound, which
+is simple, allocation-free and fast for the chunk counts a ReTraTree holds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterator, TypeVar
+
+from repro.hermes.types import Period
+
+__all__ = ["IntervalIndex"]
+
+V = TypeVar("V")
+
+
+class IntervalIndex(Generic[V]):
+    """Maps time periods to values and answers overlap queries."""
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._items: list[tuple[Period, V]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[Period, V]]:
+        return iter(self._items)
+
+    def insert(self, period: Period, value: V) -> None:
+        """Insert a (period, value) pair, keeping entries sorted by start."""
+        idx = bisect.bisect_right(self._starts, period.tmin)
+        self._starts.insert(idx, period.tmin)
+        self._items.insert(idx, (period, value))
+
+    def overlapping(self, query: Period) -> list[tuple[Period, V]]:
+        """All entries whose period overlaps ``query``.
+
+        Entries are sorted by start; entries starting after ``query.tmax``
+        cannot overlap, so the scan stops at the bisection point.
+        """
+        hi = bisect.bisect_right(self._starts, query.tmax)
+        return [
+            (period, value)
+            for period, value in self._items[:hi]
+            if period.tmax >= query.tmin
+        ]
+
+    def covering(self, instant: float) -> list[tuple[Period, V]]:
+        """All entries whose period contains ``instant``."""
+        return self.overlapping(Period(instant, instant))
+
+    def values(self) -> list[V]:
+        """Every stored value in start order."""
+        return [value for _period, value in self._items]
+
+    def remove(self, value: V) -> int:
+        """Remove all entries with the given value; returns the removed count."""
+        keep = [(p, v) for p, v in self._items if v != value]
+        removed = len(self._items) - len(keep)
+        self._items = keep
+        self._starts = [p.tmin for p, _ in keep]
+        return removed

@@ -1,0 +1,74 @@
+"""Parameters of the ReTraTree / QuT-Clustering.
+
+The names follow the paper's SQL signature ``QUT(D, Wi, We, tau, delta, t, d,
+gamma)``:
+
+* ``tau``   -- level-1 temporal chunk length,
+* ``delta`` -- level-2 sub-chunk length (must divide ``tau`` reasonably),
+* ``t``     -- temporal tolerance when matching sub-trajectories against
+  representatives whose lifespans only partially overlap,
+* ``d``     -- spatial distance threshold for joining a representative's
+  cluster,
+* ``gamma`` -- minimum members for a cluster to be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hermes.mod import MOD
+from repro.s2t.params import S2TParams
+
+__all__ = ["QuTParams"]
+
+
+@dataclass(frozen=True)
+class QuTParams:
+    """ReTraTree construction and QuT query parameters.
+
+    ``None`` values are data driven: ``tau`` defaults to a quarter of the
+    MOD's lifespan, ``delta`` to ``tau / 4`` and ``d`` to 5 % of the spatial
+    diagonal.
+    """
+
+    tau: float | None = None
+    delta: float | None = None
+    temporal_tolerance: float = 0.0
+    distance_threshold: float | None = None
+    gamma: int = 2
+    overflow_threshold: int = 32
+    s2t: S2TParams = S2TParams()
+
+    def resolved(self, mod: MOD) -> "QuTParams":
+        """Return a copy with data-driven defaults resolved against ``mod``."""
+        period = mod.period
+        bbox = mod.bbox
+        diag = (bbox.dx**2 + bbox.dy**2) ** 0.5
+        tau = self.tau if self.tau is not None else max(period.duration / 4.0, 1e-9)
+        delta = self.delta if self.delta is not None else tau / 4.0
+        d = self.distance_threshold if self.distance_threshold is not None else 0.05 * diag
+        # The S2T runs triggered by partition overflows operate on *small*
+        # pending sets whose spatial extent says little about how far apart
+        # co-moving objects are; tie the voting bandwidth and the cluster
+        # radius to the QuT distance threshold instead so that overflow
+        # clustering and query-time assignment agree on what "close" means.
+        s2t = replace(
+            self.s2t,
+            sigma=self.s2t.sigma if self.s2t.sigma is not None else d / 2.0,
+            eps=self.s2t.eps if self.s2t.eps is not None else d,
+            min_cluster_support=self.gamma,
+            temporal_tolerance=self.temporal_tolerance,
+        )
+        return replace(self, tau=tau, delta=delta, distance_threshold=d, s2t=s2t)
+
+    def __post_init__(self) -> None:
+        if self.tau is not None and self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.delta is not None and self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.gamma < 1:
+            raise ValueError("gamma must be at least 1")
+        if self.overflow_threshold < 2:
+            raise ValueError("overflow_threshold must be at least 2")
+        if self.temporal_tolerance < 0:
+            raise ValueError("temporal_tolerance must be non-negative")

@@ -1,0 +1,184 @@
+"""The QuT-Clustering query algorithm.
+
+Given a ReTraTree and a temporal window ``W``, QuT assembles the
+sub-trajectory clusters and outliers that temporally intersect ``W``:
+
+1. **Lookup** (levels 1–2): find the sub-chunks overlapping ``W``.
+2. **Load / refine** (levels 3–4): sub-chunks fully covered by ``W``
+   contribute their cluster entries as-is; partially covered sub-chunks have
+   their archived members restricted to ``W`` and re-matched against the
+   sub-chunk's representatives.
+3. **Merge**: clusters of temporally adjacent sub-chunks whose
+   representatives follow the same spatial path are stitched together, so a
+   flow that spans several sub-chunks is reported as one cluster.
+4. **Filter**: clusters with fewer than ``gamma`` members are dissolved into
+   outliers.
+
+The point is that none of this re-runs the expensive voting/segmentation
+work: the cost is index lookups plus partition reads, which is why QuT beats
+the "range query + fresh index + S2T from scratch" alternative (benchmark
+E7 / the paper's scenario 2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.hermes.distances import hausdorff_distance, spatiotemporal_distance
+from repro.hermes.trajectory import SubTrajectory
+from repro.hermes.types import Period
+from repro.qut.retratree import ClusterEntry, ReTraTree, SubChunk, subtrajectory_from_slice
+from repro.s2t.result import Cluster, ClusteringResult
+
+__all__ = ["QuTClustering"]
+
+
+class QuTClustering:
+    """Time-aware cluster retrieval over a :class:`~repro.qut.retratree.ReTraTree`."""
+
+    def __init__(self, tree: ReTraTree) -> None:
+        if tree.params is None:
+            raise ValueError("the ReTraTree is empty; build it before querying")
+        self.tree = tree
+
+    # -- public API -------------------------------------------------------------
+
+    def query(self, window: Period) -> ClusteringResult:
+        """Clusters and outliers whose lifespan intersects ``window``."""
+        params = self.tree.params
+        assert params is not None and params.distance_threshold is not None
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        subchunks = self.tree.subchunks_overlapping(window)
+        timings["lookup"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        partial_clusters: list[tuple[SubChunk, ClusterEntry, list[SubTrajectory]]] = []
+        outliers: list[SubTrajectory] = []
+        for subchunk in subchunks:
+            fully_covered = window.contains_period(subchunk.period)
+            for entry in subchunk.entries:
+                members = self.tree.load_members(entry)
+                if not fully_covered:
+                    members = self._restrict_members(members, window)
+                if members:
+                    partial_clusters.append((subchunk, entry, members))
+            pending = self.tree.load_unclustered(subchunk)
+            if not fully_covered:
+                pending = self._restrict_members(pending, window)
+            outliers.extend(pending)
+        timings["load"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        merged = self._merge_across_subchunks(partial_clusters)
+        timings["merge"] = time.perf_counter() - t0
+
+        # gamma filter and final assembly.
+        clusters: list[Cluster] = []
+        for cluster_id, (representative, members) in enumerate(merged):
+            if len(members) >= params.gamma:
+                clusters.append(
+                    Cluster(cluster_id=cluster_id, representative=representative, members=members)
+                )
+            else:
+                outliers.extend(members)
+        # Re-number densely after the filter.
+        for new_id, cluster in enumerate(clusters):
+            cluster.cluster_id = new_id
+
+        result = ClusteringResult(
+            method="qut",
+            clusters=clusters,
+            outliers=outliers,
+            params=params,
+            timings=timings,
+        )
+        result.extras = {
+            "window": (window.tmin, window.tmax),
+            "subchunks_touched": len(subchunks),
+            "entries_touched": sum(len(sc.entries) for sc in subchunks),
+        }
+        return result
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _restrict_members(
+        members: list[SubTrajectory], window: Period
+    ) -> list[SubTrajectory]:
+        """Restrict archived members to the query window."""
+        out: list[SubTrajectory] = []
+        for member in members:
+            piece = member.traj.slice_period(window)
+            if piece is not None:
+                out.append(subtrajectory_from_slice(member.traj, piece))
+        return out
+
+    def _merge_across_subchunks(
+        self,
+        partial: list[tuple[SubChunk, ClusterEntry, list[SubTrajectory]]],
+    ) -> list[tuple[SubTrajectory, list[SubTrajectory]]]:
+        """Stitch clusters whose representatives continue across sub-chunk borders.
+
+        Two cluster entries are merged when their sub-chunks are temporally
+        adjacent (or identical is impossible — entries within one sub-chunk are
+        distinct clusters) and their representatives either co-move (finite
+        time-aware distance below the threshold) or trace the same spatial
+        path (Hausdorff distance below the threshold).
+        """
+        params = self.tree.params
+        assert params is not None and params.distance_threshold is not None
+        threshold = params.distance_threshold
+        n = len(partial)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+
+        for i in range(n):
+            sc_i, entry_i, _ = partial[i]
+            for j in range(i + 1, n):
+                sc_j, entry_j, _ = partial[j]
+                if sc_i.key == sc_j.key:
+                    continue
+                gap = self._temporal_gap(sc_i.period, sc_j.period)
+                if gap > params.temporal_tolerance + 1e-9:
+                    continue
+                rep_i, rep_j = entry_i.representative.traj, entry_j.representative.traj
+                st_dist = spatiotemporal_distance(rep_i, rep_j, max_samples=32)
+                if st_dist <= threshold:
+                    union(i, j)
+                    continue
+                if hausdorff_distance(rep_i, rep_j) <= threshold:
+                    union(i, j)
+
+        groups: dict[int, list[int]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(i)
+
+        merged: list[tuple[SubTrajectory, list[SubTrajectory]]] = []
+        for indices in groups.values():
+            # The representative of the merged cluster is the one with most members.
+            best = max(indices, key=lambda idx: len(partial[idx][2]))
+            representative = partial[best][1].representative
+            members: list[SubTrajectory] = []
+            for idx in indices:
+                members.extend(partial[idx][2])
+            merged.append((representative, members))
+        return merged
+
+    @staticmethod
+    def _temporal_gap(a: Period, b: Period) -> float:
+        """Gap between two periods (0 when they touch or overlap)."""
+        if a.overlaps(b):
+            return 0.0
+        return max(b.tmin - a.tmax, a.tmin - b.tmax)

@@ -1,0 +1,413 @@
+"""The ReTraTree (Representative Trajectory Tree).
+
+The structure follows the paper's description (Section II.B and Fig. 2):
+
+* **Level 1 / 2 — temporal**: the time axis is divided into chunks of length
+  ``tau`` and sub-chunks of length ``delta``.  Incoming trajectories are cut
+  at sub-chunk boundaries.
+* **Level 3 — cluster entries**: each sub-chunk keeps an in-memory list of
+  :class:`ClusterEntry` objects, one per discovered cluster: the
+  representative sub-trajectory, the name of the disk partition archiving the
+  members, a member count and the members' bounding box.
+* **Level 4 — storage**: members are archived in heap-file partitions
+  (:mod:`repro.storage`), each with its own pg3D-Rtree mapping member
+  bounding boxes to record ids.  Sub-trajectories that fit no representative
+  go to the sub-chunk's *unclustered* partition.
+
+When an unclustered partition exceeds ``overflow_threshold``, S2T-Clustering
+is run on its content: newly found representatives are back-propagated into
+the in-memory level-3 entry list, their members are archived into fresh
+partitions, and the remaining outliers are re-inserted (they may be absorbed
+by the new representatives) — exactly the dataflow of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hermes.distances import spatiotemporal_distance
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import SubTrajectory, Trajectory
+from repro.hermes.types import BoxST, Period
+from repro.index.rtree3d import RTree3D
+from repro.qut.params import QuTParams
+from repro.s2t.pipeline import S2TClustering
+from repro.storage.catalog import StorageManager
+from repro.storage.heapfile import RID
+from repro.storage.records import decode_record, encode_record
+
+__all__ = ["ClusterEntry", "SubChunk", "ReTraTree", "subtrajectory_from_slice"]
+
+
+def subtrajectory_from_slice(parent: Trajectory, piece: Trajectory) -> SubTrajectory:
+    """Wrap a temporally sliced piece of ``parent`` as a :class:`SubTrajectory`.
+
+    The sample bounds are the parent samples closest to the piece's first and
+    last instants (slicing interpolates new endpoints, so exact sample
+    identity is not guaranteed).
+    """
+    start_idx = int(np.searchsorted(parent.ts, piece.ts[0], side="left"))
+    end_idx = int(np.searchsorted(parent.ts, piece.ts[-1], side="right")) - 1
+    start_idx = min(max(start_idx, 0), parent.num_points - 2)
+    end_idx = min(max(end_idx, start_idx + 1), parent.num_points - 1)
+    sub_traj = Trajectory(
+        parent.obj_id,
+        f"{parent.traj_id}#{start_idx}-{end_idx}",
+        piece.xs,
+        piece.ys,
+        piece.ts,
+    )
+    return SubTrajectory(parent.key, start_idx, end_idx, sub_traj)
+
+
+def _record_to_subtrajectory(raw: bytes) -> SubTrajectory:
+    """Rebuild a :class:`SubTrajectory` from an archived record."""
+    rec = decode_record(raw)
+    start = max(rec.parent_start, 0)
+    end = max(rec.parent_end, start + 1)
+    traj = Trajectory(rec.obj_id, f"{rec.traj_id}#{start}-{end}", rec.xs, rec.ys, rec.ts)
+    return SubTrajectory((rec.obj_id, rec.traj_id), start, end, traj)
+
+
+@dataclass
+class ClusterEntry:
+    """Level-3 entry: a representative and the partition archiving its members."""
+
+    cluster_id: int
+    representative: SubTrajectory
+    partition_name: str
+    member_count: int = 0
+    bbox: BoxST | None = None
+
+    def expand_bbox(self, box: BoxST) -> None:
+        self.bbox = box if self.bbox is None else self.bbox.union(box)
+
+
+@dataclass
+class SubChunk:
+    """Level-2 node: a ``delta``-long time slice with its cluster entries."""
+
+    chunk_idx: int
+    sub_idx: int
+    period: Period
+    entries: list[ClusterEntry] = field(default_factory=list)
+    unclustered_partition: str = ""
+    unclustered_count: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.chunk_idx, self.sub_idx)
+
+
+@dataclass
+class ReTraTreeStats:
+    """Counters describing the incremental maintenance work performed."""
+
+    trajectories_inserted: int = 0
+    pieces_inserted: int = 0
+    pieces_assigned: int = 0
+    pieces_unclustered: int = 0
+    s2t_runs: int = 0
+    outliers_reinserted: int = 0
+    maintenance_seconds: float = 0.0
+
+
+class ReTraTree:
+    """Incrementally maintained index for time-aware sub-trajectory clustering."""
+
+    def __init__(
+        self,
+        params: QuTParams | None = None,
+        storage: StorageManager | None = None,
+        origin: float = 0.0,
+        name: str = "retratree",
+    ) -> None:
+        self.name = name
+        self._raw_params = params or QuTParams()
+        self.params: QuTParams | None = None  # resolved lazily on first insert
+        self.storage = storage or StorageManager()
+        self.origin = origin
+        self._subchunks: dict[tuple[int, int], SubChunk] = {}
+        self._rtrees: dict[str, RTree3D[RID]] = {}
+        self._next_cluster_id = 0
+        self.stats = ReTraTreeStats()
+
+    # -- parameter / layout helpers ------------------------------------------------
+
+    def _ensure_params(self, mod_or_traj: MOD | Trajectory) -> QuTParams:
+        if self.params is None:
+            if isinstance(mod_or_traj, MOD):
+                self.params = self._raw_params.resolved(mod_or_traj)
+            else:
+                probe = MOD(name="probe", trajectories=[mod_or_traj])
+                self.params = self._raw_params.resolved(probe)
+        return self.params
+
+    def _locate(self, t: float) -> tuple[int, int]:
+        """Chunk and sub-chunk indices of instant ``t``."""
+        assert self.params is not None
+        tau = self.params.tau
+        delta = self.params.delta
+        assert tau is not None and delta is not None
+        offset = t - self.origin
+        chunk_idx = int(math.floor(offset / tau))
+        within = offset - chunk_idx * tau
+        sub_idx = min(int(math.floor(within / delta)), max(int(round(tau / delta)) - 1, 0))
+        return chunk_idx, sub_idx
+
+    def _subchunk_period(self, chunk_idx: int, sub_idx: int) -> Period:
+        assert self.params is not None
+        tau, delta = self.params.tau, self.params.delta
+        assert tau is not None and delta is not None
+        start = self.origin + chunk_idx * tau + sub_idx * delta
+        return Period(start, start + delta)
+
+    def _get_subchunk(self, chunk_idx: int, sub_idx: int) -> SubChunk:
+        key = (chunk_idx, sub_idx)
+        if key not in self._subchunks:
+            partition = f"{self.name}_unclustered_{chunk_idx}_{sub_idx}"
+            self.storage.get_or_create(partition)
+            self._rtrees[partition] = RTree3D(max_entries=16)
+            self._subchunks[key] = SubChunk(
+                chunk_idx=chunk_idx,
+                sub_idx=sub_idx,
+                period=self._subchunk_period(chunk_idx, sub_idx),
+                unclustered_partition=partition,
+            )
+        return self._subchunks[key]
+
+    # -- public structure accessors ---------------------------------------------------
+
+    def subchunks(self) -> list[SubChunk]:
+        """All materialised sub-chunks in temporal order."""
+        return [self._subchunks[k] for k in sorted(self._subchunks)]
+
+    def subchunks_overlapping(self, period: Period) -> list[SubChunk]:
+        """Sub-chunks whose period overlaps ``period`` (levels 1–2 lookup)."""
+        return [sc for sc in self.subchunks() if sc.period.overlaps(period)]
+
+    @property
+    def num_clusters(self) -> int:
+        """Total level-3 cluster entries across sub-chunks."""
+        return sum(len(sc.entries) for sc in self._subchunks.values())
+
+    def partition_rtree(self, partition_name: str) -> RTree3D[RID]:
+        """The pg3D-Rtree of a partition."""
+        return self._rtrees[partition_name]
+
+    # -- record archival -----------------------------------------------------------------
+
+    def _archive(self, partition_name: str, sub: SubTrajectory) -> RID:
+        info = self.storage.get_or_create(partition_name)
+        if partition_name not in self._rtrees:
+            self._rtrees[partition_name] = RTree3D(max_entries=16)
+        rid = info.heapfile.insert(encode_record(sub))
+        info.record_count += 1
+        self._rtrees[partition_name].insert(sub.bbox, rid)
+        return rid
+
+    def _load_partition(self, partition_name: str) -> list[SubTrajectory]:
+        info = self.storage.get(partition_name)
+        out = []
+        for _rid, raw in info.heapfile.scan_records():
+            out.append(_record_to_subtrajectory(raw))
+        return out
+
+    def load_members(self, entry: ClusterEntry) -> list[SubTrajectory]:
+        """Load a cluster entry's archived members from its partition."""
+        return self._load_partition(entry.partition_name)
+
+    def load_unclustered(self, subchunk: SubChunk) -> list[SubTrajectory]:
+        """Load a sub-chunk's unclustered sub-trajectories."""
+        return self._load_partition(subchunk.unclustered_partition)
+
+    def load_members_in(self, entry: ClusterEntry, box: BoxST) -> list[SubTrajectory]:
+        """Load only the members whose bounding boxes intersect ``box``.
+
+        Uses the partition's pg3D-Rtree, so only the qualifying records are
+        fetched from the heap file — the index-based access path of the paper.
+        """
+        info = self.storage.get(entry.partition_name)
+        rids = self._rtrees[entry.partition_name].range_search(box)
+        return [_record_to_subtrajectory(info.heapfile.get(rid)) for rid in rids]
+
+    # -- insertion ----------------------------------------------------------------------
+
+    def insert_trajectory(self, traj: Trajectory) -> None:
+        """Insert a whole trajectory: cut at sub-chunk boundaries and insert each piece."""
+        params = self._ensure_params(traj)
+        assert params.delta is not None
+        self.stats.trajectories_inserted += 1
+        end_chunk = self._locate(traj.period.tmax)
+        # Enumerate sub-chunks from the first to the last the trajectory touches.
+        cursor = traj.period.tmin
+        seen: set[tuple[int, int]] = set()
+        while True:
+            key = self._locate(cursor)
+            if key not in seen:
+                seen.add(key)
+                period = self._subchunk_period(*key)
+                piece = traj.slice_period(period)
+                if piece is not None:
+                    self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+            if key == end_chunk or cursor >= traj.period.tmax:
+                break
+            cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9
+
+    def insert_subtrajectory(self, sub: SubTrajectory) -> None:
+        """Insert one sub-trajectory piece lying (mostly) within one sub-chunk."""
+        params = self._ensure_params(sub.traj)
+        t_mid = (sub.period.tmin + sub.period.tmax) / 2.0
+        subchunk = self._get_subchunk(*self._locate(t_mid))
+        self.stats.pieces_inserted += 1
+
+        entry = self._best_entry(subchunk, sub)
+        if entry is not None:
+            self._archive(entry.partition_name, sub)
+            entry.member_count += 1
+            entry.expand_bbox(sub.bbox)
+            self.stats.pieces_assigned += 1
+        else:
+            self._archive(subchunk.unclustered_partition, sub)
+            subchunk.unclustered_count += 1
+            self.stats.pieces_unclustered += 1
+            if subchunk.unclustered_count >= params.overflow_threshold:
+                self.flush_unclustered(subchunk)
+
+    def _best_entry(self, subchunk: SubChunk, sub: SubTrajectory) -> ClusterEntry | None:
+        """The closest representative within the distance threshold, or ``None``."""
+        params = self.params
+        assert params is not None and params.distance_threshold is not None
+        best: ClusterEntry | None = None
+        best_dist = math.inf
+        for entry in subchunk.entries:
+            rep_period = entry.representative.period.expand(params.temporal_tolerance)
+            if not rep_period.overlaps(sub.period):
+                continue
+            dist = spatiotemporal_distance(
+                entry.representative.traj, sub.traj, max_samples=32
+            )
+            if dist < best_dist:
+                best_dist = dist
+                best = entry
+        if best is not None and best_dist <= params.distance_threshold:
+            return best
+        return None
+
+    # -- maintenance (S2T on overflowing partitions) -----------------------------------------
+
+    def flush_unclustered(self, subchunk: SubChunk) -> None:
+        """Run S2T-Clustering on a sub-chunk's unclustered partition.
+
+        New representatives are added to the sub-chunk's entry list, their
+        members archived to fresh partitions, and the remaining outliers are
+        re-inserted against the updated entry list; whatever still fits no
+        representative stays in a rebuilt unclustered partition.
+        """
+        start = time.perf_counter()
+        params = self.params
+        assert params is not None
+        pending = self.load_unclustered(subchunk)
+        if not pending:
+            return
+        self.stats.s2t_runs += 1
+
+        # Run S2T on the pending pieces (as standalone trajectories).
+        mod = MOD(name=f"{self.name}_pending_{subchunk.chunk_idx}_{subchunk.sub_idx}")
+        key_map: dict[tuple[str, str], SubTrajectory] = {}
+        for sub in pending:
+            if sub.traj.key in key_map:
+                continue
+            key_map[sub.traj.key] = sub
+            mod.add(sub.traj)
+        result = S2TClustering(params.s2t).fit(mod)
+
+        # Back-propagate the new representatives into the in-memory level 3.
+        # S2T may split one pending piece into several sub-trajectories; each
+        # original piece is archived exactly once, in the first cluster one of
+        # its sub-trajectories lands in.
+        archived: set[tuple[str, str]] = set()
+        for cluster in result.clusters:
+            rep_parent = key_map[cluster.representative.parent_key]
+            entry = ClusterEntry(
+                cluster_id=self._next_cluster_id,
+                representative=rep_parent,
+                partition_name=(
+                    f"{self.name}_part_{subchunk.chunk_idx}_{subchunk.sub_idx}_"
+                    f"{self._next_cluster_id}"
+                ),
+            )
+            self._next_cluster_id += 1
+            self.storage.get_or_create(entry.partition_name)
+            self._rtrees[entry.partition_name] = RTree3D(max_entries=16)
+            for member in cluster.members:
+                original = key_map[member.parent_key]
+                if original.traj.key in archived:
+                    continue
+                archived.add(original.traj.key)
+                self._archive(entry.partition_name, original)
+                entry.member_count += 1
+                entry.expand_bbox(original.bbox)
+            if entry.member_count > 0:
+                subchunk.entries.append(entry)
+            else:
+                self.storage.drop_partition(entry.partition_name)
+                self._rtrees.pop(entry.partition_name, None)
+
+        # Re-insert the outliers: they may now fit one of the new representatives.
+        leftovers: list[SubTrajectory] = []
+        for outlier in result.outliers:
+            original = key_map.get(outlier.parent_key)
+            if original is None or original.traj.key in archived:
+                continue
+            archived.add(original.traj.key)
+            entry = self._best_entry(subchunk, original)
+            if entry is not None:
+                self._archive(entry.partition_name, original)
+                entry.member_count += 1
+                entry.expand_bbox(original.bbox)
+                self.stats.outliers_reinserted += 1
+            else:
+                leftovers.append(original)
+
+        # Rebuild the unclustered partition with only the leftovers.
+        old_partition = subchunk.unclustered_partition
+        self.storage.drop_partition(old_partition)
+        self._rtrees.pop(old_partition, None)
+        self.storage.get_or_create(old_partition)
+        self._rtrees[old_partition] = RTree3D(max_entries=16)
+        for sub in leftovers:
+            self._archive(old_partition, sub)
+        subchunk.unclustered_count = len(leftovers)
+        self.stats.maintenance_seconds += time.perf_counter() - start
+
+    def finalize(self) -> None:
+        """Flush every sub-chunk's unclustered partition (end of bulk load)."""
+        for subchunk in self.subchunks():
+            if subchunk.unclustered_count >= max(2, self.params.gamma if self.params else 2):
+                self.flush_unclustered(subchunk)
+
+    # -- bulk construction -----------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        mod: MOD,
+        params: QuTParams | None = None,
+        storage: StorageManager | None = None,
+        name: str = "retratree",
+    ) -> "ReTraTree":
+        """Build a ReTraTree over an existing MOD (bulk load + finalize)."""
+        tree = cls(params=params, storage=storage, name=name)
+        if len(mod) == 0:
+            return tree
+        tree.origin = mod.period.tmin
+        tree.params = (params or QuTParams()).resolved(mod)
+        for traj in mod:
+            tree.insert_trajectory(traj)
+        tree.finalize()
+        return tree

@@ -1,0 +1,99 @@
+"""GreedyClustering and outlier detection (the C and O of SaCO).
+
+Each representative seeds one cluster.  Every other sub-trajectory joins the
+closest representative — under the time-aware trajectory distance — provided
+that distance is at most ``eps``; otherwise it is an outlier.  Clusters that
+end up with fewer than ``min_cluster_support`` members are dissolved and
+their members become outliers, matching the role of the ``γ`` parameter in
+the QuT SQL signature.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.hermes.distances import spatiotemporal_distance
+from repro.hermes.trajectory import SubTrajectory
+from repro.s2t.params import S2TParams
+from repro.s2t.result import Cluster, ClusteringResult
+
+__all__ = ["greedy_clustering", "assign_to_representatives"]
+
+
+def assign_to_representatives(
+    sub: SubTrajectory,
+    representatives: list[SubTrajectory],
+    eps: float,
+    temporal_tolerance: float = 0.0,
+) -> tuple[int | None, float]:
+    """Index of the closest representative within ``eps``, and the distance.
+
+    Returns ``(None, inf)`` when no representative is reachable.  The
+    temporal tolerance expands each representative's lifespan before checking
+    temporal overlap, implementing the ``t`` parameter of the paper's QUT
+    signature.
+    """
+    best_idx: int | None = None
+    best_dist = math.inf
+    for idx, rep in enumerate(representatives):
+        if temporal_tolerance > 0:
+            rep_period = rep.period.expand(temporal_tolerance)
+            if not rep_period.overlaps(sub.period):
+                continue
+        dist = spatiotemporal_distance(rep.traj, sub.traj, max_samples=32)
+        if dist < best_dist:
+            best_dist = dist
+            best_idx = idx
+    if best_dist > eps:
+        return None, best_dist
+    return best_idx, best_dist
+
+
+def greedy_clustering(
+    subtrajectories: list[SubTrajectory],
+    representatives: list[SubTrajectory],
+    params: S2TParams,
+) -> tuple[ClusteringResult, float]:
+    """Build clusters around the representatives.
+
+    Returns ``(result, elapsed_seconds)``.  The returned result's ``method``
+    is ``"s2t"``; the pipeline overwrites timings with the per-phase view.
+    """
+    start = time.perf_counter()
+    eps = params.eps
+    assert eps is not None, "params must be resolved before clustering"
+
+    clusters = [
+        Cluster(cluster_id=i, representative=rep, members=[rep])
+        for i, rep in enumerate(representatives)
+    ]
+    rep_keys = {rep.key for rep in representatives}
+    outliers: list[SubTrajectory] = []
+
+    for sub in subtrajectories:
+        if sub.key in rep_keys:
+            continue
+        idx, _dist = assign_to_representatives(
+            sub, representatives, eps, params.temporal_tolerance
+        )
+        if idx is None:
+            outliers.append(sub)
+        else:
+            clusters[idx].members.append(sub)
+
+    # Dissolve clusters below the support threshold.
+    surviving: list[Cluster] = []
+    for cluster in clusters:
+        if cluster.size >= params.min_cluster_support:
+            surviving.append(cluster)
+        else:
+            outliers.extend(cluster.members)
+    # Re-number surviving clusters densely.
+    for new_id, cluster in enumerate(surviving):
+        cluster.cluster_id = new_id
+
+    result = ClusteringResult(
+        method="s2t", clusters=surviving, outliers=outliers, params=params
+    )
+    return result, time.perf_counter() - start

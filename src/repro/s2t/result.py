@@ -1,0 +1,118 @@
+"""Result model shared by S2T, QuT and the baselines.
+
+A clustering result is a set of :class:`Cluster` objects (each with a
+representative sub-trajectory and its members) plus the outlier
+sub-trajectories.  The per-sample assignment view
+(:meth:`ClusteringResult.point_assignments`) maps results back onto raw MOD
+samples, which is what the VA module and the quality metrics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hermes.trajectory import SubTrajectory
+from repro.hermes.types import Period
+
+__all__ = ["Cluster", "ClusteringResult"]
+
+
+@dataclass
+class Cluster:
+    """A group of sub-trajectories formed around a representative."""
+
+    cluster_id: int
+    representative: SubTrajectory
+    members: list[SubTrajectory] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of members (the representative counts as a member)."""
+        return len(self.members)
+
+    @property
+    def period(self) -> Period:
+        """Temporal extent covered by the cluster's members."""
+        tmin = min(m.period.tmin for m in self.members)
+        tmax = max(m.period.tmax for m in self.members)
+        return Period(tmin, tmax)
+
+    def object_ids(self) -> set[str]:
+        """Distinct moving objects contributing to the cluster."""
+        return {m.obj_id for m in self.members}
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of a (sub-)trajectory clustering run."""
+
+    method: str
+    clusters: list[Cluster]
+    outliers: list[SubTrajectory]
+    params: object | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def num_outliers(self) -> int:
+        return len(self.outliers)
+
+    @property
+    def num_clustered(self) -> int:
+        """Total sub-trajectories placed in clusters."""
+        return sum(c.size for c in self.clusters)
+
+    @property
+    def total_runtime(self) -> float:
+        """Sum of the recorded phase timings (seconds)."""
+        return sum(self.timings.values())
+
+    def cluster_by_id(self, cluster_id: int) -> Cluster:
+        """Return the cluster with the given id."""
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise KeyError(f"no cluster with id {cluster_id}")
+
+    def all_subtrajectories(self) -> list[tuple[SubTrajectory, int | None]]:
+        """Every sub-trajectory with its cluster id (``None`` for outliers)."""
+        out: list[tuple[SubTrajectory, int | None]] = []
+        for cluster in self.clusters:
+            out.extend((member, cluster.cluster_id) for member in cluster.members)
+        out.extend((sub, None) for sub in self.outliers)
+        return out
+
+    def point_assignments(self) -> dict[tuple[str, str], dict[int, int | None]]:
+        """Per-sample cluster labels.
+
+        Returns ``{traj_key: {sample_index: cluster_id or None}}``.  Samples
+        not covered by any sub-trajectory of the result are absent.  When
+        sub-trajectories overlap at cut samples, cluster membership wins over
+        outlier status and lower cluster ids win ties (deterministic).
+        """
+        out: dict[tuple[str, str], dict[int, int | None]] = {}
+        ordered = sorted(
+            self.all_subtrajectories(),
+            key=lambda item: (item[1] is None, item[1] if item[1] is not None else 0),
+        )
+        for sub, cluster_id in ordered:
+            per_traj = out.setdefault(sub.parent_key, {})
+            for idx in range(sub.start_idx, sub.end_idx + 1):
+                if idx not in per_traj:
+                    per_traj[idx] = cluster_id
+        return out
+
+    def summary(self) -> dict[str, object]:
+        """Compact description used by reports and the SQL interface."""
+        return {
+            "method": self.method,
+            "clusters": self.num_clusters,
+            "outliers": self.num_outliers,
+            "clustered_subtrajectories": self.num_clustered,
+            "cluster_sizes": sorted((c.size for c in self.clusters), reverse=True),
+            "runtime_s": round(self.total_runtime, 6),
+        }

@@ -1,0 +1,83 @@
+"""The Sampling step of SaCO.
+
+The sampling set S should contain sub-trajectories that are (a) highly voted
+— many objects co-move with them — and (b) spread out, so that together they
+cover the 3D space occupied by the dataset.  The greedy max-gain selection
+below implements this trade-off:
+
+``gain(s) = voting_mass(s) * (1 - coverage(s | already selected))``
+
+where coverage is the Gaussian similarity of ``s`` to its closest selected
+representative under the time-aware trajectory distance.  Selection stops
+when the relative gain drops below ``params.gain_threshold`` or the optional
+``max_representatives`` budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.hermes.distances import spatiotemporal_distance
+from repro.hermes.trajectory import SubTrajectory
+from repro.s2t.params import S2TParams
+
+__all__ = ["select_representatives"]
+
+
+def _coverage_similarity(dist: float, radius: float) -> float:
+    """Similarity in ``[0, 1]``: 1 when on top of a representative, 0 far away."""
+    if math.isinf(dist):
+        return 0.0
+    return math.exp(-(dist * dist) / (2.0 * radius * radius))
+
+
+def select_representatives(
+    subtrajectories: list[SubTrajectory],
+    voting_mass: dict[tuple[str, str, int, int], float],
+    params: S2TParams,
+) -> tuple[list[SubTrajectory], float]:
+    """Greedy max-gain selection of the sampling set.
+
+    Returns ``(representatives, elapsed_seconds)``.
+    """
+    start = time.perf_counter()
+    if not subtrajectories:
+        return [], time.perf_counter() - start
+
+    radius = params.coverage_radius
+    assert radius is not None, "params must be resolved before sampling"
+
+    masses = np.array([voting_mass.get(sub.key, 0.0) for sub in subtrajectories])
+    # Remaining gain of each candidate; updated as representatives are chosen.
+    gains = masses.astype(float).copy()
+    selected: list[int] = []
+    selected_subs: list[SubTrajectory] = []
+
+    max_reps = params.max_representatives or len(subtrajectories)
+    first_gain: float | None = None
+
+    while len(selected) < max_reps:
+        best_idx = int(np.argmax(gains))
+        best_gain = float(gains[best_idx])
+        if best_gain <= 0:
+            break
+        if first_gain is None:
+            first_gain = best_gain
+        elif best_gain < params.gain_threshold * first_gain:
+            break
+        selected.append(best_idx)
+        rep = subtrajectories[best_idx]
+        selected_subs.append(rep)
+        gains[best_idx] = -math.inf
+        # Discount the gain of candidates covered by the new representative.
+        for i, sub in enumerate(subtrajectories):
+            if math.isinf(gains[i]) and gains[i] < 0:
+                continue
+            dist = spatiotemporal_distance(rep.traj, sub.traj, max_samples=32)
+            coverage = _coverage_similarity(dist, radius)
+            gains[i] = min(gains[i], masses[i] * (1.0 - coverage))
+
+    return selected_subs, time.perf_counter() - start

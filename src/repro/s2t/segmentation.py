@@ -1,0 +1,165 @@
+"""Neighbourhood-aware Trajectory Segmentation (NaTS, phase 2).
+
+Given the per-segment voting signal of a trajectory, NaTS partitions the
+trajectory into sub-trajectories of *homogeneous representativeness*: runs of
+segments whose votes are similar, irrespective of the trajectory's shape.
+
+Two segmenters are provided:
+
+* :func:`dp_segmentation` -- optimal partitioning minimising the total
+  within-segment variance plus a per-segment penalty (an MDL-style cost),
+* :func:`greedy_segmentation` -- a linear-time scan that opens a new
+  sub-trajectory when the voting level drifts away from the running mean.
+
+Both return *cut points*: sample indices where a new sub-trajectory starts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import SubTrajectory, Trajectory
+from repro.s2t.params import S2TParams
+from repro.s2t.voting import VotingProfile
+
+__all__ = [
+    "dp_segmentation",
+    "greedy_segmentation",
+    "segment_by_voting",
+    "segment_mod",
+]
+
+
+def dp_segmentation(
+    votes: np.ndarray, penalty: float, min_len: int
+) -> list[int]:
+    """Optimal 1D segmentation of the voting signal.
+
+    Minimises ``sum_over_segments(within-segment sum of squared deviation)
+    + penalty_cost * number_of_segments`` with segments at least ``min_len``
+    votes long.  ``penalty`` is expressed as a fraction of the signal's total
+    variance so that it is scale-free.
+
+    Returns the cut points as indices into the *sample* axis (a cut at ``i``
+    means a new sub-trajectory starts at sample ``i``).
+    """
+    n = len(votes)
+    if n <= min_len:
+        return []
+    # A (numerically) constant signal carries no segmentation information:
+    # without this guard the variance-proportional penalty collapses to ~0
+    # and the DP would place cuts based on floating-point dust.
+    dynamic_range = float(votes.max() - votes.min())
+    if dynamic_range <= 1e-9 * (float(np.abs(votes).max()) + 1.0):
+        return []
+    total_ss = float(np.sum((votes - votes.mean()) ** 2))
+    penalty_cost = penalty * total_ss if total_ss > 0 else penalty
+
+    # Prefix sums for O(1) within-segment cost.
+    prefix = np.concatenate([[0.0], np.cumsum(votes)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(votes**2)])
+
+    def seg_cost(i: int, j: int) -> float:
+        """Sum of squared deviation of votes[i:j] (j exclusive)."""
+        length = j - i
+        s = prefix[j] - prefix[i]
+        sq = prefix_sq[j] - prefix_sq[i]
+        return sq - s * s / length
+
+    best = np.full(n + 1, np.inf)
+    best[0] = 0.0
+    back = np.zeros(n + 1, dtype=int)
+    for j in range(min_len, n + 1):
+        for i in range(0, j - min_len + 1):
+            if best[i] == np.inf:
+                continue
+            cost = best[i] + seg_cost(i, j) + penalty_cost
+            if cost < best[j]:
+                best[j] = cost
+                back[j] = i
+    # Recover the cut points.
+    cuts = []
+    j = n
+    while j > 0:
+        i = int(back[j])
+        if i > 0:
+            cuts.append(i)
+        j = i
+    cuts.reverse()
+    return cuts
+
+
+def greedy_segmentation(
+    votes: np.ndarray, threshold_fraction: float, min_len: int
+) -> list[int]:
+    """Linear-time heuristic segmentation.
+
+    A new sub-trajectory starts when the current vote deviates from the
+    running segment mean by more than ``threshold_fraction`` of the signal's
+    dynamic range and the current segment is at least ``min_len`` votes long.
+    """
+    n = len(votes)
+    if n <= min_len:
+        return []
+    dynamic_range = float(votes.max() - votes.min())
+    if dynamic_range <= 0:
+        return []
+    threshold = threshold_fraction * dynamic_range
+    cuts = []
+    seg_start = 0
+    running_sum = votes[0]
+    for i in range(1, n):
+        seg_len = i - seg_start
+        mean = running_sum / seg_len
+        if seg_len >= min_len and abs(votes[i] - mean) > threshold and n - i >= min_len:
+            cuts.append(i)
+            seg_start = i
+            running_sum = votes[i]
+        else:
+            running_sum += votes[i]
+    return cuts
+
+
+def segment_by_voting(
+    traj: Trajectory, votes: np.ndarray, params: S2TParams
+) -> list[SubTrajectory]:
+    """Split one trajectory into sub-trajectories using its voting signal."""
+    if params.segmentation_method == "dp":
+        cuts = dp_segmentation(
+            votes, penalty=params.segmentation_penalty, min_len=params.min_segment_samples
+        )
+    else:
+        # The greedy threshold reuses the DP penalty fraction as "drift" size:
+        # larger penalty -> fewer segments in both methods.
+        cuts = greedy_segmentation(
+            votes,
+            threshold_fraction=max(params.segmentation_penalty * 4.0, 0.1),
+            min_len=params.min_segment_samples,
+        )
+    return traj.split_at_indices(cuts)
+
+
+def segment_mod(
+    mod: MOD, profile: VotingProfile, params: S2TParams
+) -> tuple[list[SubTrajectory], dict[tuple[str, str, int, int], float], float]:
+    """Segment every trajectory of a MOD.
+
+    Returns ``(subtrajectories, voting_mass, elapsed_seconds)`` where
+    ``voting_mass`` maps each sub-trajectory key to the mean vote of its
+    segments — the representativeness score consumed by the sampling phase.
+    """
+    start = time.perf_counter()
+    subtrajectories: list[SubTrajectory] = []
+    voting_mass: dict[tuple[str, str, int, int], float] = {}
+    for traj in mod:
+        votes = profile.segment_votes(traj.key)
+        subs = segment_by_voting(traj, votes, params)
+        for sub in subs:
+            seg_slice = votes[sub.start_idx : sub.end_idx]
+            mass = float(np.mean(seg_slice)) if len(seg_slice) else 0.0
+            voting_mass[sub.key] = mass
+            subtrajectories.append(sub)
+    return subtrajectories, voting_mass, time.perf_counter() - start

@@ -1,0 +1,22 @@
+"""SQL front-end.
+
+The paper's point is that the clustering algorithms are callable "via simple
+SQL" from inside the DBMS.  This package provides a small SQL engine over
+:class:`~repro.core.engine.HermesEngine`:
+
+* a lexer and recursive-descent parser for the supported statement forms
+  (:mod:`repro.sql.lexer`, :mod:`repro.sql.parser`, :mod:`repro.sql.ast`),
+* an executor translating statements into engine calls
+  (:mod:`repro.sql.executor`),
+* the table functions of the paper's API — most importantly
+  ``SELECT QUT(D, Wi, We, tau, delta, t, d, gamma)`` — plus ``S2T``,
+  ``TRACLUS``, ``TOPTICS``, ``CONVOY``, ``SUMMARY``, ``CLUSTER_HISTOGRAM``
+  and ``HOLDING_PATTERNS`` (:mod:`repro.sql.functions`).
+
+Every statement returns a list of dict rows.
+"""
+
+from repro.sql.executor import SQLExecutor
+from repro.sql.errors import SQLError, SQLParseError, SQLExecutionError
+
+__all__ = ["SQLExecutor", "SQLError", "SQLParseError", "SQLExecutionError"]

@@ -1,0 +1,94 @@
+"""Abstract syntax of the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Statement",
+    "CreateDataset",
+    "DropDataset",
+    "ShowDatasets",
+    "LoadDataset",
+    "InsertPoints",
+    "Comparison",
+    "SelectPoints",
+    "SelectCount",
+    "SelectFunction",
+]
+
+
+class Statement:
+    """Marker base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class CreateDataset(Statement):
+    """``CREATE DATASET name``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropDataset(Statement):
+    """``DROP DATASET name``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShowDatasets(Statement):
+    """``SHOW DATASETS``"""
+
+
+@dataclass(frozen=True)
+class LoadDataset(Statement):
+    """``LOAD DATASET name FROM 'file.csv'``"""
+
+    name: str
+    path: str
+
+
+@dataclass(frozen=True)
+class InsertPoints(Statement):
+    """``INSERT INTO name VALUES (obj, traj, x, y, t)[, (...)]*``"""
+
+    dataset: str
+    rows: tuple[tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A ``column <op> literal`` predicate (or BETWEEN, expressed as two of these)."""
+
+    column: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class SelectPoints(Statement):
+    """``SELECT cols FROM dataset [WHERE ...] [ORDER BY col [DESC]] [LIMIT n]``"""
+
+    dataset: str
+    columns: tuple[str, ...]
+    predicates: tuple[Comparison, ...] = ()
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class SelectCount(Statement):
+    """``SELECT COUNT(*) FROM dataset [WHERE ...]``"""
+
+    dataset: str
+    predicates: tuple[Comparison, ...] = ()
+
+
+@dataclass(frozen=True)
+class SelectFunction(Statement):
+    """``SELECT FUNC(arg, ...)`` — the table-function form (QUT, S2T, ...)."""
+
+    function: str
+    args: tuple[object, ...] = field(default_factory=tuple)

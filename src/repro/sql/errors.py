@@ -1,0 +1,17 @@
+"""SQL front-end exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["SQLError", "SQLParseError", "SQLExecutionError"]
+
+
+class SQLError(Exception):
+    """Base class of every SQL front-end error."""
+
+
+class SQLParseError(SQLError):
+    """Raised when a statement cannot be tokenised or parsed."""
+
+
+class SQLExecutionError(SQLError):
+    """Raised when a well-formed statement cannot be executed."""

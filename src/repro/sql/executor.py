@@ -1,0 +1,208 @@
+"""SQL statement execution against a :class:`~repro.core.engine.HermesEngine`."""
+
+from __future__ import annotations
+
+import operator
+from collections import defaultdict
+
+from repro.core.engine import HermesEngine
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+from repro.sql.ast import (
+    Comparison,
+    CreateDataset,
+    DropDataset,
+    InsertPoints,
+    LoadDataset,
+    SelectCount,
+    SelectFunction,
+    SelectPoints,
+    ShowDatasets,
+    Statement,
+)
+from repro.sql.errors import SQLExecutionError
+from repro.sql.functions import call_function
+from repro.sql.parser import parse
+
+__all__ = ["SQLExecutor"]
+
+_OPERATORS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+_POINT_COLUMNS = ("obj_id", "traj_id", "x", "y", "t")
+
+
+class SQLExecutor:
+    """Parses and executes SQL statements, returning rows as dicts.
+
+    The executor also buffers `INSERT INTO` point records for datasets that
+    were declared with ``CREATE DATASET`` but not yet materialised as
+    trajectories; records become trajectories as soon as an object has at
+    least two samples.
+    """
+
+    def __init__(self, engine: HermesEngine) -> None:
+        self.engine = engine
+        # Pending point records per (dataset, obj_id, traj_id).
+        self._pending: dict[str, dict[tuple[str, str], list[tuple[float, float, float]]]] = {}
+
+    # -- public API ----------------------------------------------------------------
+
+    def execute(self, sql: str) -> list[dict[str, object]]:
+        """Execute one statement and return its result rows."""
+        statement = parse(sql)
+        return self._dispatch(statement)
+
+    def execute_script(self, sql: str) -> list[list[dict[str, object]]]:
+        """Execute a ``;``-separated script; returns one result set per statement."""
+        results = []
+        for piece in sql.split(";"):
+            if piece.strip():
+                results.append(self.execute(piece))
+        return results
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def _dispatch(self, statement: Statement) -> list[dict[str, object]]:
+        if isinstance(statement, CreateDataset):
+            return self._create(statement)
+        if isinstance(statement, DropDataset):
+            return self._drop(statement)
+        if isinstance(statement, ShowDatasets):
+            return [{"dataset": name} for name in self.engine.datasets()]
+        if isinstance(statement, LoadDataset):
+            mod = self.engine.load_csv(statement.name, statement.path)
+            return [{"dataset": statement.name, "trajectories": len(mod)}]
+        if isinstance(statement, InsertPoints):
+            return self._insert(statement)
+        if isinstance(statement, SelectCount):
+            return self._count(statement)
+        if isinstance(statement, SelectPoints):
+            return self._select_points(statement)
+        if isinstance(statement, SelectFunction):
+            return call_function(self.engine, statement.function, statement.args)
+        raise SQLExecutionError(f"unsupported statement {statement!r}")
+
+    # -- DDL / DML ------------------------------------------------------------------------
+
+    def _create(self, statement: CreateDataset) -> list[dict[str, object]]:
+        if statement.name in self.engine.datasets():
+            raise SQLExecutionError(f"dataset {statement.name!r} already exists")
+        self.engine.load_mod(statement.name, MOD(name=statement.name))
+        self._pending[statement.name] = defaultdict(list)
+        return [{"created": statement.name}]
+
+    def _drop(self, statement: DropDataset) -> list[dict[str, object]]:
+        if statement.name not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {statement.name!r}")
+        self.engine.drop(statement.name)
+        self._pending.pop(statement.name, None)
+        return [{"dropped": statement.name}]
+
+    def _insert(self, statement: InsertPoints) -> list[dict[str, object]]:
+        name = statement.dataset
+        if name not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {name!r}; CREATE DATASET it first")
+        if name not in self._pending:
+            # Seed the buffer from the already-materialised trajectories so
+            # that INSERTs extend, rather than replace, an existing dataset.
+            seeded: dict[tuple[str, str], list[tuple[float, float, float]]] = defaultdict(list)
+            for traj in self.engine.get_mod(name):
+                for i in range(traj.num_points):
+                    seeded[(traj.obj_id, traj.traj_id)].append(
+                        (float(traj.ts[i]), float(traj.xs[i]), float(traj.ys[i]))
+                    )
+            self._pending[name] = seeded
+        pending = self._pending[name]
+        inserted = 0
+        for row in statement.rows:
+            if len(row) != 5:
+                raise SQLExecutionError(
+                    "INSERT rows must be (obj_id, traj_id, x, y, t); got "
+                    f"{len(row)} values"
+                )
+            obj_id, traj_id, x, y, t = row
+            pending[(str(obj_id), str(traj_id))].append((float(t), float(x), float(y)))
+            inserted += 1
+        self._materialise(name)
+        return [{"inserted": inserted}]
+
+    def _materialise(self, name: str) -> None:
+        """Rebuild the dataset's MOD from the buffered point records."""
+        pending = self._pending.get(name, {})
+        mod = MOD(name=name)
+        for (obj_id, traj_id), samples in pending.items():
+            ordered = sorted(samples)
+            ts, xs, ys = [], [], []
+            last_t = None
+            for t, x, y in ordered:
+                if last_t is not None and t <= last_t:
+                    continue
+                ts.append(t)
+                xs.append(x)
+                ys.append(y)
+                last_t = t
+            if len(ts) >= 2:
+                mod.add(Trajectory(obj_id, traj_id, xs, ys, ts))
+        self.engine.load_mod(name, mod)
+
+    # -- queries over point records ------------------------------------------------------------
+
+    def _point_rows(self, dataset: str) -> list[dict[str, object]]:
+        mod = self.engine.get_mod(dataset)
+        rows = []
+        for traj in mod:
+            for i in range(traj.num_points):
+                rows.append(
+                    {
+                        "obj_id": traj.obj_id,
+                        "traj_id": traj.traj_id,
+                        "x": float(traj.xs[i]),
+                        "y": float(traj.ys[i]),
+                        "t": float(traj.ts[i]),
+                    }
+                )
+        return rows
+
+    @staticmethod
+    def _matches(row: dict[str, object], predicates: tuple[Comparison, ...]) -> bool:
+        for pred in predicates:
+            op = _OPERATORS[pred.op]
+            if not op(row[pred.column], pred.value):
+                return False
+        return True
+
+    def _count(self, statement: SelectCount) -> list[dict[str, object]]:
+        if statement.dataset not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {statement.dataset!r}")
+        rows = self._point_rows(statement.dataset)
+        count = sum(1 for row in rows if self._matches(row, statement.predicates))
+        return [{"count": count}]
+
+    def _select_points(self, statement: SelectPoints) -> list[dict[str, object]]:
+        if statement.dataset not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {statement.dataset!r}")
+        columns = (
+            _POINT_COLUMNS if statement.columns == ("*",) else statement.columns
+        )
+        unknown = set(columns) - set(_POINT_COLUMNS)
+        if unknown:
+            raise SQLExecutionError(f"unknown columns {sorted(unknown)}")
+        rows = [
+            row
+            for row in self._point_rows(statement.dataset)
+            if self._matches(row, statement.predicates)
+        ]
+        if statement.order_by is not None:
+            if statement.order_by not in _POINT_COLUMNS:
+                raise SQLExecutionError(f"unknown ORDER BY column {statement.order_by!r}")
+            rows.sort(key=lambda r: r[statement.order_by], reverse=statement.descending)
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return [{col: row[col] for col in columns} for row in rows]

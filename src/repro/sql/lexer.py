@@ -1,0 +1,114 @@
+"""Tokeniser for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.errors import SQLParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "LIMIT",
+    "CREATE",
+    "DROP",
+    "DATASET",
+    "DATASETS",
+    "SHOW",
+    "LOAD",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "COUNT",
+    "BETWEEN",
+    "AS",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+}
+
+_SYMBOLS = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ";": "SEMI",
+    "*": "STAR",
+    "=": "EQ",
+    "<": "LT",
+    ">": "GT",
+    "<=": "LE",
+    ">=": "GE",
+    "!=": "NE",
+    "<>": "NE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: its type, its raw text and its position."""
+
+    type: str
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise a statement; raises :class:`SQLParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Two-character operators first.
+        if sql[i : i + 2] in _SYMBOLS:
+            tokens.append(Token(_SYMBOLS[sql[i : i + 2]], sql[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(Token(_SYMBOLS[ch], ch, i))
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and sql[j] != quote:
+                buf.append(sql[j])
+                j += 1
+            if j >= n:
+                raise SQLParseError(f"unterminated string literal starting at {i}")
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch in "+-." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (sql[j].isdigit() or sql[j] in ".eE+-"):
+                # Stop at '+'/'-' unless it follows an exponent marker.
+                if sql[j] in "+-" and sql[j - 1] not in "eE":
+                    break
+                j += 1
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] in "_."):
+                j += 1
+            word = sql[i:j]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        raise SQLParseError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

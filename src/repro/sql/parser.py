@@ -1,0 +1,265 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Supported statement forms::
+
+    CREATE DATASET flights;
+    DROP DATASET flights;
+    SHOW DATASETS;
+    LOAD DATASET flights FROM 'flights.csv';
+    INSERT INTO flights VALUES ('a320', '0', 1.0, 2.0, 3.0), (...);
+    SELECT COUNT(*) FROM flights WHERE t >= 100;
+    SELECT obj_id, x, y, t FROM flights WHERE obj_id = 'a320' AND t BETWEEN 0 AND 50
+        ORDER BY t LIMIT 10;
+    SELECT QUT(flights, 0, 1800, 900, 225, 0, 5, 3);
+    SELECT S2T(flights);
+    SELECT TRACLUS(flights, 4.0, 3);
+    SELECT SUMMARY(flights);
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Comparison,
+    CreateDataset,
+    DropDataset,
+    InsertPoints,
+    LoadDataset,
+    SelectCount,
+    SelectFunction,
+    SelectPoints,
+    ShowDatasets,
+    Statement,
+)
+from repro.sql.errors import SQLParseError
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_POINT_COLUMNS = {"obj_id", "traj_id", "x", "y", "t"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token utilities ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, type_: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.type != type_ or (value is not None and token.value.upper() != value):
+            expected = value or type_
+            raise SQLParseError(
+                f"expected {expected} at position {token.position}, got {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token.type == "KEYWORD" and token.value.upper() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            token = self._peek()
+            raise SQLParseError(
+                f"expected {word} at position {token.position}, got {token.value!r}"
+            )
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.type != "KEYWORD":
+            raise SQLParseError(f"statement must start with a keyword, got {token.value!r}")
+        word = token.value.upper()
+        if word == "CREATE":
+            statement = self._parse_create()
+        elif word == "DROP":
+            statement = self._parse_drop()
+        elif word == "SHOW":
+            statement = self._parse_show()
+        elif word == "LOAD":
+            statement = self._parse_load()
+        elif word == "INSERT":
+            statement = self._parse_insert()
+        elif word == "SELECT":
+            statement = self._parse_select()
+        else:
+            raise SQLParseError(f"unsupported statement starting with {word}")
+        if self._peek().type == "SEMI":
+            self._advance()
+        self._expect("EOF")
+        return statement
+
+    # -- statements -----------------------------------------------------------------
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("DATASET")
+        name = self._expect("IDENT").value
+        return CreateDataset(name)
+
+    def _parse_drop(self) -> Statement:
+        self._expect_keyword("DROP")
+        self._expect_keyword("DATASET")
+        name = self._expect("IDENT").value
+        return DropDataset(name)
+
+    def _parse_show(self) -> Statement:
+        self._expect_keyword("SHOW")
+        self._expect_keyword("DATASETS")
+        return ShowDatasets()
+
+    def _parse_load(self) -> Statement:
+        self._expect_keyword("LOAD")
+        self._expect_keyword("DATASET")
+        name = self._expect("IDENT").value
+        self._expect_keyword("FROM")
+        path = self._expect("STRING").value
+        return LoadDataset(name, path)
+
+    def _parse_insert(self) -> Statement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        dataset = self._expect("IDENT").value
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_tuple()]
+        while self._peek().type == "COMMA":
+            self._advance()
+            rows.append(self._parse_value_tuple())
+        return InsertPoints(dataset=dataset, rows=tuple(rows))
+
+    def _parse_value_tuple(self) -> tuple[object, ...]:
+        self._expect("LPAREN")
+        values = [self._parse_literal()]
+        while self._peek().type == "COMMA":
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect("RPAREN")
+        return tuple(values)
+
+    def _parse_literal(self) -> object:
+        token = self._peek()
+        if token.type == "NUMBER":
+            self._advance()
+            return _number(token.value)
+        if token.type == "STRING":
+            self._advance()
+            return token.value
+        if token.type == "IDENT":
+            self._advance()
+            return token.value
+        raise SQLParseError(f"expected a literal at position {token.position}")
+
+    # -- SELECT ------------------------------------------------------------------------
+
+    def _parse_select(self) -> Statement:
+        self._expect_keyword("SELECT")
+        token = self._peek()
+
+        # SELECT COUNT(*) FROM ...
+        if token.type == "KEYWORD" and token.value.upper() == "COUNT":
+            self._advance()
+            self._expect("LPAREN")
+            self._expect("STAR")
+            self._expect("RPAREN")
+            self._expect_keyword("FROM")
+            dataset = self._expect("IDENT").value
+            predicates = self._parse_where()
+            return SelectCount(dataset=dataset, predicates=predicates)
+
+        # SELECT FUNC(args...)  -- table-function call.
+        if token.type == "IDENT" and self._tokens[self._pos + 1].type == "LPAREN":
+            function = self._advance().value.upper()
+            self._expect("LPAREN")
+            args: list[object] = []
+            if self._peek().type != "RPAREN":
+                args.append(self._parse_literal())
+                while self._peek().type == "COMMA":
+                    self._advance()
+                    args.append(self._parse_literal())
+            self._expect("RPAREN")
+            return SelectFunction(function=function, args=tuple(args))
+
+        # SELECT col[, col...] | * FROM dataset ...
+        columns: list[str] = []
+        if token.type == "STAR":
+            self._advance()
+            columns = ["*"]
+        else:
+            columns.append(self._expect("IDENT").value)
+            while self._peek().type == "COMMA":
+                self._advance()
+                columns.append(self._expect("IDENT").value)
+        self._expect_keyword("FROM")
+        dataset = self._expect("IDENT").value
+        predicates = self._parse_where()
+        order_by: str | None = None
+        descending = False
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._expect("IDENT").value
+            if self._accept_keyword("DESC"):
+                descending = True
+            else:
+                self._accept_keyword("ASC")
+        limit: int | None = None
+        if self._accept_keyword("LIMIT"):
+            limit = int(_number(self._expect("NUMBER").value))
+        return SelectPoints(
+            dataset=dataset,
+            columns=tuple(columns),
+            predicates=predicates,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+        )
+
+    def _parse_where(self) -> tuple[Comparison, ...]:
+        if not self._accept_keyword("WHERE"):
+            return ()
+        predicates = list(self._parse_predicate())
+        while self._accept_keyword("AND"):
+            predicates.extend(self._parse_predicate())
+        return tuple(predicates)
+
+    def _parse_predicate(self) -> list[Comparison]:
+        column = self._expect("IDENT").value
+        if column not in _POINT_COLUMNS:
+            raise SQLParseError(
+                f"unknown column {column!r}; point tables have columns {sorted(_POINT_COLUMNS)}"
+            )
+        token = self._peek()
+        if token.type == "KEYWORD" and token.value.upper() == "BETWEEN":
+            self._advance()
+            low = self._parse_literal()
+            self._expect_keyword("AND")
+            high = self._parse_literal()
+            return [Comparison(column, ">=", low), Comparison(column, "<=", high)]
+        op_map = {"EQ": "=", "NE": "!=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">="}
+        if token.type not in op_map:
+            raise SQLParseError(f"expected a comparison operator at position {token.position}")
+        self._advance()
+        value = self._parse_literal()
+        return [Comparison(column, op_map[token.type], value)]
+
+
+def _number(text: str) -> float | int:
+    value = float(text)
+    return int(value) if value.is_integer() and "." not in text and "e" not in text.lower() else value
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(tokenize(sql)).parse_statement()

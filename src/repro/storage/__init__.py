@@ -1,0 +1,38 @@
+"""Disk storage substrate.
+
+This package plays the role of PostgreSQL's storage layer in the paper's
+architecture (Fig. 2): ReTraTree cluster entries and the outlier set are
+archived in dedicated *partitions* on disk.  The implementation is a small
+but real storage engine:
+
+* :mod:`repro.storage.page`        -- slotted 8 KiB pages,
+* :mod:`repro.storage.pager`       -- file-backed and in-memory page stores,
+* :mod:`repro.storage.buffer_pool` -- LRU buffer pool with hit/miss counters,
+* :mod:`repro.storage.heapfile`    -- record files addressed by RID,
+* :mod:`repro.storage.records`     -- (sub-)trajectory record serialisation,
+* :mod:`repro.storage.catalog`     -- named partitions (create/open/drop).
+"""
+
+from repro.storage.page import Page, PAGE_SIZE
+from repro.storage.pager import FilePager, InMemoryPager, Pager
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.heapfile import HeapFile, RID
+from repro.storage.records import TrajectoryRecord, decode_record, encode_record
+from repro.storage.catalog import StorageManager, PartitionInfo
+
+__all__ = [
+    "Page",
+    "PAGE_SIZE",
+    "Pager",
+    "FilePager",
+    "InMemoryPager",
+    "BufferPool",
+    "BufferPoolStats",
+    "HeapFile",
+    "RID",
+    "TrajectoryRecord",
+    "encode_record",
+    "decode_record",
+    "StorageManager",
+    "PartitionInfo",
+]

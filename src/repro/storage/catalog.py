@@ -1,0 +1,120 @@
+"""Partition catalog.
+
+The :class:`StorageManager` creates and tracks named partitions — each one a
+heap file backed either by a file on disk or by memory.  ReTraTree cluster
+entries and the outlier set each own a partition, mirroring the
+"pg3D-Rtree-k" partitions of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heapfile import HeapFile
+from repro.storage.pager import FilePager, InMemoryPager
+
+__all__ = ["StorageManager", "PartitionInfo"]
+
+
+@dataclass
+class PartitionInfo:
+    """Catalog entry for one partition."""
+
+    name: str
+    heapfile: HeapFile
+    on_disk: bool
+    path: Path | None = None
+    record_count: int = 0
+
+
+class StorageManager:
+    """Creates, opens and drops named partitions.
+
+    Parameters
+    ----------
+    directory:
+        Directory for partition files.  ``None`` keeps every partition in
+        memory (the default for tests and small analyses).
+    buffer_pool_pages:
+        Buffer pool capacity per partition, in pages.
+    """
+
+    def __init__(
+        self, directory: str | Path | None = None, buffer_pool_pages: int = 64
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._buffer_pool_pages = buffer_pool_pages
+        self._partitions: dict[str, PartitionInfo] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def create_partition(self, name: str) -> PartitionInfo:
+        """Create a new named partition; raises if the name already exists."""
+        if name in self._partitions:
+            raise ValueError(f"partition {name!r} already exists")
+        if self.directory is not None:
+            path = self.directory / f"{name}.part"
+            pager = FilePager(path)
+            on_disk = True
+        else:
+            path = None
+            pager = InMemoryPager()
+            on_disk = False
+        pool = BufferPool(pager, capacity=self._buffer_pool_pages)
+        info = PartitionInfo(name=name, heapfile=HeapFile(pool), on_disk=on_disk, path=path)
+        self._partitions[name] = info
+        return info
+
+    def get_or_create(self, name: str) -> PartitionInfo:
+        """Return the named partition, creating it on first use."""
+        if name in self._partitions:
+            return self._partitions[name]
+        return self.create_partition(name)
+
+    def get(self, name: str) -> PartitionInfo:
+        """Return the named partition; raises :class:`KeyError` if absent."""
+        return self._partitions[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._partitions
+
+    def drop_partition(self, name: str) -> None:
+        """Drop a partition and delete its file, if any."""
+        info = self._partitions.pop(name)
+        info.heapfile.buffer_pool.close()
+        if info.path is not None and info.path.exists():
+            info.path.unlink()
+
+    def partitions(self) -> list[PartitionInfo]:
+        """All catalog entries."""
+        return list(self._partitions.values())
+
+    def close(self) -> None:
+        """Flush and close every partition."""
+        for info in self._partitions.values():
+            info.heapfile.buffer_pool.close()
+
+    # -- aggregate statistics -------------------------------------------------------
+
+    def total_pages(self) -> int:
+        """Total allocated pages across partitions."""
+        return sum(info.heapfile.num_pages() for info in self._partitions.values())
+
+    def total_records(self) -> int:
+        """Total record count as tracked by callers (see ``record_count``)."""
+        return sum(info.record_count for info in self._partitions.values())
+
+    def io_stats(self) -> dict[str, int]:
+        """Aggregate physical/logical I/O counters across partitions."""
+        totals = {"hits": 0, "misses": 0, "pages_read": 0, "pages_written": 0}
+        for info in self._partitions.values():
+            stats = info.heapfile.buffer_pool.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["pages_read"] += stats.pages_read
+            totals["pages_written"] += stats.pages_written
+        return totals

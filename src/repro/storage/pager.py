@@ -1,0 +1,115 @@
+"""Page stores.
+
+A pager owns an ordered collection of fixed-size pages and knows how to read
+and write them by page number.  Two implementations are provided:
+
+* :class:`FilePager` -- pages live in a single file on disk (one partition
+  file per ReTraTree partition, mirroring the paper's disk-based partitions),
+* :class:`InMemoryPager` -- pages live in a list; used for tests and for the
+  purely in-memory engine configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path as FsPath
+
+from repro.storage.page import PAGE_SIZE, Page
+
+__all__ = ["Pager", "FilePager", "InMemoryPager"]
+
+
+class Pager(ABC):
+    """Abstract page store."""
+
+    @abstractmethod
+    def num_pages(self) -> int:
+        """Number of pages currently allocated."""
+
+    @abstractmethod
+    def allocate_page(self) -> int:
+        """Append a fresh page and return its page number."""
+
+    @abstractmethod
+    def read_page(self, page_no: int) -> Page:
+        """Read the page with the given number."""
+
+    @abstractmethod
+    def write_page(self, page_no: int, page: Page) -> None:
+        """Persist the page image under the given number."""
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+
+class InMemoryPager(Pager):
+    """Pages held in a Python list — no durability, maximal speed."""
+
+    def __init__(self) -> None:
+        self._pages: list[bytearray] = []
+
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def allocate_page(self) -> int:
+        self._pages.append(bytearray(Page().to_bytes()))
+        return len(self._pages) - 1
+
+    def read_page(self, page_no: int) -> Page:
+        return Page(bytes(self._pages[page_no]))
+
+    def write_page(self, page_no: int, page: Page) -> None:
+        if not (0 <= page_no < len(self._pages)):
+            raise IndexError(f"page {page_no} not allocated")
+        self._pages[page_no] = bytearray(page.to_bytes())
+
+
+class FilePager(Pager):
+    """Pages stored back-to-back in a single binary file."""
+
+    def __init__(self, path: str | FsPath) -> None:
+        self.path = FsPath(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Open for read/write, creating the file if needed.
+        mode = "r+b" if self.path.exists() else "w+b"
+        self._file = open(self.path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE != 0:
+            raise ValueError(
+                f"{self.path} has size {size}, not a multiple of the page size"
+            )
+        self._num_pages = size // PAGE_SIZE
+
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate_page(self) -> int:
+        page_no = self._num_pages
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(Page().to_bytes())
+        self._num_pages += 1
+        return page_no
+
+    def read_page(self, page_no: int) -> Page:
+        if not (0 <= page_no < self._num_pages):
+            raise IndexError(f"page {page_no} not allocated in {self.path}")
+        self._file.seek(page_no * PAGE_SIZE)
+        return Page(self._file.read(PAGE_SIZE))
+
+    def write_page(self, page_no: int, page: Page) -> None:
+        if not (0 <= page_no < self._num_pages):
+            raise IndexError(f"page {page_no} not allocated in {self.path}")
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(page.to_bytes())
+
+    def sync(self) -> None:
+        """Flush and fsync the underlying file."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()

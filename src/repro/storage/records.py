@@ -1,0 +1,108 @@
+"""Serialisation of (sub-)trajectory records.
+
+A partition stores one record per (sub-)trajectory.  The binary layout is:
+
+```
+uint16 obj_id_len | obj_id utf-8 | uint16 traj_id_len | traj_id utf-8 |
+int32 parent_start | int32 parent_end | uint32 n | n * (f64 x, f64 y, f64 t)
+```
+
+``parent_start``/``parent_end`` are the sample bounds inside the parent
+trajectory for sub-trajectory records, or ``-1`` for whole trajectories.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hermes.trajectory import SubTrajectory, Trajectory
+
+__all__ = ["TrajectoryRecord", "encode_record", "decode_record"]
+
+_U16 = struct.Struct("<H")
+_I32 = struct.Struct("<i")
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class TrajectoryRecord:
+    """The decoded form of a stored record."""
+
+    obj_id: str
+    traj_id: str
+    parent_start: int
+    parent_end: int
+    xs: np.ndarray
+    ys: np.ndarray
+    ts: np.ndarray
+
+    @property
+    def is_subtrajectory(self) -> bool:
+        return self.parent_start >= 0
+
+    def to_trajectory(self) -> Trajectory:
+        """Materialise the record as a :class:`Trajectory`."""
+        return Trajectory(self.obj_id, self.traj_id, self.xs, self.ys, self.ts)
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 65535:
+        raise ValueError("identifier too long to serialise")
+    return _U16.pack(len(raw)) + raw
+
+
+def encode_record(item: Trajectory | SubTrajectory) -> bytes:
+    """Serialise a trajectory or sub-trajectory into bytes."""
+    if isinstance(item, SubTrajectory):
+        traj = item.traj
+        obj_id, traj_id = item.parent_key
+        parent_start, parent_end = item.start_idx, item.end_idx
+    else:
+        traj = item
+        obj_id, traj_id = item.obj_id, item.traj_id
+        parent_start = parent_end = -1
+    parts = [
+        _pack_str(obj_id),
+        _pack_str(traj_id),
+        _I32.pack(parent_start),
+        _I32.pack(parent_end),
+        _U32.pack(traj.num_points),
+        np.column_stack([traj.xs, traj.ys, traj.ts]).astype("<f8").tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def decode_record(raw: bytes) -> TrajectoryRecord:
+    """Deserialise bytes produced by :func:`encode_record`."""
+    offset = 0
+
+    def unpack_str() -> str:
+        nonlocal offset
+        (length,) = _U16.unpack_from(raw, offset)
+        offset += _U16.size
+        value = raw[offset : offset + length].decode("utf-8")
+        offset += length
+        return value
+
+    obj_id = unpack_str()
+    traj_id = unpack_str()
+    (parent_start,) = _I32.unpack_from(raw, offset)
+    offset += _I32.size
+    (parent_end,) = _I32.unpack_from(raw, offset)
+    offset += _I32.size
+    (n,) = _U32.unpack_from(raw, offset)
+    offset += _U32.size
+    data = np.frombuffer(raw, dtype="<f8", count=3 * n, offset=offset).reshape(n, 3)
+    return TrajectoryRecord(
+        obj_id=obj_id,
+        traj_id=traj_id,
+        parent_start=parent_start,
+        parent_end=parent_end,
+        xs=data[:, 0].copy(),
+        ys=data[:, 1].copy(),
+        ts=data[:, 2].copy(),
+    )

@@ -1,0 +1,37 @@
+"""Visual-analytics data products.
+
+The paper's V-Analytics front-end renders four kinds of views (Figures 1, 3
+and 4).  This package computes the *data* behind each view so that any
+plotting front-end (or a plain terminal) can render it:
+
+* :mod:`repro.va.histogram` -- the time histogram of cluster cardinalities
+  (Fig. 1 middle),
+* :mod:`repro.va.maps`      -- cluster-coloured map layers, GeoJSON-style
+  exports and 3D (x, y, t) exports of cluster members (Fig. 1 top/bottom),
+* :mod:`repro.va.compare`   -- side-by-side comparison of the representatives
+  of two clustering runs (Fig. 3),
+* :mod:`repro.va.patterns`  -- holding-pattern (loop) detection among
+  clusters / trajectories (Fig. 4).
+"""
+
+from repro.va.histogram import TimeHistogram, cluster_time_histogram
+from repro.va.maps import MapLayer, cluster_map_layers, export_3d_points, export_geojson
+from repro.va.compare import RunComparison, compare_runs
+from repro.va.patterns import HoldingPattern, detect_holding_patterns
+from repro.va.colors import categorical_color
+from repro.va.report import clustering_report
+
+__all__ = [
+    "TimeHistogram",
+    "cluster_time_histogram",
+    "MapLayer",
+    "cluster_map_layers",
+    "export_geojson",
+    "export_3d_points",
+    "RunComparison",
+    "compare_runs",
+    "HoldingPattern",
+    "detect_holding_patterns",
+    "categorical_color",
+    "clustering_report",
+]

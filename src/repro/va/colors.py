@@ -1,0 +1,30 @@
+"""Deterministic categorical colours for cluster displays."""
+
+from __future__ import annotations
+
+__all__ = ["categorical_color", "PALETTE"]
+
+# A colour-blind-friendly 12-colour palette (hex RGB).
+PALETTE = [
+    "#4e79a7",
+    "#f28e2b",
+    "#e15759",
+    "#76b7b2",
+    "#59a14f",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+    "#1b9e77",
+    "#d95f02",
+]
+
+OUTLIER_COLOR = "#888888"
+
+
+def categorical_color(index: int | None) -> str:
+    """Colour for cluster ``index``; ``None`` (outliers) maps to grey."""
+    if index is None:
+        return OUTLIER_COLOR
+    return PALETTE[index % len(PALETTE)]

@@ -1,0 +1,95 @@
+"""Comparison of two clustering runs (Fig. 3).
+
+The paper's scenario 1 puts the cluster representatives of two S2T runs in
+the same 3D display so the analyst can see which flows both runs agree on
+and which are specific to one parameterisation.  :func:`compare_runs`
+computes that correspondence: representative pairs whose spatial paths match
+within a threshold, plus the representatives unique to each run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hermes.distances import hausdorff_distance, spatiotemporal_distance
+from repro.s2t.result import ClusteringResult
+
+__all__ = ["RunComparison", "compare_runs"]
+
+
+@dataclass
+class RunComparison:
+    """Outcome of matching the representatives of two runs."""
+
+    matched: list[tuple[int, int, float]] = field(default_factory=list)
+    only_in_a: list[int] = field(default_factory=list)
+    only_in_b: list[int] = field(default_factory=list)
+
+    @property
+    def num_matched(self) -> int:
+        return len(self.matched)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "matched_pairs": self.num_matched,
+            "only_in_run_a": len(self.only_in_a),
+            "only_in_run_b": len(self.only_in_b),
+        }
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Printable rows: one per matched pair plus one per unmatched cluster."""
+        rows: list[dict[str, object]] = []
+        for a_id, b_id, dist in self.matched:
+            rows.append(
+                {"run_a_cluster": a_id, "run_b_cluster": b_id, "distance": dist, "status": "matched"}
+            )
+        for a_id in self.only_in_a:
+            rows.append(
+                {"run_a_cluster": a_id, "run_b_cluster": "-", "distance": "-", "status": "only in A"}
+            )
+        for b_id in self.only_in_b:
+            rows.append(
+                {"run_a_cluster": "-", "run_b_cluster": b_id, "distance": "-", "status": "only in B"}
+            )
+        return rows
+
+
+def compare_runs(
+    run_a: ClusteringResult,
+    run_b: ClusteringResult,
+    distance_threshold: float,
+    time_aware: bool = True,
+) -> RunComparison:
+    """Greedy one-to-one matching of cluster representatives across two runs.
+
+    Pairs are considered in order of increasing distance; a pair is accepted
+    when neither side is matched yet and the distance is below
+    ``distance_threshold``.  ``time_aware`` switches between the synchronous
+    spatiotemporal distance and the purely spatial Hausdorff distance (useful
+    when the two runs analysed different time windows).
+    """
+    candidates: list[tuple[float, int, int]] = []
+    for ca in run_a.clusters:
+        for cb in run_b.clusters:
+            if time_aware:
+                dist = spatiotemporal_distance(
+                    ca.representative.traj, cb.representative.traj, max_samples=32
+                )
+            else:
+                dist = hausdorff_distance(ca.representative.traj, cb.representative.traj)
+            if dist <= distance_threshold:
+                candidates.append((float(dist), ca.cluster_id, cb.cluster_id))
+    candidates.sort()
+
+    comparison = RunComparison()
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    for dist, a_id, b_id in candidates:
+        if a_id in used_a or b_id in used_b:
+            continue
+        used_a.add(a_id)
+        used_b.add(b_id)
+        comparison.matched.append((a_id, b_id, dist))
+    comparison.only_in_a = [c.cluster_id for c in run_a.clusters if c.cluster_id not in used_a]
+    comparison.only_in_b = [c.cluster_id for c in run_b.clusters if c.cluster_id not in used_b]
+    return comparison

@@ -1,0 +1,108 @@
+"""Map-display and 3D-display exports (Fig. 1 top and bottom views).
+
+The VA tool paints each cluster's members on a map with the cluster's colour
+and lets the user show/hide individual clusters; the 3D display shows the
+members as polylines in (x, y, t) space.  The functions here produce those
+layers as plain data structures (and a GeoJSON-style dict for map tools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.s2t.result import ClusteringResult
+from repro.va.colors import categorical_color
+
+__all__ = ["MapLayer", "cluster_map_layers", "export_geojson", "export_3d_points"]
+
+
+@dataclass
+class MapLayer:
+    """One toggleable layer of the map display: one cluster (or the outliers)."""
+
+    cluster_id: int | None
+    color: str
+    visible: bool = True
+    polylines: list[list[tuple[float, float]]] = field(default_factory=list)
+    member_keys: list[tuple[str, str, int, int]] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return "outliers" if self.cluster_id is None else f"cluster {self.cluster_id}"
+
+    @property
+    def size(self) -> int:
+        return len(self.polylines)
+
+
+def cluster_map_layers(
+    result: ClusteringResult, include_outliers: bool = True
+) -> list[MapLayer]:
+    """Build one map layer per cluster (plus one for the outliers).
+
+    The user-facing toggling of the paper's VA tool maps to flipping each
+    layer's ``visible`` flag.
+    """
+    layers: list[MapLayer] = []
+    for cluster in result.clusters:
+        layer = MapLayer(cluster_id=cluster.cluster_id, color=categorical_color(cluster.cluster_id))
+        for member in cluster.members:
+            layer.polylines.append(
+                [(float(x), float(y)) for x, y in zip(member.traj.xs, member.traj.ys)]
+            )
+            layer.member_keys.append(member.key)
+        layers.append(layer)
+    if include_outliers:
+        layer = MapLayer(cluster_id=None, color=categorical_color(None))
+        for sub in result.outliers:
+            layer.polylines.append(
+                [(float(x), float(y)) for x, y in zip(sub.traj.xs, sub.traj.ys)]
+            )
+            layer.member_keys.append(sub.key)
+        layers.append(layer)
+    return layers
+
+
+def export_geojson(result: ClusteringResult, include_outliers: bool = True) -> dict:
+    """A GeoJSON FeatureCollection with one LineString feature per member."""
+    features = []
+    for layer in cluster_map_layers(result, include_outliers=include_outliers):
+        for polyline, key in zip(layer.polylines, layer.member_keys):
+            features.append(
+                {
+                    "type": "Feature",
+                    "geometry": {
+                        "type": "LineString",
+                        "coordinates": [[x, y] for x, y in polyline],
+                    },
+                    "properties": {
+                        "cluster": layer.cluster_id,
+                        "color": layer.color,
+                        "obj_id": key[0],
+                        "traj_id": key[1],
+                        "start_idx": key[2],
+                        "end_idx": key[3],
+                    },
+                }
+            )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def export_3d_points(result: ClusteringResult, include_outliers: bool = True) -> list[dict]:
+    """Rows of ``(obj_id, cluster, x, y, t)`` for the 3D display / space-time cube."""
+    rows: list[dict] = []
+    for sub, cluster_id in result.all_subtrajectories():
+        if cluster_id is None and not include_outliers:
+            continue
+        for x, y, t in zip(sub.traj.xs, sub.traj.ys, sub.traj.ts):
+            rows.append(
+                {
+                    "obj_id": sub.obj_id,
+                    "cluster": cluster_id,
+                    "color": categorical_color(cluster_id),
+                    "x": float(x),
+                    "y": float(y),
+                    "t": float(t),
+                }
+            )
+    return rows

@@ -1,0 +1,120 @@
+"""Textual analysis reports.
+
+The VA tool's views are interactive; for scripted use (and for regression
+artifacts) it is convenient to render one clustering result — or a
+progressive session — as a self-contained Markdown report combining the
+summary, the largest clusters, the cardinality histogram and the detected
+movement patterns.
+"""
+
+from __future__ import annotations
+
+from repro.s2t.result import ClusteringResult
+from repro.va.histogram import cluster_time_histogram
+from repro.va.patterns import detect_holding_patterns
+
+__all__ = ["clustering_report"]
+
+
+def _markdown_table(rows: list[dict[str, object]]) -> list[str]:
+    if not rows:
+        return ["*(empty)*"]
+    columns: list[str] = []
+    for row in rows:
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return lines
+
+
+def clustering_report(
+    result: ClusteringResult,
+    title: str = "Sub-trajectory clustering report",
+    histogram_bins: int = 24,
+    max_clusters: int = 10,
+    include_patterns: bool = True,
+) -> str:
+    """Render a clustering result as a Markdown report.
+
+    The report contains the method summary, the ``max_clusters`` largest
+    clusters, the cluster-cardinality time histogram (as rows) and, when
+    ``include_patterns`` is set, the holding patterns detected among the
+    cluster members.
+    """
+    lines: list[str] = [f"# {title}", ""]
+
+    lines.append("## Summary")
+    lines.append("")
+    lines.extend(_markdown_table([result.summary()]))
+    lines.append("")
+
+    lines.append(f"## Largest clusters (top {max_clusters})")
+    lines.append("")
+    cluster_rows = [
+        {
+            "cluster": c.cluster_id,
+            "members": c.size,
+            "objects": len(c.object_ids()),
+            "t_start": round(c.period.tmin, 1),
+            "t_end": round(c.period.tmax, 1),
+            "representative": c.representative.obj_id,
+        }
+        for c in sorted(result.clusters, key=lambda c: c.size, reverse=True)[:max_clusters]
+    ]
+    lines.extend(_markdown_table(cluster_rows))
+    lines.append("")
+
+    if result.clusters:
+        lines.append("## Cluster cardinality over time")
+        lines.append("")
+        histogram = cluster_time_histogram(result, n_bins=histogram_bins)
+        totals = histogram.total_per_bin()
+        histogram_rows = [
+            {
+                "bin": b,
+                "t_start": round(float(histogram.bin_edges[b]), 1),
+                "members_alive": int(totals[b]),
+            }
+            for b in range(histogram.num_bins)
+        ]
+        lines.extend(_markdown_table(histogram_rows))
+        lines.append("")
+
+    if include_patterns:
+        patterns = detect_holding_patterns(result)
+        lines.append("## Holding patterns among cluster members")
+        lines.append("")
+        if patterns:
+            pattern_rows = [
+                {
+                    "object": p.obj_id,
+                    "cluster": p.cluster_id,
+                    "turns": round(p.turns, 2),
+                    "radius": round(p.radius, 1),
+                    "t_start": round(p.period.tmin, 1),
+                    "t_end": round(p.period.tmax, 1),
+                }
+                for p in patterns
+            ]
+            lines.extend(_markdown_table(pattern_rows))
+        else:
+            lines.append("*(none detected)*")
+        lines.append("")
+
+    if result.timings:
+        lines.append("## Phase timings")
+        lines.append("")
+        lines.extend(
+            _markdown_table(
+                [{"phase": name, "seconds": round(value, 4)} for name, value in result.timings.items()]
+            )
+        )
+        lines.append("")
+
+    return "\n".join(lines)

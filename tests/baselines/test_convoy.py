@@ -1,0 +1,63 @@
+"""Unit tests for convoy discovery."""
+
+import pytest
+
+from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
+from repro.hermes.mod import MOD
+from tests.conftest import make_linear_trajectory
+
+
+def convoy_mod() -> MOD:
+    """Three objects travelling together for their whole lifespan + a loner."""
+    mod = MOD()
+    for i in range(3):
+        mod.add(make_linear_trajectory(f"c{i}", "0", (0, i * 0.3), (50, i * 0.3), 0, 500, 26))
+    mod.add(make_linear_trajectory("lone", "0", (0, 400), (50, 900), 0, 500, 26))
+    return mod
+
+
+class TestConvoyDiscovery:
+    def test_basic_convoy_found(self):
+        params = ConvoyParams(eps=2.0, min_objects=3, min_duration_snapshots=3)
+        result = ConvoyDiscovery(params).fit(convoy_mod())
+        assert result.num_clusters >= 1
+        assert {"c0", "c1", "c2"} <= result.clusters[0].object_ids()
+
+    def test_loner_not_in_any_convoy(self):
+        params = ConvoyParams(eps=2.0, min_objects=3, min_duration_snapshots=3)
+        result = ConvoyDiscovery(params).fit(convoy_mod())
+        for cluster in result.clusters:
+            assert "lone" not in cluster.object_ids()
+        assert any(sub.obj_id == "lone" for sub in result.outliers)
+
+    def test_min_objects_threshold(self):
+        params = ConvoyParams(eps=2.0, min_objects=4, min_duration_snapshots=3)
+        result = ConvoyDiscovery(params).fit(convoy_mod())
+        assert result.num_clusters == 0
+
+    def test_min_duration_threshold(self):
+        """Objects together only briefly do not form a convoy."""
+        mod = MOD()
+        # Two groups crossing: together only around the crossing instant.
+        for i in range(3):
+            mod.add(make_linear_trajectory(f"n{i}", "0", (i * 0.3, -50), (i * 0.3, 50), 0, 100, 21))
+        for i in range(3):
+            mod.add(make_linear_trajectory(f"e{i}", "0", (-50, i * 0.3), (50, i * 0.3), 0, 100, 21))
+        strict = ConvoyParams(eps=2.0, min_objects=6, min_duration_snapshots=10, snapshot_interval=5.0)
+        result = ConvoyDiscovery(strict).fit(mod)
+        assert all(len(c.object_ids()) < 6 for c in result.clusters)
+
+    def test_convoy_members_restricted_to_lifetime(self):
+        params = ConvoyParams(eps=2.0, min_objects=3, min_duration_snapshots=3)
+        result = ConvoyDiscovery(params).fit(convoy_mod())
+        convoy_period = result.clusters[0].period
+        assert convoy_period.duration > 0
+        for member in result.clusters[0].members:
+            assert member.period.tmin >= convoy_period.tmin - 1e-6
+            assert member.period.tmax <= convoy_period.tmax + 1e-6
+
+    def test_defaults_resolve_and_run(self, lanes_small):
+        mod, _ = lanes_small
+        result = ConvoyDiscovery().fit(mod)
+        assert result.method == "convoy"
+        assert "num_convoys" in result.extras

@@ -1,0 +1,46 @@
+"""Unit tests for the range-query + fresh-index + S2T alternative."""
+
+import pytest
+
+from repro.baselines.range_then_cluster import RangeThenCluster
+from repro.hermes.types import Period
+from repro.s2t.params import S2TParams
+
+
+class TestRangeThenCluster:
+    def test_empty_window(self, lanes_small):
+        mod, _ = lanes_small
+        result = RangeThenCluster(mod).query(Period(1e9, 2e9))
+        assert result.num_clusters == 0
+        assert result.num_outliers == 0
+        assert "range_query" in result.timings
+
+    def test_full_window_clusters(self, lanes_small):
+        mod, _ = lanes_small
+        result = RangeThenCluster(mod).query(mod.period)
+        assert result.method == "range+s2t"
+        assert result.num_clusters > 0
+        assert {"range_query", "index_build", "voting", "clustering"} <= set(result.timings)
+
+    def test_results_restricted_to_window(self, lanes_small):
+        mod, _ = lanes_small
+        period = mod.period
+        window = Period(period.tmin + 0.3 * period.duration, period.tmin + 0.7 * period.duration)
+        result = RangeThenCluster(mod).query(window)
+        for sub, _cid in result.all_subtrajectories():
+            assert sub.period.tmin >= window.tmin - 1e-6
+            assert sub.period.tmax <= window.tmax + 1e-6
+
+    def test_narrower_window_means_less_work(self, lanes_small):
+        mod, _ = lanes_small
+        period = mod.period
+        full = RangeThenCluster(mod).query(period)
+        narrow = RangeThenCluster(mod).query(
+            Period(period.tmin, period.tmin + 0.2 * period.duration)
+        )
+        assert narrow.extras["num_subtrajectories"] <= full.extras["num_subtrajectories"]
+
+    def test_custom_s2t_params_used(self, lanes_small):
+        mod, _ = lanes_small
+        result = RangeThenCluster(mod, S2TParams(min_cluster_support=4)).query(mod.period)
+        assert all(c.size >= 4 for c in result.clusters)

@@ -1,0 +1,84 @@
+"""Unit tests for the T-OPTICS baseline."""
+
+import pytest
+
+from repro.baselines.toptics import TOpticsClustering, TOpticsParams
+from repro.hermes.mod import MOD
+from tests.conftest import make_linear_trajectory
+
+
+def two_flow_mod() -> MOD:
+    mod = MOD()
+    for i in range(5):
+        mod.add(make_linear_trajectory(f"a{i}", "0", (0, i * 0.2), (20, i * 0.2)))
+    for i in range(5):
+        mod.add(make_linear_trajectory(f"b{i}", "0", (0, 60 + i * 0.2), (20, 60 + i * 0.2)))
+    mod.add(make_linear_trajectory("lone", "0", (0, 200), (20, 300)))
+    return mod
+
+
+class TestTOptics:
+    def test_two_flows_recovered(self):
+        result = TOpticsClustering(TOpticsParams(eps_cut=2.0, min_pts=3)).fit(two_flow_mod())
+        assert result.num_clusters == 2
+        groups = {frozenset(c.object_ids()) for c in result.clusters}
+        assert frozenset({f"a{i}" for i in range(5)}) in groups
+        assert frozenset({f"b{i}" for i in range(5)}) in groups
+
+    def test_isolated_trajectory_is_noise(self):
+        result = TOpticsClustering(TOpticsParams(eps_cut=2.0, min_pts=3)).fit(two_flow_mod())
+        assert any(sub.obj_id == "lone" for sub in result.outliers)
+
+    def test_whole_trajectory_granularity(self):
+        """T-OPTICS cannot split an object that switches flows mid-life."""
+        mod = two_flow_mod()
+        # A switcher: first half with flow a, second half with flow b.
+        import numpy as np
+
+        from repro.hermes.trajectory import Trajectory
+
+        xs = np.concatenate([np.linspace(0, 10, 11), np.linspace(10, 20, 10)])
+        ys = np.concatenate([np.full(11, 0.4), np.full(10, 60.4)])
+        ts = np.linspace(0, 100, 21)
+        mod.add(Trajectory("switch", "0", xs, ys, ts))
+        result = TOpticsClustering(TOpticsParams(eps_cut=2.0, min_pts=3)).fit(mod)
+        # The switcher appears exactly once, as a whole trajectory.
+        appearances = [
+            sub for sub, _cid in result.all_subtrajectories() if sub.obj_id == "switch"
+        ]
+        assert len(appearances) == 1
+        assert appearances[0].num_points == 21
+
+    def test_members_are_whole_trajectories(self):
+        mod = two_flow_mod()
+        result = TOpticsClustering(TOpticsParams(eps_cut=2.0, min_pts=3)).fit(mod)
+        for cluster in result.clusters:
+            for member in cluster.members:
+                assert member.start_idx == 0
+                assert member.end_idx == mod.get(member.parent_key).num_points - 1
+
+    def test_time_awareness_separates_disjoint_lifespans(self):
+        mod = MOD()
+        for i in range(4):
+            mod.add(make_linear_trajectory(f"early{i}", "0", (0, i * 0.2), (20, i * 0.2), t0=0, t1=100))
+        for i in range(4):
+            mod.add(
+                make_linear_trajectory(
+                    f"late{i}", "0", (0, i * 0.2), (20, i * 0.2), t0=1000, t1=1100
+                )
+            )
+        result = TOpticsClustering(TOpticsParams(eps_cut=2.0, min_pts=3)).fit(mod)
+        # Same spatial lane but disjoint lifespans: never one merged cluster.
+        assert result.num_clusters == 2
+        for cluster in result.clusters:
+            objs = cluster.object_ids()
+            assert all(o.startswith("early") for o in objs) or all(
+                o.startswith("late") for o in objs
+            )
+
+    def test_defaults_resolve_and_run(self, lanes_small):
+        mod, _ = lanes_small
+        result = TOpticsClustering().fit(mod)
+        assert result.method == "t-optics"
+        assert result.num_clusters + result.num_outliers > 0
+        assert {"distances", "optics"} <= set(result.timings)

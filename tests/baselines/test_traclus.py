@@ -1,0 +1,131 @@
+"""Unit tests for the TRACLUS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.traclus import (
+    TraclusClustering,
+    TraclusParams,
+    mdl_partition,
+    segment_distance,
+    segment_distance_matrix,
+)
+from repro.hermes.mod import MOD
+from tests.conftest import make_linear_trajectory
+
+
+class TestMDLPartition:
+    def test_straight_line_keeps_only_endpoints(self):
+        traj = make_linear_trajectory("a", "0", (0, 0), (100, 0), n=30)
+        char_points = mdl_partition(traj)
+        assert char_points[0] == 0
+        assert char_points[-1] == traj.num_points - 1
+        assert len(char_points) <= 4  # essentially no interior structure
+
+    def test_noisy_trajectories_get_interior_characteristic_points(self, lanes_small):
+        """Real (noisy) movement is approximated by more than one segment."""
+        mod, _ = lanes_small
+        with_interior = sum(
+            1 for traj in mod if len(mdl_partition(traj)) > 2
+        )
+        assert with_interior > len(mod) * 0.5
+
+    def test_cost_advantage_reduces_partitioning(self, lanes_small):
+        mod, _ = lanes_small
+        traj = max(mod, key=lambda t: len(mdl_partition(t)))
+        baseline = len(mdl_partition(traj, cost_advantage=0.0))
+        discouraged = len(mdl_partition(traj, cost_advantage=25.0))
+        assert discouraged <= baseline
+
+    def test_partition_indices_strictly_increasing(self, flights_small):
+        mod, _ = flights_small
+        for traj in list(mod)[:5]:
+            cps = mdl_partition(traj)
+            assert cps == sorted(set(cps))
+            assert cps[0] == 0 and cps[-1] == traj.num_points - 1
+
+
+class TestSegmentDistance:
+    def test_identical_segments_zero(self):
+        seg = (np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        assert segment_distance(seg, seg) == pytest.approx(0.0)
+
+    def test_parallel_offset_segments(self):
+        a = (np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        b = (np.array([0.0, 2.0]), np.array([10.0, 2.0]))
+        assert segment_distance(a, b) == pytest.approx(2.0, rel=1e-6)
+
+    def test_perpendicular_segments_have_angular_cost(self):
+        a = (np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        b = (np.array([5.0, 0.0]), np.array([5.0, 10.0]))
+        parallel = (np.array([0.0, 0.1]), np.array([10.0, 0.1]))
+        assert segment_distance(a, b) > segment_distance(a, parallel)
+
+    def test_matrix_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        segments = [(rng.uniform(0, 20, 2), rng.uniform(0, 20, 2)) for _ in range(25)]
+        matrix = segment_distance_matrix(segments)
+        for i in range(25):
+            for j in range(25):
+                if i == j:
+                    continue
+                assert matrix[i, j] == pytest.approx(
+                    segment_distance(segments[i], segments[j]), abs=1e-9
+                )
+
+    def test_matrix_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(4)
+        segments = [(rng.uniform(0, 5, 2), rng.uniform(0, 5, 2)) for _ in range(15)]
+        matrix = segment_distance_matrix(segments)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_empty_matrix(self):
+        assert segment_distance_matrix([]).shape == (0, 0)
+
+
+class TestTraclusClustering:
+    def test_two_spatial_lanes_found(self):
+        mod = MOD()
+        for i in range(5):
+            mod.add(make_linear_trajectory(f"a{i}", "0", (0, i * 0.2), (50, i * 0.2)))
+        for i in range(5):
+            mod.add(make_linear_trajectory(f"b{i}", "0", (0, 30 + i * 0.2), (50, 30 + i * 0.2)))
+        result = TraclusClustering(TraclusParams(eps=1.0, min_lns=3)).fit(mod)
+        assert result.num_clusters == 2
+        groups = {frozenset(c.object_ids()) for c in result.clusters}
+        assert frozenset({f"a{i}" for i in range(5)}) in groups
+        assert frozenset({f"b{i}" for i in range(5)}) in groups
+
+    def test_time_blindness(self):
+        """TRACLUS groups objects on the same path even at disjoint times."""
+        mod = MOD()
+        for i in range(4):
+            mod.add(
+                make_linear_trajectory(f"早{i}", "0", (0, i * 0.2), (50, i * 0.2), t0=0, t1=100)
+            )
+        for i in range(4):
+            mod.add(
+                make_linear_trajectory(
+                    f"late{i}", "0", (0, i * 0.2), (50, i * 0.2), t0=5000, t1=5100
+                )
+            )
+        result = TraclusClustering(TraclusParams(eps=1.0, min_lns=3)).fit(mod)
+        # One spatial lane -> one cluster mixing both time groups.
+        assert result.num_clusters == 1
+        assert len(result.clusters[0].object_ids()) == 8
+
+    def test_isolated_segments_are_noise(self):
+        mod = MOD()
+        for i in range(4):
+            mod.add(make_linear_trajectory(f"a{i}", "0", (0, i * 0.2), (50, i * 0.2)))
+        mod.add(make_linear_trajectory("lone", "0", (0, 500), (50, 800)))
+        result = TraclusClustering(TraclusParams(eps=1.0, min_lns=3)).fit(mod)
+        assert any(sub.obj_id == "lone" for sub in result.outliers)
+
+    def test_defaults_resolve_and_run(self, lanes_small):
+        mod, _ = lanes_small
+        result = TraclusClustering().fit(mod)
+        assert result.method == "traclus"
+        assert result.extras["num_segments"] > 0
+        assert set(result.timings) == {"partition", "grouping", "assembly"}

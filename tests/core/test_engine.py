@@ -1,0 +1,101 @@
+"""Unit tests for the HermesEngine facade."""
+
+import pytest
+
+from repro.core.engine import HermesEngine
+from repro.hermes.io import write_csv
+from repro.hermes.types import Period
+from repro.s2t.params import S2TParams
+
+
+@pytest.fixture
+def engine(lanes_small):
+    mod, _ = lanes_small
+    engine = HermesEngine.in_memory()
+    engine.load_mod("lanes", mod)
+    return engine
+
+
+class TestDatasetManagement:
+    def test_load_and_get(self, engine, lanes_small):
+        mod, _ = lanes_small
+        assert engine.get_mod("lanes") is mod
+        assert engine.datasets() == ["lanes"]
+
+    def test_unknown_dataset_raises_with_hint(self, engine):
+        with pytest.raises(KeyError, match="lanes"):
+            engine.get_mod("ghost")
+
+    def test_load_csv_and_export_csv(self, engine, tmp_path, lanes_small):
+        mod, _ = lanes_small
+        path = tmp_path / "out.csv"
+        engine.export_csv("lanes", path)
+        loaded = engine.load_csv("copy", path)
+        assert len(loaded) == len(mod)
+        assert "copy" in engine.datasets()
+
+    def test_drop(self, engine):
+        engine.retratree("lanes")
+        engine.drop("lanes")
+        assert engine.datasets() == []
+
+    def test_reload_invalidates_cached_index(self, engine, lanes_small):
+        mod, _ = lanes_small
+        tree_before = engine.retratree("lanes")
+        engine.load_mod("lanes", mod)
+        tree_after = engine.retratree("lanes")
+        assert tree_before is not tree_after
+
+    def test_dataset_summary(self, engine, lanes_small):
+        mod, _ = lanes_small
+        summary = engine.dataset_summary("lanes")
+        assert summary["trajectories"] == len(mod)
+        assert summary["points"] == mod.total_points
+        assert summary["tmin"] <= summary["tmax"]
+
+
+class TestClusteringEntryPoints:
+    def test_s2t(self, engine):
+        result = engine.s2t("lanes")
+        assert result.method == "s2t"
+        assert engine.last_result("lanes") is result
+
+    def test_s2t_with_params(self, engine):
+        result = engine.s2t("lanes", S2TParams(min_cluster_support=5))
+        assert all(c.size >= 5 for c in result.clusters)
+
+    def test_qut_uses_cached_tree(self, engine, lanes_small):
+        mod, _ = lanes_small
+        period = mod.period
+        window = Period(period.tmin, period.tmin + period.duration / 2)
+        first = engine.qut("lanes", window)
+        tree = engine.retratree("lanes")
+        second = engine.qut("lanes", window)
+        assert engine.retratree("lanes") is tree
+        assert first.num_clusters == second.num_clusters
+
+    def test_retratree_rebuild_flag(self, engine):
+        tree = engine.retratree("lanes")
+        assert engine.retratree("lanes", rebuild=True) is not tree
+
+    def test_range_then_cluster(self, engine, lanes_small):
+        mod, _ = lanes_small
+        result = engine.range_then_cluster("lanes", mod.period)
+        assert result.method == "range+s2t"
+
+    def test_baseline_entry_points(self, engine):
+        assert engine.traclus("lanes").method == "traclus"
+        assert engine.toptics("lanes").method == "t-optics"
+        assert engine.convoy("lanes").method == "convoy"
+
+    def test_last_result_requires_prior_run(self, engine):
+        with pytest.raises(KeyError):
+            HermesEngine.in_memory().last_result("lanes")
+
+    def test_on_disk_engine_builds_disk_partitions(self, tmp_path, lanes_small):
+        mod, _ = lanes_small
+        engine = HermesEngine.on_disk(tmp_path / "engine")
+        engine.load_mod("lanes", mod)
+        tree = engine.retratree("lanes")
+        assert any(p.on_disk for p in tree.storage.partitions())
+        assert (tmp_path / "engine" / "lanes").exists()

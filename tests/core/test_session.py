@@ -1,0 +1,68 @@
+"""Unit tests for progressive analysis sessions."""
+
+import pytest
+
+from repro.core.engine import HermesEngine
+from repro.core.session import ProgressiveSession
+from repro.hermes.types import Period
+
+
+@pytest.fixture
+def session(lanes_small):
+    mod, _ = lanes_small
+    engine = HermesEngine.in_memory()
+    engine.load_mod("lanes", mod)
+    return ProgressiveSession(engine, "lanes"), mod
+
+
+class TestProgressiveSession:
+    def test_query_records_history(self, session):
+        sess, mod = session
+        period = mod.period
+        window = Period(period.tmin, period.tmin + period.duration / 3)
+        result = sess.query(window)
+        assert len(sess.history) == 1
+        assert sess.history[0].result is result
+        assert sess.history[0].window == window
+
+    def test_widen_extends_into_past(self, session):
+        sess, mod = session
+        period = mod.period
+        sess.query(Period(period.tmin + 0.5 * period.duration, period.tmax))
+        sess.widen(0.2 * period.duration)
+        first, second = sess.history[0].window, sess.history[1].window
+        assert second.tmin == pytest.approx(first.tmin - 0.2 * period.duration)
+        assert second.tmax == first.tmax
+
+    def test_shift_moves_window_forward(self, session):
+        sess, mod = session
+        period = mod.period
+        sess.query(Period(period.tmin, period.tmin + 0.3 * period.duration))
+        sess.shift(0.1 * period.duration)
+        assert sess.history[1].window.tmin > sess.history[0].window.tmin
+
+    def test_widen_requires_prior_query(self, session):
+        sess, _ = session
+        with pytest.raises(ValueError):
+            sess.widen(10.0)
+        with pytest.raises(ValueError):
+            sess.shift(10.0)
+
+    def test_evolution_rows(self, session):
+        sess, mod = session
+        period = mod.period
+        sess.query(Period(period.tmin + 0.6 * period.duration, period.tmax))
+        sess.widen(0.3 * period.duration)
+        rows = sess.evolution()
+        assert len(rows) == 2
+        assert rows[0]["step"] == 0 and rows[1]["step"] == 1
+        assert rows[1]["w_duration"] > rows[0]["w_duration"]
+        assert all(row["latency_s"] >= 0 for row in rows)
+
+    def test_queries_reuse_single_retratree(self, session):
+        sess, mod = session
+        period = mod.period
+        sess.query(Period(period.tmin, period.tmax))
+        tree = sess.engine.retratree("lanes")
+        sess.widen(1.0)
+        assert sess.engine.retratree("lanes") is tree

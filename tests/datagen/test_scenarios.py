@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    GroundTruth,
+    aircraft_scenario,
+    lane_scenario,
+    maritime_scenario,
+    urban_scenario,
+)
+from repro.datagen.paths import Path, circle_path, concatenate_paths
+
+
+class TestPaths:
+    def test_path_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Path(np.array([[0.0, 0.0]]))
+
+    def test_length_and_sampling(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]]))
+        assert path.length == pytest.approx(20.0)
+        samples = path.sample(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(samples[0], [0, 0])
+        np.testing.assert_allclose(samples[1], [10, 0])
+        np.testing.assert_allclose(samples[2], [10, 10])
+
+    def test_sample_clipped_to_unit_interval(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        samples = path.sample(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(samples[0], [0, 0])
+        np.testing.assert_allclose(samples[1], [10, 0])
+
+    def test_reversed(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        np.testing.assert_allclose(path.reversed().sample(np.array([0.0]))[0], [10, 0])
+
+    def test_circle_path_radius(self):
+        loop = circle_path((5.0, 5.0), radius=2.0, n_turns=1.0)
+        dists = np.hypot(loop.waypoints[:, 0] - 5.0, loop.waypoints[:, 1] - 5.0)
+        np.testing.assert_allclose(dists, 2.0)
+
+    def test_concatenate(self):
+        a = Path(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        b = Path(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        assert concatenate_paths(a, b).length == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            concatenate_paths()
+
+
+ALL_SCENARIOS = [
+    lambda seed: lane_scenario(n_trajectories=20, seed=seed),
+    lambda seed: aircraft_scenario(n_trajectories=20, seed=seed),
+    lambda seed: urban_scenario(n_trajectories=20, seed=seed),
+    lambda seed: maritime_scenario(n_trajectories=20, seed=seed),
+]
+
+
+class TestScenarioContracts:
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_requested_size_and_truth_alignment(self, factory):
+        mod, truth = factory(3)
+        assert len(mod) == 20
+        assert isinstance(truth, GroundTruth)
+        for traj in mod:
+            labels = truth.labels_for(traj.key)
+            assert len(labels) == traj.num_points
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_deterministic_for_fixed_seed(self, factory):
+        mod_a, _ = factory(7)
+        mod_b, _ = factory(7)
+        for key in mod_a.keys():
+            np.testing.assert_array_equal(mod_a.get(key).xs, mod_b.get(key).xs)
+            np.testing.assert_array_equal(mod_a.get(key).ts, mod_b.get(key).ts)
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_different_seeds_differ(self, factory):
+        mod_a, _ = factory(1)
+        mod_b, _ = factory(2)
+        some_key = mod_a.keys()[0]
+        assert not np.array_equal(mod_a.get(some_key).xs, mod_b.get(some_key).xs)
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_contains_flows_and_noise(self, factory):
+        _, truth = factory(5)
+        flows = truth.flow_ids()
+        assert len(flows) >= 2
+        has_noise = any(
+            any(lbl is None for lbl in labels) for labels in truth.labels.values()
+        )
+        assert has_noise
+
+
+class TestLaneScenarioSpecifics:
+    def test_switchers_change_label_mid_trajectory(self):
+        _, truth = lane_scenario(n_trajectories=30, switcher_fraction=0.4, seed=2)
+        switchers = 0
+        for labels in truth.labels.values():
+            distinct = {lbl for lbl in labels if lbl is not None}
+            if len(distinct) >= 2:
+                switchers += 1
+        assert switchers > 0
+
+    def test_outlier_fraction_respected(self):
+        _, truth = lane_scenario(n_trajectories=40, outlier_fraction=0.25, seed=4)
+        outliers = sum(
+            1 for labels in truth.labels.values() if all(lbl is None for lbl in labels)
+        )
+        assert outliers == 10
+
+
+class TestAircraftScenarioSpecifics:
+    def test_holding_fraction_zero_means_no_loops(self):
+        from repro.va.patterns import detect_holding_patterns
+
+        mod_without, _ = aircraft_scenario(n_trajectories=30, holding_fraction=0.0, seed=9)
+        mod_with, _ = aircraft_scenario(n_trajectories=30, holding_fraction=0.6, seed=9)
+        assert len(detect_holding_patterns(mod_with)) > len(detect_holding_patterns(mod_without))
+
+    def test_corridor_count_reflected_in_truth(self):
+        _, truth = aircraft_scenario(n_trajectories=30, n_corridors=4, seed=1)
+        assert len([f for f in truth.flow_ids() if f.startswith("corridor")]) <= 4
+
+
+class TestGroundTruth:
+    def test_point_labels_flattening(self):
+        truth = GroundTruth()
+        truth.set_labels(("a", "0"), np.array(["x", None], dtype=object))
+        flat = truth.point_labels()
+        assert (("a", "0"), 0, "x") in flat
+        assert (("a", "0"), 1, None) in flat

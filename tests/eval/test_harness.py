@@ -1,0 +1,44 @@
+"""Unit tests for the benchmark helpers."""
+
+import time
+
+from repro.eval.harness import Stopwatch, format_table
+
+
+class TestStopwatch:
+    def test_measures_named_sections(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            time.sleep(0.01)
+        with watch.measure("b"):
+            pass
+        assert watch.timings["a"] >= 0.01
+        assert watch.timings["b"] >= 0.0
+        assert watch.total() == sum(watch.timings.values())
+
+    def test_repeated_sections_accumulate(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("loop"):
+                time.sleep(0.002)
+        assert watch.timings["loop"] >= 0.006
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(empty)" in format_table([], title="nothing")
+
+    def test_columns_and_rows_rendered(self):
+        rows = [
+            {"method": "qut", "latency": 0.0123},
+            {"method": "range+s2t", "latency": 1.5},
+        ]
+        text = format_table(rows, title="E7")
+        assert "E7" in text
+        assert "method" in text and "latency" in text
+        assert "qut" in text and "range+s2t" in text
+        assert "0.0123" in text
+
+    def test_missing_cells_rendered_as_none(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "None" in text

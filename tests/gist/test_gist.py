@@ -1,0 +1,118 @@
+"""Unit tests for the generic GiST framework (using a 1D interval adapter)."""
+
+import pytest
+
+from repro.gist.tree import GiST, KeyAdapter
+
+
+class IntervalAdapter(KeyAdapter[tuple]):
+    """A minimal 1D interval key class: keys are (lo, hi) tuples."""
+
+    def consistent(self, key, query):
+        return key[0] <= query[1] and query[0] <= key[1]
+
+    def union(self, keys):
+        return (min(k[0] for k in keys), max(k[1] for k in keys))
+
+    def penalty(self, key, new_key):
+        merged = self.union([key, new_key])
+        return (merged[1] - merged[0]) - (key[1] - key[0])
+
+    def pick_split(self, keys):
+        order = sorted(range(len(keys)), key=lambda i: keys[i][0])
+        half = len(order) // 2
+        return order[:half], order[half:]
+
+
+@pytest.fixture
+def tree():
+    return GiST(IntervalAdapter(), max_entries=4)
+
+
+class TestGiSTConstruction:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            GiST(IntervalAdapter(), max_entries=2)
+        with pytest.raises(ValueError):
+            GiST(IntervalAdapter(), max_entries=4, min_entries=3)
+
+    def test_empty_tree(self, tree):
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.root_key is None
+        assert tree.search((0, 100)) == []
+
+
+class TestGiSTInsertSearch:
+    def test_single_insert(self, tree):
+        tree.insert((5, 7), "a")
+        assert len(tree) == 1
+        assert tree.search((6, 6)) == ["a"]
+        assert tree.search((8, 9)) == []
+
+    def test_growth_keeps_all_entries_findable(self, tree):
+        for i in range(100):
+            tree.insert((i, i + 1), i)
+        assert len(tree) == 100
+        assert tree.height > 1
+        assert sorted(tree.all_values()) == list(range(100))
+        # Every entry is findable through a point query.
+        for i in range(100):
+            assert i in tree.search((i + 0.5, i + 0.5))
+
+    def test_range_search_returns_exact_matches(self, tree):
+        for i in range(50):
+            tree.insert((2 * i, 2 * i + 1), i)
+        hits = set(tree.search((10, 21)))
+        assert hits == {5, 6, 7, 8, 9, 10}
+
+    def test_root_key_covers_everything(self, tree):
+        for i in range(30):
+            tree.insert((i * 3, i * 3 + 2), i)
+        lo, hi = tree.root_key
+        assert lo == 0 and hi == 29 * 3 + 2
+
+    def test_invariants_after_many_inserts(self, tree):
+        for i in range(200):
+            tree.insert((i % 17, i % 17 + 1), i)
+        tree.check_invariants()
+
+    def test_search_count_nodes_visits_fewer_than_all(self, tree):
+        for i in range(200):
+            tree.insert((i, i + 0.5), i)
+        _all, visited_all = tree.search_count_nodes((0, 200))
+        hits, visited_narrow = tree.search_count_nodes((5, 6))
+        assert set(hits) == {5, 6}
+        assert visited_narrow < visited_all
+
+
+class TestGiSTDelete:
+    def test_delete_by_predicate(self, tree):
+        for i in range(40):
+            tree.insert((i, i + 1), i)
+        removed = tree.delete(lambda _key, value: value % 2 == 0)
+        assert removed == 20
+        assert len(tree) == 20
+        assert all(v % 2 == 1 for v in tree.all_values())
+        tree.check_invariants()
+
+    def test_delete_everything(self, tree):
+        for i in range(25):
+            tree.insert((i, i + 1), i)
+        removed = tree.delete(lambda _k, _v: True)
+        assert removed == 25
+        assert tree.all_values() == []
+
+    def test_delete_tightens_parent_keys(self, tree):
+        for i in range(64):
+            tree.insert((i, i + 1), i)
+        tree.delete(lambda _k, v: v >= 32)
+        lo, hi = tree.root_key
+        assert hi <= 32
+        tree.check_invariants()
+
+    def test_delete_nothing(self, tree):
+        for i in range(10):
+            tree.insert((i, i + 1), i)
+        assert tree.delete(lambda _k, v: v > 100) == 0
+        assert len(tree) == 10

@@ -1,0 +1,133 @@
+"""Unit tests for the trajectory algebra operands."""
+
+import numpy as np
+import pytest
+
+from repro.hermes.algebra import (
+    acceleration_series,
+    detect_stops,
+    douglas_peucker,
+    heading_series,
+    sampling_rate,
+    speed_series,
+    travelled_distance_series,
+)
+from repro.hermes.trajectory import Trajectory
+from tests.conftest import make_linear_trajectory
+
+
+class TestKinematics:
+    def test_constant_speed(self, linear_trajectory):
+        speeds = speed_series(linear_trajectory)
+        assert len(speeds) == linear_trajectory.num_segments
+        np.testing.assert_allclose(speeds, 0.1)
+
+    def test_heading_east(self, linear_trajectory):
+        headings = heading_series(linear_trajectory)
+        np.testing.assert_allclose(headings, 0.0, atol=1e-12)
+
+    def test_heading_north(self):
+        traj = make_linear_trajectory("n", "0", (0, 0), (0, 10))
+        np.testing.assert_allclose(heading_series(traj), np.pi / 2)
+
+    def test_acceleration_zero_for_uniform_motion(self, linear_trajectory):
+        np.testing.assert_allclose(acceleration_series(linear_trajectory), 0.0, atol=1e-12)
+
+    def test_acceleration_positive_when_speeding_up(self):
+        ts = np.array([0.0, 10.0, 20.0, 30.0])
+        xs = np.array([0.0, 1.0, 3.0, 7.0])
+        ys = np.zeros(4)
+        traj = Trajectory("a", "0", xs, ys, ts)
+        assert np.all(acceleration_series(traj) > 0)
+
+    def test_travelled_distance(self, linear_trajectory):
+        cumulative = travelled_distance_series(linear_trajectory)
+        assert cumulative[0] == 0.0
+        assert cumulative[-1] == pytest.approx(linear_trajectory.length)
+        assert np.all(np.diff(cumulative) >= 0)
+
+    def test_sampling_rate(self, linear_trajectory):
+        stats = sampling_rate(linear_trajectory)
+        assert stats["mean_interval"] == pytest.approx(10.0)
+        assert stats["max_gap"] == pytest.approx(10.0)
+
+
+class TestStops:
+    def make_stop_trajectory(self) -> Trajectory:
+        move1 = np.linspace(0, 10, 11)
+        stop = np.full(10, 10.0)
+        move2 = np.linspace(10, 20, 10)
+        xs = np.concatenate([move1, stop, move2])
+        ys = np.zeros(len(xs))
+        ts = np.arange(len(xs), dtype=float) * 10
+        return Trajectory("s", "0", xs, ys, ts)
+
+    def test_stop_detected(self):
+        traj = self.make_stop_trajectory()
+        stops = detect_stops(traj, max_radius=0.5, min_duration=50.0)
+        assert len(stops) == 1
+        stop = stops[0]
+        assert stop.center[0] == pytest.approx(10.0, abs=0.5)
+        assert stop.duration >= 50.0
+
+    def test_moving_object_has_no_stops(self, linear_trajectory):
+        assert detect_stops(linear_trajectory, max_radius=0.1, min_duration=5.0) == []
+
+    def test_min_duration_filters_short_pauses(self):
+        traj = self.make_stop_trajectory()
+        assert detect_stops(traj, max_radius=0.5, min_duration=1e6) == []
+
+    def test_invalid_parameters(self, linear_trajectory):
+        with pytest.raises(ValueError):
+            detect_stops(linear_trajectory, max_radius=0.0, min_duration=1.0)
+        with pytest.raises(ValueError):
+            detect_stops(linear_trajectory, max_radius=1.0, min_duration=-1.0)
+
+
+class TestDouglasPeucker:
+    def test_straight_line_collapses_to_endpoints(self):
+        traj = make_linear_trajectory("a", "0", n=50)
+        simplified = douglas_peucker(traj, epsilon=0.01)
+        assert simplified.num_points == 2
+        assert simplified.ts[0] == traj.ts[0] and simplified.ts[-1] == traj.ts[-1]
+
+    def test_corner_preserved(self):
+        xs = np.concatenate([np.linspace(0, 10, 11), np.full(10, 10.0)])
+        ys = np.concatenate([np.zeros(11), np.linspace(1, 10, 10)])
+        ts = np.arange(21, dtype=float)
+        traj = Trajectory("corner", "0", xs, ys, ts)
+        simplified = douglas_peucker(traj, epsilon=0.5)
+        assert simplified.num_points >= 3
+        # The corner sample (10, 0) must survive.
+        corner_kept = np.any((simplified.xs == 10.0) & (simplified.ys == 0.0))
+        assert corner_kept
+
+    def test_epsilon_zero_keeps_shape(self):
+        rng = np.random.default_rng(0)
+        xs = np.cumsum(rng.normal(0, 1, 30))
+        ys = np.cumsum(rng.normal(0, 1, 30))
+        ts = np.arange(30, dtype=float)
+        traj = Trajectory("w", "0", xs, ys, ts)
+        simplified = douglas_peucker(traj, epsilon=0.0)
+        # With zero tolerance every non-collinear sample is kept.
+        assert simplified.num_points >= traj.num_points - 2
+
+    def test_simplification_error_bounded(self):
+        rng = np.random.default_rng(1)
+        xs = np.cumsum(rng.normal(0, 1, 60))
+        ys = np.cumsum(rng.normal(0, 1, 60))
+        ts = np.arange(60, dtype=float)
+        traj = Trajectory("w", "0", xs, ys, ts)
+        eps = 2.0
+        simplified = douglas_peucker(traj, epsilon=eps)
+        # Every original sample lies within eps of the simplified polyline
+        # evaluated at the same timestamp order (conservative check via
+        # nearest simplified vertex distance bounded by eps + segment span).
+        for x, y in zip(traj.xs, traj.ys):
+            dist = np.min(np.hypot(simplified.xs - x, simplified.ys - y))
+            span = np.max(np.hypot(np.diff(simplified.xs), np.diff(simplified.ys)))
+            assert dist <= eps + span
+
+    def test_negative_epsilon_rejected(self, linear_trajectory):
+        with pytest.raises(ValueError):
+            douglas_peucker(linear_trajectory, epsilon=-1.0)

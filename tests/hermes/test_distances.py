@@ -1,0 +1,132 @@
+"""Unit tests for the spatiotemporal distance functions."""
+
+import math
+
+import pytest
+
+from repro.hermes.distances import (
+    closest_approach_distance,
+    dtw_distance,
+    hausdorff_distance,
+    lcss_similarity,
+    point_to_segment_distance_2d,
+    segment_trajectory_distance,
+    spatiotemporal_distance,
+)
+from repro.hermes.types import PointST, SegmentST
+from tests.conftest import make_linear_trajectory
+
+
+class TestSpatiotemporalDistance:
+    def test_parallel_trajectories_distance_equals_offset(self, parallel_pair):
+        a, b = parallel_pair
+        assert spatiotemporal_distance(a, b) == pytest.approx(1.0, rel=1e-6)
+
+    def test_identical_trajectories_distance_zero(self, linear_trajectory):
+        assert spatiotemporal_distance(linear_trajectory, linear_trajectory) == pytest.approx(0.0)
+
+    def test_disjoint_lifespans_give_infinity(self):
+        a = make_linear_trajectory("a", "0", t0=0, t1=10)
+        b = make_linear_trajectory("b", "0", t0=20, t1=30)
+        assert math.isinf(spatiotemporal_distance(a, b))
+
+    def test_symmetric(self, parallel_pair):
+        a, b = parallel_pair
+        assert spatiotemporal_distance(a, b) == pytest.approx(spatiotemporal_distance(b, a))
+
+    def test_time_awareness_opposite_directions(self):
+        # Same spatial footprint, opposite directions: synchronous distance is
+        # large even though the paths coincide.
+        a = make_linear_trajectory("a", "0", (0, 0), (10, 0))
+        b = make_linear_trajectory("b", "0", (10, 0), (0, 0))
+        assert spatiotemporal_distance(a, b) > 3.0
+        # ... while the purely spatial Hausdorff distance is ~0.
+        assert hausdorff_distance(a, b) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestClosestApproach:
+    def test_crossing_trajectories_touch(self):
+        a = make_linear_trajectory("a", "0", (0, -5), (0, 5))
+        b = make_linear_trajectory("b", "0", (-5, 0), (5, 0))
+        # The synchronisation grid need not hit the exact meeting instant, so
+        # allow a tolerance of one grid step's worth of movement.
+        assert closest_approach_distance(a, b) < 0.2
+
+    def test_not_less_than_min_offset(self, parallel_pair):
+        a, b = parallel_pair
+        assert closest_approach_distance(a, b) == pytest.approx(1.0, rel=1e-6)
+
+    def test_disjoint_lifespans(self):
+        a = make_linear_trajectory("a", "0", t0=0, t1=10)
+        b = make_linear_trajectory("b", "0", t0=20, t1=30)
+        assert math.isinf(closest_approach_distance(a, b))
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self, linear_trajectory):
+        assert hausdorff_distance(linear_trajectory, linear_trajectory) == 0.0
+
+    def test_offset_lines(self, parallel_pair):
+        a, b = parallel_pair
+        assert hausdorff_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = make_linear_trajectory("a", "0", (0, 0), (10, 0))
+        b = make_linear_trajectory("b", "0", (0, 0), (5, 0))
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+
+class TestDTW:
+    def test_identical_is_zero(self, linear_trajectory):
+        assert dtw_distance(linear_trajectory, linear_trajectory) == pytest.approx(0.0)
+
+    def test_offset_accumulates(self, parallel_pair):
+        a, b = parallel_pair
+        # Each of the 11 aligned samples contributes ~1.
+        assert dtw_distance(a, b) == pytest.approx(11.0, rel=0.05)
+
+    def test_window_constrains_alignment(self, parallel_pair):
+        a, b = parallel_pair
+        unconstrained = dtw_distance(a, b)
+        constrained = dtw_distance(a, b, window=1)
+        assert constrained >= unconstrained - 1e-9
+
+
+class TestLCSS:
+    def test_identical_full_similarity(self, linear_trajectory):
+        assert lcss_similarity(linear_trajectory, linear_trajectory, eps=0.1) == 1.0
+
+    def test_far_apart_zero_similarity(self):
+        a = make_linear_trajectory("a", "0", (0, 0), (10, 0))
+        b = make_linear_trajectory("b", "0", (0, 100), (10, 100))
+        assert lcss_similarity(a, b, eps=1.0) == 0.0
+
+    def test_temporal_constraint_reduces_similarity(self):
+        a = make_linear_trajectory("a", "0", (0, 0), (10, 0), t0=0, t1=100)
+        b = make_linear_trajectory("b", "0", (0, 0), (10, 0), t0=500, t1=600)
+        loose = lcss_similarity(a, b, eps=0.5)
+        strict = lcss_similarity(a, b, eps=0.5, delta=10.0)
+        assert loose == 1.0
+        assert strict == 0.0
+
+
+class TestSegmentDistances:
+    def test_point_to_segment_projection(self):
+        seg = SegmentST(PointST(0, 0, 0), PointST(10, 0, 10))
+        assert point_to_segment_distance_2d(PointST(5, 3, 5), seg) == pytest.approx(3.0)
+        assert point_to_segment_distance_2d(PointST(-4, 3, 0), seg) == pytest.approx(5.0)
+
+    def test_point_to_degenerate_segment(self):
+        seg = SegmentST(PointST(1, 1, 0), PointST(1, 1, 5))
+        assert point_to_segment_distance_2d(PointST(4, 5, 2), seg) == pytest.approx(5.0)
+
+    def test_segment_trajectory_distance_co_moving(self, parallel_pair):
+        a, b = parallel_pair
+        seg = a.segment(3)
+        assert segment_trajectory_distance(seg, b) == pytest.approx(1.0, rel=1e-3)
+
+    def test_segment_trajectory_distance_disjoint_time(self):
+        a = make_linear_trajectory("a", "0", t0=0, t1=10)
+        b = make_linear_trajectory("b", "0", t0=100, t1=200)
+        assert math.isinf(segment_trajectory_distance(a.segment(0), b))

@@ -1,0 +1,77 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.hermes.io import read_csv, write_csv
+from repro.hermes.mod import MOD
+from tests.conftest import make_linear_trajectory
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_mod(self, small_mod, tmp_path):
+        path = tmp_path / "mod.csv"
+        write_csv(small_mod, path)
+        loaded = read_csv(path)
+        assert len(loaded) == len(small_mod)
+        for key in small_mod.keys():
+            original = small_mod.get(key)
+            restored = loaded.get(key)
+            assert restored.num_points == original.num_points
+            assert restored.xs == pytest.approx(original.xs)
+            assert restored.ts == pytest.approx(original.ts)
+
+    def test_read_names_mod_after_file(self, small_mod, tmp_path):
+        path = tmp_path / "flights.csv"
+        write_csv(small_mod, path)
+        assert read_csv(path).name == "flights"
+        assert read_csv(path, name="custom").name == "custom"
+
+
+class TestReadValidation:
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("obj_id,x,y\na,1,2\n")
+        with pytest.raises(ValueError, match="misses required columns"):
+            read_csv(path)
+
+    def test_unordered_rows_are_sorted(self, tmp_path):
+        path = tmp_path / "unordered.csv"
+        path.write_text(
+            "obj_id,traj_id,x,y,t\n"
+            "a,0,2.0,0.0,20\n"
+            "a,0,0.0,0.0,0\n"
+            "a,0,1.0,0.0,10\n"
+        )
+        mod = read_csv(path)
+        traj = mod.get(("a", "0"))
+        assert list(traj.ts) == [0.0, 10.0, 20.0]
+        assert list(traj.xs) == [0.0, 1.0, 2.0]
+
+    def test_duplicate_timestamps_deduplicated(self, tmp_path):
+        path = tmp_path / "dups.csv"
+        path.write_text(
+            "obj_id,traj_id,x,y,t\n"
+            "a,0,0.0,0.0,0\n"
+            "a,0,9.9,9.9,0\n"
+            "a,0,1.0,0.0,10\n"
+        )
+        traj = read_csv(path).get(("a", "0"))
+        assert traj.num_points == 2
+        assert traj.xs[0] == 0.0
+
+    def test_single_sample_trajectories_dropped(self, tmp_path):
+        path = tmp_path / "single.csv"
+        path.write_text(
+            "obj_id,traj_id,x,y,t\n"
+            "lonely,0,0.0,0.0,0\n"
+            "ok,0,0.0,0.0,0\n"
+            "ok,0,1.0,0.0,10\n"
+        )
+        mod = read_csv(path)
+        assert ("lonely", "0") not in mod
+        assert ("ok", "0") in mod
+
+    def test_empty_file_gives_empty_mod(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(MOD(), path)
+        assert len(read_csv(path)) == 0

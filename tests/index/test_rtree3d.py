@@ -1,0 +1,186 @@
+"""Unit and property tests for the pg3D-Rtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hermes.types import BoxST, PointST
+from repro.index.rtree3d import Box3DAdapter, RTree3D, str_bulk_load
+
+
+def random_boxes(n: int, seed: int = 0, extent: float = 100.0) -> list[BoxST]:
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for _ in range(n):
+        x, y, t = rng.uniform(0, extent, 3)
+        dx, dy, dt = rng.uniform(0.1, extent * 0.05, 3)
+        boxes.append(BoxST(x, y, t, x + dx, y + dy, t + dt))
+    return boxes
+
+
+class TestAdapter:
+    def test_consistent_is_intersection(self):
+        adapter = Box3DAdapter()
+        a = BoxST(0, 0, 0, 1, 1, 1)
+        assert adapter.consistent(a, BoxST(0.5, 0.5, 0.5, 2, 2, 2))
+        assert not adapter.consistent(a, BoxST(2, 2, 2, 3, 3, 3))
+
+    def test_union_covers_all(self):
+        adapter = Box3DAdapter()
+        boxes = random_boxes(10, seed=1)
+        union = adapter.union(boxes)
+        for box in boxes:
+            assert union.contains_box(box)
+
+    def test_penalty_zero_for_contained_box(self):
+        adapter = Box3DAdapter()
+        big = BoxST(0, 0, 0, 10, 10, 10)
+        small = BoxST(1, 1, 1, 2, 2, 2)
+        assert adapter.penalty(big, small) == pytest.approx(0.0, abs=1e-5)
+        assert adapter.penalty(small, big) > 0
+
+    def test_pick_split_produces_two_nonempty_groups(self):
+        adapter = Box3DAdapter(min_fill=2)
+        boxes = random_boxes(17, seed=2)
+        left, right = adapter.pick_split(boxes)
+        assert len(left) >= 2 and len(right) >= 2
+        assert sorted(left + right) == list(range(17))
+
+
+class TestRTreeInsertSearch:
+    def test_all_inserted_found_by_their_own_box(self):
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        boxes = random_boxes(300, seed=3)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        assert len(tree) == 300
+        for i, box in enumerate(boxes):
+            assert i in tree.range_search(box)
+        tree.check_invariants()
+
+    def test_range_search_matches_linear_scan(self):
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        boxes = random_boxes(400, seed=4)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        query = BoxST(20, 20, 20, 60, 60, 60)
+        expected = {i for i, box in enumerate(boxes) if box.intersects(query)}
+        assert set(tree.range_search(query)) == expected
+
+    def test_empty_tree_queries(self):
+        tree: RTree3D[int] = RTree3D()
+        assert tree.range_search(BoxST.universe()) == []
+        assert tree.bbox is None
+        assert tree.knn(PointST(0, 0, 0), 3) == []
+
+    def test_range_search_with_stats_prunes(self):
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        for i, box in enumerate(random_boxes(500, seed=5)):
+            tree.insert(box, i)
+        _, nodes_narrow = tree.range_search_with_stats(BoxST(0, 0, 0, 5, 5, 5))
+        _, nodes_all = tree.range_search_with_stats(BoxST.universe())
+        assert nodes_narrow < nodes_all
+
+    def test_delete_value(self):
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        boxes = random_boxes(50, seed=6)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        assert tree.delete_value(7) == 1
+        assert 7 not in tree.range_search(BoxST.universe())
+        assert len(tree) == 49
+
+
+class TestKNN:
+    def test_knn_matches_brute_force(self):
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        boxes = random_boxes(200, seed=7)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        query = PointST(50, 50, 50)
+        results = tree.knn(query, k=5)
+        assert len(results) == 5
+        brute = sorted(
+            (box.min_distance_2d(query), i) for i, box in enumerate(boxes)
+        )
+        expected_dists = [d for d, _ in brute[:5]]
+        got_dists = [d for d, _ in results]
+        assert got_dists == pytest.approx(expected_dists)
+
+    def test_knn_k_larger_than_size(self):
+        tree: RTree3D[int] = RTree3D()
+        for i, box in enumerate(random_boxes(5, seed=8)):
+            tree.insert(box, i)
+        assert len(tree.knn(PointST(0, 0, 0), k=50)) == 5
+
+    def test_knn_spatiotemporal_weighting(self):
+        tree: RTree3D[int] = RTree3D()
+        near_space_far_time = BoxST(0, 0, 1000, 1, 1, 1001)
+        far_space_near_time = BoxST(30, 30, 0, 31, 31, 1)
+        tree.insert(near_space_far_time, "space")
+        tree.insert(far_space_near_time, "time")
+        query = PointST(0, 0, 0)
+        purely_spatial = tree.knn(query, 1, time_scale=0.0)
+        weighted = tree.knn(query, 1, time_scale=1.0)
+        assert purely_spatial[0][1] == "space"
+        assert weighted[0][1] == "time"
+
+
+class TestBulkLoad:
+    def test_str_bulk_load_contains_everything(self):
+        boxes = random_boxes(250, seed=9)
+        tree = str_bulk_load([(box, i) for i, box in enumerate(boxes)], max_entries=8)
+        assert len(tree) == 250
+        query = BoxST(10, 10, 10, 50, 50, 50)
+        expected = {i for i, box in enumerate(boxes) if box.intersects(query)}
+        assert set(tree.range_search(query)) == expected
+        tree.check_invariants()
+
+    def test_str_bulk_load_empty(self):
+        tree = str_bulk_load([])
+        assert len(tree) == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0.01, max_value=10),
+                st.floats(min_value=0.01, max_value=10),
+                st.floats(min_value=0.01, max_value=10),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_insert_then_query_is_exhaustive(self, raw):
+        """Whatever is inserted must be found by a range query on its own key."""
+        tree: RTree3D[int] = RTree3D(max_entries=6)
+        boxes = [
+            BoxST(x, y, t, x + dx, y + dy, t + dt) for (x, y, t, dx, dy, dt) in raw
+        ]
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        tree.check_invariants()
+        for i, box in enumerate(boxes):
+            assert i in tree.range_search(box)
+        # A universe query returns everything exactly once.
+        assert sorted(tree.range_search(BoxST.universe())) == list(range(len(boxes)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_workload_matches_linear_scan(self, seed):
+        rng = np.random.default_rng(seed)
+        boxes = random_boxes(int(rng.integers(5, 120)), seed=seed % 1000)
+        tree: RTree3D[int] = RTree3D(max_entries=8)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        qx, qy, qt = rng.uniform(0, 80, 3)
+        query = BoxST(qx, qy, qt, qx + 25, qy + 25, qt + 25)
+        expected = {i for i, box in enumerate(boxes) if box.intersects(query)}
+        assert set(tree.range_search(query)) == expected

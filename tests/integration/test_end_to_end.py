@@ -1,0 +1,133 @@
+"""End-to-end integration tests spanning the whole stack.
+
+These exercise the flows the paper demonstrates: load a MOD, cluster it with
+S2T, index it with a ReTraTree, query progressively with QuT, compare against
+the from-scratch alternative and the related methods, and produce the VA data
+products — all through the public API.
+"""
+
+import pytest
+
+from repro.baselines import ConvoyDiscovery, TOpticsClustering, TraclusClustering
+from repro.core import HermesEngine, ProgressiveSession
+from repro.eval import clustering_quality
+from repro.hermes.types import Period
+from repro.s2t import S2TClustering
+from repro.va import cluster_map_layers, cluster_time_histogram, compare_runs, export_geojson
+
+
+class TestScenario1Workflow:
+    """The paper's 'in action phase - scenario 1'."""
+
+    def test_s2t_beats_whole_trajectory_baselines_on_flow_recovery(self, lanes_small):
+        mod, truth = lanes_small
+        s2t_quality = clustering_quality(S2TClustering().fit(mod), truth)
+        traclus_quality = clustering_quality(TraclusClustering().fit(mod), truth)
+        toptics_quality = clustering_quality(TOpticsClustering().fit(mod), truth)
+
+        def flow_recovery(q):
+            return q.purity * q.coverage
+
+        assert flow_recovery(s2t_quality) > flow_recovery(traclus_quality)
+        # T-OPTICS cannot split switching trajectories, so S2T should cover at
+        # least as much of the planted flows at comparable purity.
+        assert s2t_quality.coverage >= toptics_quality.coverage - 0.05
+
+    def test_two_run_comparison_workflow(self, flights_small):
+        mod, _ = flights_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("flights", mod)
+        diag = (mod.bbox.dx**2 + mod.bbox.dy**2) ** 0.5
+        from repro.s2t import S2TParams
+
+        run_a = engine.s2t("flights", S2TParams(eps=0.04 * diag))
+        run_b = engine.s2t("flights", S2TParams(eps=0.08 * diag))
+        comparison = compare_runs(run_a, run_b, distance_threshold=0.08 * diag)
+        assert comparison.num_matched + len(comparison.only_in_a) == run_a.num_clusters
+        assert comparison.num_matched + len(comparison.only_in_b) == run_b.num_clusters
+
+    def test_va_products_from_one_result(self, flights_small):
+        mod, _ = flights_small
+        result = S2TClustering().fit(mod)
+        layers = cluster_map_layers(result)
+        histogram = cluster_time_histogram(result, n_bins=24)
+        geojson = export_geojson(result)
+        assert len(layers) == result.num_clusters + 1
+        assert histogram.counts.shape[0] == result.num_clusters
+        assert len(geojson["features"]) == result.num_clustered + result.num_outliers
+
+
+class TestScenario2Workflow:
+    """The paper's 'in action phase - scenario 2' (progressive QuT analysis)."""
+
+    def test_progressive_widening_session(self, flights_small):
+        mod, _ = flights_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("flights", mod)
+        session = ProgressiveSession(engine, "flights")
+        period = mod.period
+        session.query(Period(period.tmin + 0.8 * period.duration, period.tmax))
+        for _ in range(3):
+            session.widen(0.2 * period.duration)
+        rows = session.evolution()
+        assert len(rows) == 4
+        # Widening the window can only increase the data under analysis.
+        durations = [row["w_duration"] for row in rows]
+        assert durations == sorted(durations)
+
+    def test_qut_faster_than_from_scratch_on_average(self, flights_small):
+        mod, _ = flights_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("flights", mod)
+        period = mod.period
+        engine.retratree("flights")  # pay the build once, before timing
+
+        qut_total = 0.0
+        alt_total = 0.0
+        for frac in (0.3, 0.5, 0.7):
+            window = Period(period.tmin, period.tmin + frac * period.duration)
+            qut_total += engine.qut("flights", window).total_runtime
+            alt_total += engine.range_then_cluster("flights", window).total_runtime
+        assert qut_total < alt_total
+
+    def test_sql_round_trip_of_scenario_2(self, flights_small):
+        mod, _ = flights_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("flights", mod)
+        period = mod.period
+        rows = engine.sql(
+            f"SELECT QUT(flights, {period.tmin + 0.5 * period.duration}, {period.tmax})"
+        )
+        assert rows[-1]["cluster_id"] == "outliers"
+        histogram_rows = engine.sql("SELECT CLUSTER_HISTOGRAM(flights, 8)")
+        assert isinstance(histogram_rows, list)
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_produce_consistent_result_objects(self, lanes_small):
+        mod, truth = lanes_small
+        methods = {
+            "s2t": S2TClustering().fit(mod),
+            "traclus": TraclusClustering().fit(mod),
+            "t-optics": TOpticsClustering().fit(mod),
+            "convoy": ConvoyDiscovery().fit(mod),
+        }
+        for name, result in methods.items():
+            assert result.method == name
+            # Quality metrics can be computed for every method uniformly.
+            report = clustering_quality(result, truth)
+            assert 0.0 <= report.coverage <= 1.0
+            assert 0.0 <= report.purity <= 1.0
+            # Summaries are serialisable dicts.
+            assert isinstance(result.summary(), dict)
+
+    def test_csv_round_trip_preserves_clustering(self, lanes_small, tmp_path):
+        mod, _ = lanes_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("lanes", mod)
+        engine.export_csv("lanes", tmp_path / "lanes.csv")
+        engine.load_csv("reloaded", tmp_path / "lanes.csv")
+        original = engine.s2t("lanes")
+        reloaded = engine.s2t("reloaded")
+        assert original.num_clusters == reloaded.num_clusters
+        assert original.num_outliers == reloaded.num_outliers

@@ -1,0 +1,118 @@
+"""Property-based tests on cross-module invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.query import QuTClustering
+from repro.qut.retratree import ReTraTree
+from repro.s2t.params import S2TParams
+from repro.s2t.pipeline import S2TClustering
+from repro.storage.records import decode_record, encode_record
+
+
+@st.composite
+def random_trajectory(draw, obj_id: str = "obj"):
+    n = draw(st.integers(min_value=2, max_value=40))
+    t0 = draw(st.floats(min_value=0, max_value=500))
+    dt = draw(st.floats(min_value=0.5, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    ts = t0 + np.arange(n) * dt
+    xs = np.cumsum(rng.normal(0, 1, n)) + rng.uniform(-50, 50)
+    ys = np.cumsum(rng.normal(0, 1, n)) + rng.uniform(-50, 50)
+    return Trajectory(obj_id, str(seed), xs, ys, ts)
+
+
+@st.composite
+def random_mod(draw, min_trajs: int = 2, max_trajs: int = 10):
+    n = draw(st.integers(min_value=min_trajs, max_value=max_trajs))
+    mod = MOD(name="random")
+    for i in range(n):
+        mod.add(draw(random_trajectory(obj_id=f"o{i}")))
+    return mod
+
+
+class TestTrajectoryInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_trajectory())
+    def test_record_round_trip_is_identity(self, traj):
+        restored = decode_record(encode_record(traj)).to_trajectory()
+        assert restored == traj
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_trajectory(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_slice_period_stays_within_lifespan_and_window(self, traj, a, b):
+        lo, hi = sorted(
+            [
+                traj.period.tmin + a * traj.duration,
+                traj.period.tmin + b * traj.duration,
+            ]
+        )
+        piece = traj.slice_period(Period(lo, hi))
+        if piece is not None:
+            assert piece.period.tmin >= lo - 1e-6
+            assert piece.period.tmax <= hi + 1e-6
+            assert piece.period.tmin >= traj.period.tmin - 1e-6
+            assert piece.length <= traj.length + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_trajectory(), st.integers(min_value=2, max_value=50))
+    def test_resampling_preserves_extent(self, traj, n):
+        resampled = traj.resample(n)
+        assert resampled.num_points == n
+        assert resampled.period == traj.period
+        assert resampled.bbox.xmin >= traj.bbox.xmin - 1e-9
+        assert resampled.bbox.xmax <= traj.bbox.xmax + 1e-9
+
+
+class TestClusteringInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(random_mod())
+    def test_s2t_partitions_subtrajectories(self, mod):
+        """Every sub-trajectory is either clustered or an outlier, never both."""
+        result = S2TClustering(S2TParams(use_index=False)).fit(mod)
+        clustered_keys = [m.key for c in result.clusters for m in c.members]
+        outlier_keys = [o.key for o in result.outliers]
+        assert len(set(clustered_keys)) == len(clustered_keys)
+        assert set(clustered_keys).isdisjoint(outlier_keys)
+        assert len(clustered_keys) + len(outlier_keys) == result.extras["num_subtrajectories"]
+        # Every cluster respects the support threshold.
+        support = result.params.min_cluster_support
+        assert all(c.size >= support for c in result.clusters)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_mod())
+    def test_s2t_covers_every_parent_sample(self, mod):
+        result = S2TClustering(S2TParams(use_index=False)).fit(mod)
+        assignments = result.point_assignments()
+        for traj in mod:
+            assert set(assignments[traj.key].keys()) == set(range(traj.num_points))
+
+
+class TestReTraTreeInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=6))
+    def test_every_inserted_piece_is_retrievable(self, mod):
+        tree = ReTraTree.build(mod, QuTParams(overflow_threshold=8))
+        archived = 0
+        for subchunk in tree.subchunks():
+            archived += len(tree.load_unclustered(subchunk))
+            for entry in subchunk.entries:
+                archived += len(tree.load_members(entry))
+        assert archived == tree.stats.pieces_inserted
+
+    @settings(max_examples=8, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=6), st.floats(min_value=0.1, max_value=0.9))
+    def test_qut_results_respect_window(self, mod, frac):
+        tree = ReTraTree.build(mod, QuTParams(overflow_threshold=8))
+        period = mod.period
+        window = Period(period.tmin, period.tmin + frac * max(period.duration, 1e-6))
+        result = QuTClustering(tree).query(window)
+        for sub, _cid in result.all_subtrajectories():
+            assert sub.period.tmin >= window.tmin - 1e-6
+            assert sub.period.tmax <= window.tmax + 1e-6

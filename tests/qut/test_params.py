@@ -1,0 +1,43 @@
+"""Unit tests for QuT/ReTraTree parameter handling."""
+
+import pytest
+
+from repro.qut.params import QuTParams
+from repro.s2t.params import S2TParams
+
+
+class TestQuTParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuTParams(tau=-1.0)
+        with pytest.raises(ValueError):
+            QuTParams(delta=0.0)
+        with pytest.raises(ValueError):
+            QuTParams(gamma=0)
+        with pytest.raises(ValueError):
+            QuTParams(overflow_threshold=1)
+        with pytest.raises(ValueError):
+            QuTParams(temporal_tolerance=-0.1)
+
+    def test_resolved_defaults(self, small_mod):
+        params = QuTParams().resolved(small_mod)
+        assert params.tau == pytest.approx(small_mod.period.duration / 4.0)
+        assert params.delta == pytest.approx(params.tau / 4.0)
+        assert params.distance_threshold is not None and params.distance_threshold > 0
+
+    def test_resolved_propagates_to_s2t(self, small_mod):
+        params = QuTParams(gamma=4, distance_threshold=2.5, temporal_tolerance=1.0).resolved(
+            small_mod
+        )
+        assert params.s2t.min_cluster_support == 4
+        assert params.s2t.eps == 2.5
+        assert params.s2t.temporal_tolerance == 1.0
+
+    def test_explicit_s2t_eps_preserved(self, small_mod):
+        params = QuTParams(s2t=S2TParams(eps=9.0)).resolved(small_mod)
+        assert params.s2t.eps == 9.0
+
+    def test_explicit_values_preserved(self, small_mod):
+        params = QuTParams(tau=50.0, delta=10.0).resolved(small_mod)
+        assert params.tau == 50.0
+        assert params.delta == 10.0

@@ -1,0 +1,105 @@
+"""Unit and integration tests for the QuT-Clustering query algorithm."""
+
+import pytest
+
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.query import QuTClustering
+from repro.qut.retratree import ReTraTree
+from tests.qut.test_retratree import flow_mod
+
+
+@pytest.fixture(scope="module")
+def built_tree():
+    mod = flow_mod(n_per_flow=6, n_flows=2, duration=100.0)
+    tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=25.0, overflow_threshold=6))
+    return mod, tree
+
+
+class TestQuTQuery:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            QuTClustering(ReTraTree())
+
+    def test_full_window_returns_flow_clusters(self, built_tree):
+        mod, tree = built_tree
+        result = QuTClustering(tree).query(mod.period)
+        assert result.method == "qut"
+        assert result.num_clusters >= 2
+        # Each flow's objects should dominate some cluster.
+        flat = {obj for c in result.clusters for obj in c.object_ids()}
+        assert any(o.startswith("f0") for o in flat)
+        assert any(o.startswith("f1") for o in flat)
+
+    def test_window_outside_data_is_empty(self, built_tree):
+        _mod, tree = built_tree
+        result = QuTClustering(tree).query(Period(1000.0, 2000.0))
+        assert result.num_clusters == 0
+        assert result.num_outliers == 0
+
+    def test_partial_window_restricts_members(self, built_tree):
+        mod, tree = built_tree
+        window = Period(30.0, 60.0)
+        result = QuTClustering(tree).query(window)
+        for sub, _cid in result.all_subtrajectories():
+            assert sub.period.tmin >= window.tmin - 1e-6
+            assert sub.period.tmax <= window.tmax + 1e-6
+
+    def test_results_only_from_touched_subchunks(self, built_tree):
+        mod, tree = built_tree
+        window = Period(0.0, 20.0)
+        result = QuTClustering(tree).query(window)
+        assert result.extras["subchunks_touched"] <= len(tree.subchunks())
+        assert result.extras["subchunks_touched"] >= 1
+
+    def test_gamma_filter_applied(self, built_tree):
+        mod, tree = built_tree
+        result = QuTClustering(tree).query(mod.period)
+        gamma = tree.params.gamma
+        assert all(c.size >= gamma for c in result.clusters)
+
+    def test_timings_present(self, built_tree):
+        mod, tree = built_tree
+        result = QuTClustering(tree).query(mod.period)
+        assert {"lookup", "load", "merge"} <= set(result.timings)
+
+    def test_merge_stitches_flows_across_subchunks(self, built_tree):
+        mod, tree = built_tree
+        # Without merging, each flow would appear once per sub-chunk (4 chunks).
+        result = QuTClustering(tree).query(mod.period)
+        f0_clusters = [
+            c for c in result.clusters if any(o.startswith("f0") for o in c.object_ids())
+        ]
+        assert len(f0_clusters) < 4
+
+    def test_cluster_ids_dense(self, built_tree):
+        mod, tree = built_tree
+        result = QuTClustering(tree).query(mod.period)
+        assert [c.cluster_id for c in result.clusters] == list(range(result.num_clusters))
+
+
+class TestQuTAgainstFromScratch:
+    def test_qut_is_faster_than_reclustering_for_small_windows(self, lanes_small):
+        from repro.baselines.range_then_cluster import RangeThenCluster
+
+        mod, _ = lanes_small
+        tree = ReTraTree.build(mod)
+        qut = QuTClustering(tree)
+        period = mod.period
+        window = Period(period.tmin + 0.4 * period.duration, period.tmin + 0.6 * period.duration)
+        qut_result = qut.query(window)
+        alt_result = RangeThenCluster(mod).query(window)
+        assert qut_result.total_runtime < alt_result.total_runtime
+
+    def test_qut_and_reclustering_find_similar_structure(self, lanes_small):
+        from repro.baselines.range_then_cluster import RangeThenCluster
+
+        mod, _ = lanes_small
+        tree = ReTraTree.build(mod)
+        period = mod.period
+        window = Period(period.tmin + 0.2 * period.duration, period.tmin + 0.8 * period.duration)
+        qut_result = QuTClustering(tree).query(window)
+        alt_result = RangeThenCluster(mod).query(window)
+        # Both should find a non-trivial number of clusters on this window.
+        assert qut_result.num_clusters > 0
+        assert alt_result.num_clusters > 0

@@ -1,0 +1,121 @@
+"""Unit tests for the ReTraTree structure and its incremental maintenance."""
+
+import pytest
+
+from repro.hermes.mod import MOD
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.retratree import ReTraTree, subtrajectory_from_slice
+from repro.storage.catalog import StorageManager
+from tests.conftest import make_linear_trajectory
+
+
+def flow_mod(n_per_flow: int = 6, n_flows: int = 2, duration: float = 100.0) -> MOD:
+    """Flows of straight co-moving trajectories, spatially well separated."""
+    mod = MOD(name="flows")
+    for f in range(n_flows):
+        y0 = f * 50.0
+        for i in range(n_per_flow):
+            mod.add(
+                make_linear_trajectory(
+                    f"f{f}o{i}", "0", (0, y0 + 0.3 * i), (10, y0 + 0.3 * i), 0.0, duration, 21
+                )
+            )
+    return mod
+
+
+class TestSubtrajectoryFromSlice:
+    def test_bounds_map_to_parent_samples(self, linear_trajectory):
+        piece = linear_trajectory.slice_period(Period(25.0, 75.0))
+        sub = subtrajectory_from_slice(linear_trajectory, piece)
+        assert sub.parent_key == linear_trajectory.key
+        assert 0 <= sub.start_idx < sub.end_idx <= linear_trajectory.num_points - 1
+        assert sub.traj.period.tmin == pytest.approx(25.0)
+
+    def test_full_cover_spans_whole_parent(self, linear_trajectory):
+        piece = linear_trajectory.slice_period(Period(-10, 1000))
+        sub = subtrajectory_from_slice(linear_trajectory, piece)
+        assert sub.start_idx == 0
+        assert sub.end_idx == linear_trajectory.num_points - 1
+
+
+class TestReTraTreeBuild:
+    def test_empty_mod(self):
+        tree = ReTraTree.build(MOD())
+        assert tree.subchunks() == []
+        assert tree.num_clusters == 0
+
+    def test_subchunk_layout_covers_mod_period(self):
+        mod = flow_mod()
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=25.0))
+        subchunks = tree.subchunks()
+        assert len(subchunks) >= 4
+        assert subchunks[0].period.tmin == pytest.approx(mod.period.tmin)
+        # Sub-chunks are disjoint and consecutive.
+        for left, right in zip(subchunks[:-1], subchunks[1:]):
+            assert left.period.tmax <= right.period.tmin + 1e-6
+
+    def test_every_piece_is_archived_somewhere(self):
+        mod = flow_mod()
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=25.0, overflow_threshold=8))
+        stats = tree.stats
+        assert stats.trajectories_inserted == len(mod)
+        archived = 0
+        for subchunk in tree.subchunks():
+            archived += len(tree.load_unclustered(subchunk))
+            for entry in subchunk.entries:
+                archived += len(tree.load_members(entry))
+        assert archived == stats.pieces_inserted
+
+    def test_build_discovers_clusters_for_flows(self):
+        mod = flow_mod()
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=50.0, overflow_threshold=6))
+        assert tree.num_clusters >= 2
+        assert tree.stats.s2t_runs >= 1
+
+    def test_member_counts_match_partitions(self):
+        mod = flow_mod()
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=25.0, overflow_threshold=6))
+        for subchunk in tree.subchunks():
+            for entry in subchunk.entries:
+                assert entry.member_count == len(tree.load_members(entry))
+
+    def test_on_disk_storage(self, tmp_path):
+        mod = flow_mod(n_per_flow=4)
+        storage = StorageManager(tmp_path / "retratree")
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=50.0), storage=storage)
+        assert any(p.on_disk for p in storage.partitions())
+        assert tree.num_clusters >= 1
+
+
+class TestIncrementalInsert:
+    def test_incremental_insert_assigns_to_existing_entries(self):
+        mod = flow_mod(n_per_flow=6)
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=50.0, overflow_threshold=6))
+        clusters_before = tree.num_clusters
+        assigned_before = tree.stats.pieces_assigned
+        # A new trajectory following flow 0 should be absorbed by existing entries.
+        tree.insert_trajectory(
+            make_linear_trajectory("late", "0", (0, 0.15), (10, 0.15), 0.0, 100.0, 21)
+        )
+        assert tree.stats.pieces_assigned > assigned_before
+        assert tree.num_clusters == clusters_before
+
+    def test_overflow_triggers_s2t(self):
+        mod = flow_mod(n_per_flow=3)
+        tree = ReTraTree.build(mod, QuTParams(tau=100.0, delta=100.0, overflow_threshold=64))
+        # Bulk load with huge threshold ran S2T only in finalize();
+        runs_before = tree.stats.s2t_runs
+        # pour in enough far-away trajectories to overflow the unclustered partition.
+        for i in range(70):
+            tree.insert_trajectory(
+                make_linear_trajectory(f"new{i}", "0", (0, 200 + 0.2 * i), (10, 200 + 0.2 * i), 0.0, 100.0, 11)
+            )
+        assert tree.stats.s2t_runs > runs_before
+
+    def test_stats_accounting(self):
+        mod = flow_mod()
+        tree = ReTraTree.build(mod, QuTParams(tau=50.0, delta=25.0))
+        stats = tree.stats
+        assert stats.pieces_inserted == stats.pieces_assigned + stats.pieces_unclustered
+        assert stats.maintenance_seconds >= 0.0

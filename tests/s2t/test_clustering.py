@@ -1,0 +1,105 @@
+"""Unit tests for SaCO greedy clustering and outlier detection."""
+
+import math
+
+import pytest
+
+from repro.s2t.clustering import assign_to_representatives, greedy_clustering
+from repro.s2t.params import S2TParams
+from tests.conftest import make_linear_trajectory
+
+
+def whole(traj):
+    return traj.subtrajectory(0, traj.num_points - 1)
+
+
+@pytest.fixture
+def lane_subs():
+    """Two lanes of three sub-trajectories each plus one wanderer."""
+    lane1 = [
+        whole(make_linear_trajectory(f"a{i}", "0", (0, i * 0.3), (10, i * 0.3)))
+        for i in range(3)
+    ]
+    lane2 = [
+        whole(make_linear_trajectory(f"b{i}", "0", (0, 40 + i * 0.3), (10, 40 + i * 0.3)))
+        for i in range(3)
+    ]
+    outlier = whole(make_linear_trajectory("w", "0", (0, 90), (10, 120)))
+    return lane1, lane2, outlier
+
+
+class TestAssignToRepresentatives:
+    def test_closest_representative_chosen(self, lane_subs):
+        lane1, lane2, _ = lane_subs
+        reps = [lane1[0], lane2[0]]
+        idx, dist = assign_to_representatives(lane1[2], reps, eps=2.0)
+        assert idx == 0
+        assert dist == pytest.approx(0.6, rel=0.05)
+
+    def test_too_far_returns_none(self, lane_subs):
+        lane1, _, outlier = lane_subs
+        idx, dist = assign_to_representatives(outlier, [lane1[0]], eps=2.0)
+        assert idx is None
+        assert dist > 2.0
+
+    def test_no_temporal_overlap_unreachable(self):
+        early = whole(make_linear_trajectory("e", "0", t0=0, t1=10))
+        late = whole(make_linear_trajectory("l", "0", t0=100, t1=110))
+        idx, dist = assign_to_representatives(early, [late], eps=100.0)
+        assert idx is None and math.isinf(dist)
+
+    def test_temporal_tolerance_is_a_gate_not_a_bridge(self):
+        # Tolerance allows *nearly* overlapping lifespans to be considered,
+        # but the synchronous distance of fully disjoint ones is still inf.
+        early = whole(make_linear_trajectory("e", "0", t0=0, t1=10))
+        late = whole(make_linear_trajectory("l", "0", t0=12, t1=22))
+        idx_no_tol, _ = assign_to_representatives(early, [late], eps=100.0, temporal_tolerance=0.0)
+        assert idx_no_tol is None
+
+
+class TestGreedyClustering:
+    def test_two_lanes_two_clusters(self, lane_subs, small_mod):
+        lane1, lane2, outlier = lane_subs
+        subs = lane1 + lane2 + [outlier]
+        reps = [lane1[0], lane2[0]]
+        params = S2TParams(eps=2.0, coverage_radius=4.0, min_cluster_support=2).resolved(small_mod)
+        result, elapsed = greedy_clustering(subs, reps, params)
+        assert result.num_clusters == 2
+        assert {m.obj_id for m in result.clusters[0].members} == {"a0", "a1", "a2"}
+        assert {m.obj_id for m in result.clusters[1].members} == {"b0", "b1", "b2"}
+        assert [o.obj_id for o in result.outliers] == ["w"]
+        assert elapsed >= 0.0
+
+    def test_representative_belongs_to_its_cluster(self, lane_subs, small_mod):
+        lane1, lane2, _ = lane_subs
+        reps = [lane1[0], lane2[0]]
+        params = S2TParams(eps=2.0, coverage_radius=4.0).resolved(small_mod)
+        result, _ = greedy_clustering(lane1 + lane2, reps, params)
+        for cluster in result.clusters:
+            assert cluster.representative in cluster.members
+
+    def test_min_support_dissolves_small_clusters(self, lane_subs, small_mod):
+        lane1, lane2, outlier = lane_subs
+        # Only one member near the second representative -> dissolved.
+        subs = lane1 + [lane2[0]] + [outlier]
+        reps = [lane1[0], lane2[0]]
+        params = S2TParams(eps=2.0, coverage_radius=4.0, min_cluster_support=2).resolved(small_mod)
+        result, _ = greedy_clustering(subs, reps, params)
+        assert result.num_clusters == 1
+        assert {o.obj_id for o in result.outliers} == {"b0", "w"}
+
+    def test_cluster_ids_are_dense(self, lane_subs, small_mod):
+        lane1, lane2, outlier = lane_subs
+        subs = lane1 + [lane2[0]] + [outlier]
+        reps = [lane1[0], lane2[0]]
+        params = S2TParams(eps=2.0, coverage_radius=4.0, min_cluster_support=2).resolved(small_mod)
+        result, _ = greedy_clustering(subs, reps, params)
+        assert [c.cluster_id for c in result.clusters] == list(range(result.num_clusters))
+
+    def test_no_representatives_everything_is_outlier(self, lane_subs, small_mod):
+        lane1, lane2, outlier = lane_subs
+        subs = lane1 + lane2 + [outlier]
+        params = S2TParams(eps=2.0, coverage_radius=4.0).resolved(small_mod)
+        result, _ = greedy_clustering(subs, [], params)
+        assert result.num_clusters == 0
+        assert result.num_outliers == len(subs)

@@ -1,0 +1,81 @@
+"""Unit tests for the shared clustering result model."""
+
+import pytest
+
+from repro.hermes.types import Period
+from repro.s2t.result import Cluster, ClusteringResult
+from tests.conftest import make_linear_trajectory
+
+
+def whole(traj):
+    return traj.subtrajectory(0, traj.num_points - 1)
+
+
+@pytest.fixture
+def toy_result():
+    a = whole(make_linear_trajectory("a", "0", t0=0, t1=50))
+    b = whole(make_linear_trajectory("b", "0", t0=10, t1=60))
+    c = whole(make_linear_trajectory("c", "0", t0=0, t1=100))
+    out = whole(make_linear_trajectory("z", "0", t0=0, t1=100))
+    cluster0 = Cluster(cluster_id=0, representative=a, members=[a, b])
+    cluster1 = Cluster(cluster_id=1, representative=c, members=[c])
+    return ClusteringResult(
+        method="test",
+        clusters=[cluster0, cluster1],
+        outliers=[out],
+        timings={"phase1": 0.5, "phase2": 0.25},
+    )
+
+
+class TestCluster:
+    def test_size_and_objects(self, toy_result):
+        cluster = toy_result.clusters[0]
+        assert cluster.size == 2
+        assert cluster.object_ids() == {"a", "b"}
+
+    def test_period_spans_members(self, toy_result):
+        assert toy_result.clusters[0].period == Period(0, 60)
+
+
+class TestClusteringResult:
+    def test_counts(self, toy_result):
+        assert toy_result.num_clusters == 2
+        assert toy_result.num_outliers == 1
+        assert toy_result.num_clustered == 3
+
+    def test_total_runtime(self, toy_result):
+        assert toy_result.total_runtime == pytest.approx(0.75)
+
+    def test_cluster_by_id(self, toy_result):
+        assert toy_result.cluster_by_id(1).representative.obj_id == "c"
+        with pytest.raises(KeyError):
+            toy_result.cluster_by_id(99)
+
+    def test_all_subtrajectories_labels(self, toy_result):
+        labels = {sub.obj_id: cid for sub, cid in toy_result.all_subtrajectories()}
+        assert labels == {"a": 0, "b": 0, "c": 1, "z": None}
+
+    def test_point_assignments(self, toy_result):
+        assignments = toy_result.point_assignments()
+        assert set(assignments[("a", "0")].values()) == {0}
+        assert set(assignments[("z", "0")].values()) == {None}
+        # Every sample of each member is assigned.
+        assert len(assignments[("a", "0")]) == 11
+
+    def test_point_assignments_prefer_clusters_over_outliers(self):
+        traj = make_linear_trajectory("a", "0")
+        first_half = traj.subtrajectory(0, 5)
+        result = ClusteringResult(
+            method="test",
+            clusters=[Cluster(cluster_id=0, representative=first_half, members=[first_half])],
+            outliers=[whole(traj)],
+        )
+        per_sample = result.point_assignments()[("a", "0")]
+        assert per_sample[0] == 0  # covered by both, cluster wins
+        assert per_sample[10] is None  # only the outlier covers the tail
+
+    def test_summary_shape(self, toy_result):
+        summary = toy_result.summary()
+        assert summary["method"] == "test"
+        assert summary["clusters"] == 2
+        assert summary["cluster_sizes"] == [2, 1]

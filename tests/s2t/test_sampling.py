@@ -1,0 +1,67 @@
+"""Unit tests for SaCO representative sampling."""
+
+import pytest
+
+from repro.s2t.params import S2TParams
+from repro.s2t.sampling import select_representatives
+from tests.conftest import make_linear_trajectory
+
+
+def make_subs_with_masses():
+    """Three co-located sub-trajectories plus one far away, with given masses."""
+    base = make_linear_trajectory("a", "0", (0, 0), (10, 0))
+    near1 = make_linear_trajectory("b", "0", (0, 0.2), (10, 0.2))
+    near2 = make_linear_trajectory("c", "0", (0, 0.4), (10, 0.4))
+    far = make_linear_trajectory("z", "0", (0, 60), (10, 60))
+    subs = [t.subtrajectory(0, t.num_points - 1) for t in (base, near1, near2, far)]
+    masses = {subs[0].key: 3.0, subs[1].key: 2.5, subs[2].key: 2.0, subs[3].key: 0.5}
+    return subs, masses
+
+
+class TestSelectRepresentatives:
+    def test_empty_input(self, small_mod):
+        params = S2TParams().resolved(small_mod)
+        reps, elapsed = select_representatives([], {}, params)
+        assert reps == []
+        assert elapsed >= 0.0
+
+    def test_highest_mass_selected_first(self, small_mod):
+        subs, masses = make_subs_with_masses()
+        params = S2TParams(eps=1.0, coverage_radius=2.0, max_representatives=1).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        assert len(reps) == 1
+        assert reps[0].key == subs[0].key
+
+    def test_coverage_prefers_spread_out_representatives(self, small_mod):
+        subs, masses = make_subs_with_masses()
+        params = S2TParams(eps=1.0, coverage_radius=2.0, max_representatives=2).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        # The second representative must be the far-away one even though the
+        # near duplicates have higher raw mass: they are already covered.
+        assert {r.obj_id for r in reps} == {"a", "z"}
+
+    def test_max_representatives_respected(self, small_mod):
+        subs, masses = make_subs_with_masses()
+        params = S2TParams(eps=1.0, coverage_radius=2.0, max_representatives=3).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        assert len(reps) <= 3
+
+    def test_gain_threshold_stops_selection(self, small_mod):
+        subs, masses = make_subs_with_masses()
+        # With a very high threshold only the first representative survives.
+        params = S2TParams(eps=1.0, coverage_radius=2.0, gain_threshold=0.9).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        assert len(reps) <= 2
+
+    def test_zero_mass_candidates_never_selected(self, small_mod):
+        subs, _ = make_subs_with_masses()
+        masses = {s.key: 0.0 for s in subs}
+        params = S2TParams(eps=1.0, coverage_radius=2.0).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        assert reps == []
+
+    def test_representatives_are_input_objects(self, small_mod):
+        subs, masses = make_subs_with_masses()
+        params = S2TParams(eps=1.0, coverage_radius=2.0).resolved(small_mod)
+        reps, _ = select_representatives(subs, masses, params)
+        assert all(any(r is s for s in subs) for r in reps)

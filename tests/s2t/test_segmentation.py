@@ -1,0 +1,113 @@
+"""Unit tests for NaTS segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.s2t.params import S2TParams
+from repro.s2t.segmentation import (
+    dp_segmentation,
+    greedy_segmentation,
+    segment_by_voting,
+    segment_mod,
+)
+from repro.s2t.voting import compute_voting
+from tests.conftest import make_linear_trajectory
+
+
+def step_signal(levels: list[float], run: int = 10) -> np.ndarray:
+    return np.concatenate([np.full(run, lvl) for lvl in levels])
+
+
+class TestDPSegmentation:
+    def test_constant_signal_never_split(self):
+        assert dp_segmentation(np.full(50, 3.0), penalty=0.05, min_len=4) == []
+
+    def test_clear_step_is_found(self):
+        votes = step_signal([0.0, 10.0])
+        cuts = dp_segmentation(votes, penalty=0.05, min_len=3)
+        assert cuts == [10]
+
+    def test_three_levels_two_cuts(self):
+        votes = step_signal([0.0, 10.0, 0.0])
+        cuts = dp_segmentation(votes, penalty=0.05, min_len=3)
+        assert cuts == [10, 20]
+
+    def test_min_len_respected(self):
+        votes = step_signal([0.0, 10.0], run=4)
+        cuts = dp_segmentation(votes, penalty=0.01, min_len=5)
+        for lo, hi in zip([0] + cuts, cuts + [len(votes)]):
+            assert hi - lo >= 5
+
+    def test_high_penalty_suppresses_cuts(self):
+        votes = step_signal([0.0, 1.0, 0.5, 0.8])
+        few = dp_segmentation(votes, penalty=5.0, min_len=3)
+        many = dp_segmentation(votes, penalty=0.001, min_len=3)
+        assert len(few) <= len(many)
+
+    def test_short_signal_not_split(self):
+        assert dp_segmentation(np.array([1.0, 5.0]), penalty=0.05, min_len=4) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=5, max_size=60))
+    def test_cuts_are_valid_positions(self, values):
+        votes = np.asarray(values)
+        cuts = dp_segmentation(votes, penalty=0.05, min_len=2)
+        assert all(0 < c < len(votes) for c in cuts)
+        assert cuts == sorted(cuts)
+        assert len(set(cuts)) == len(cuts)
+
+
+class TestGreedySegmentation:
+    def test_constant_signal_never_split(self):
+        assert greedy_segmentation(np.full(50, 3.0), threshold_fraction=0.2, min_len=4) == []
+
+    def test_step_found(self):
+        votes = step_signal([0.0, 10.0])
+        cuts = greedy_segmentation(votes, threshold_fraction=0.3, min_len=3)
+        assert len(cuts) >= 1
+        assert 8 <= cuts[0] <= 12
+
+    def test_min_len_respected(self):
+        votes = step_signal([0.0, 5.0, 0.0, 5.0], run=6)
+        cuts = greedy_segmentation(votes, threshold_fraction=0.2, min_len=4)
+        bounds = [0] + cuts + [len(votes)]
+        assert all(b - a >= 4 for a, b in zip(bounds[:-1], bounds[1:]))
+
+
+class TestSegmentByVoting:
+    def test_produces_subtrajectories_covering_parent(self):
+        traj = make_linear_trajectory("a", "0", n=31)
+        votes = step_signal([0.0, 8.0, 0.0])  # 30 segments
+        subs = segment_by_voting(traj, votes, S2TParams(segmentation_method="dp"))
+        assert len(subs) == 3
+        covered = set()
+        for sub in subs:
+            covered.update(range(sub.start_idx, sub.end_idx + 1))
+        assert covered == set(range(traj.num_points))
+
+    def test_greedy_method_also_runs(self):
+        traj = make_linear_trajectory("a", "0", n=31)
+        votes = step_signal([0.0, 8.0, 0.0])
+        subs = segment_by_voting(traj, votes, S2TParams(segmentation_method="greedy"))
+        assert len(subs) >= 2
+
+
+class TestSegmentMod:
+    def test_segment_mod_outputs_masses(self, small_mod):
+        params = S2TParams(sigma=1.0, use_index=False).resolved(small_mod)
+        profile = compute_voting(small_mod, params)
+        subs, masses, elapsed = segment_mod(small_mod, profile, params)
+        assert len(subs) >= len(small_mod)
+        assert set(masses) == {s.key for s in subs}
+        assert all(m >= 0 for m in masses.values())
+        assert elapsed >= 0.0
+
+    def test_co_moving_subtrajectories_have_higher_mass(self, small_mod):
+        params = S2TParams(sigma=1.0, use_index=False).resolved(small_mod)
+        profile = compute_voting(small_mod, params)
+        subs, masses, _ = segment_mod(small_mod, profile, params)
+        mass_a = max(m for key, m in masses.items() if key[0] == "a")
+        mass_z = max(m for key, m in masses.items() if key[0] == "z")
+        assert mass_a > mass_z

@@ -1,0 +1,166 @@
+"""Integration tests for the SQL executor against a live engine."""
+
+import pytest
+
+from repro.core.engine import HermesEngine
+from repro.hermes.io import write_csv
+from repro.sql.errors import SQLExecutionError
+from repro.sql.executor import SQLExecutor
+
+
+@pytest.fixture
+def engine(lanes_small):
+    mod, _ = lanes_small
+    engine = HermesEngine.in_memory()
+    engine.load_mod("lanes", mod)
+    return engine
+
+
+@pytest.fixture
+def executor(engine):
+    return SQLExecutor(engine)
+
+
+class TestDDL:
+    def test_show_datasets(self, executor):
+        assert executor.execute("SHOW DATASETS") == [{"dataset": "lanes"}]
+
+    def test_create_and_drop(self, executor):
+        assert executor.execute("CREATE DATASET fresh") == [{"created": "fresh"}]
+        assert {"dataset": "fresh"} in executor.execute("SHOW DATASETS")
+        assert executor.execute("DROP DATASET fresh") == [{"dropped": "fresh"}]
+        assert {"dataset": "fresh"} not in executor.execute("SHOW DATASETS")
+
+    def test_create_duplicate_rejected(self, executor):
+        executor.execute("CREATE DATASET dup")
+        with pytest.raises(SQLExecutionError):
+            executor.execute("CREATE DATASET dup")
+
+    def test_drop_unknown_rejected(self, executor):
+        with pytest.raises(SQLExecutionError):
+            executor.execute("DROP DATASET ghost")
+
+    def test_load_dataset_from_csv(self, executor, engine, tmp_path, lanes_small):
+        mod, _ = lanes_small
+        path = tmp_path / "lanes.csv"
+        write_csv(mod, path)
+        rows = executor.execute(f"LOAD DATASET copy FROM '{path}'")
+        assert rows == [{"dataset": "copy", "trajectories": len(mod)}]
+        assert "copy" in engine.datasets()
+
+
+class TestInsertAndPointQueries:
+    def test_insert_builds_trajectories(self, executor, engine):
+        executor.execute("CREATE DATASET probes")
+        executor.execute(
+            "INSERT INTO probes VALUES ('bus', '0', 0, 0, 0), ('bus', '0', 1, 1, 10), "
+            "('bus', '0', 2, 2, 20)"
+        )
+        assert len(engine.get_mod("probes")) == 1
+        assert engine.get_mod("probes").get(("bus", "0")).num_points == 3
+
+    def test_insert_extends_existing_dataset(self, executor, engine):
+        executor.execute("CREATE DATASET probes")
+        executor.execute("INSERT INTO probes VALUES ('bus', '0', 0, 0, 0), ('bus', '0', 1, 1, 10)")
+        executor.execute("INSERT INTO probes VALUES ('bus', '0', 2, 2, 20)")
+        assert engine.get_mod("probes").get(("bus", "0")).num_points == 3
+
+    def test_insert_wrong_arity_rejected(self, executor):
+        executor.execute("CREATE DATASET probes")
+        with pytest.raises(SQLExecutionError, match="obj_id, traj_id, x, y, t"):
+            executor.execute("INSERT INTO probes VALUES ('bus', 0, 0)")
+
+    def test_insert_into_unknown_dataset(self, executor):
+        with pytest.raises(SQLExecutionError):
+            executor.execute("INSERT INTO ghost VALUES ('a', '0', 0, 0, 0)")
+
+    def test_count_star(self, executor, lanes_small):
+        mod, _ = lanes_small
+        rows = executor.execute("SELECT COUNT(*) FROM lanes")
+        assert rows == [{"count": mod.total_points}]
+
+    def test_count_with_predicate(self, executor, lanes_small):
+        mod, _ = lanes_small
+        midpoint = (mod.period.tmin + mod.period.tmax) / 2
+        rows = executor.execute(f"SELECT COUNT(*) FROM lanes WHERE t >= {midpoint}")
+        assert 0 < rows[0]["count"] < mod.total_points
+
+    def test_select_columns_with_limit_and_order(self, executor):
+        rows = executor.execute("SELECT obj_id, t FROM lanes ORDER BY t DESC LIMIT 5")
+        assert len(rows) == 5
+        assert set(rows[0]) == {"obj_id", "t"}
+        ts = [row["t"] for row in rows]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_select_star(self, executor):
+        rows = executor.execute("SELECT * FROM lanes LIMIT 3")
+        assert set(rows[0]) == {"obj_id", "traj_id", "x", "y", "t"}
+
+    def test_select_where_equality(self, executor, lanes_small):
+        mod, _ = lanes_small
+        some_obj = mod.trajectories()[0].obj_id
+        rows = executor.execute(f"SELECT obj_id FROM lanes WHERE obj_id = '{some_obj}'")
+        assert rows and all(row["obj_id"] == some_obj for row in rows)
+
+    def test_select_unknown_dataset(self, executor):
+        with pytest.raises(SQLExecutionError):
+            executor.execute("SELECT x FROM ghost")
+
+    def test_execute_script_runs_multiple_statements(self, executor):
+        results = executor.execute_script(
+            "CREATE DATASET s; INSERT INTO s VALUES ('a','0',0,0,0),('a','0',1,1,1); SHOW DATASETS;"
+        )
+        assert len(results) == 3
+
+
+class TestClusteringFunctions:
+    def test_summary(self, executor, lanes_small):
+        mod, _ = lanes_small
+        rows = executor.execute("SELECT SUMMARY(lanes)")
+        assert rows[0]["trajectories"] == len(mod)
+
+    def test_s2t_rows_shape(self, executor):
+        rows = executor.execute("SELECT S2T(lanes)")
+        assert rows[-1]["cluster_id"] == "outliers"
+        assert all({"cluster_id", "members", "objects"} <= set(row) for row in rows)
+        assert len(rows) >= 2
+
+    def test_qut_full_signature(self, executor, lanes_small):
+        mod, _ = lanes_small
+        period = mod.period
+        tau = period.duration / 4
+        rows = executor.execute(
+            f"SELECT QUT(lanes, {period.tmin}, {period.tmax}, {tau}, {tau / 4}, 0, 5, 2)"
+        )
+        assert rows[-1]["cluster_id"] == "outliers"
+
+    def test_qut_requires_window(self, executor):
+        with pytest.raises(SQLExecutionError, match="window"):
+            executor.execute("SELECT QUT(lanes)")
+
+    def test_cluster_histogram_requires_prior_run(self, executor, engine):
+        engine.load_mod("untouched", engine.get_mod("lanes"))
+        with pytest.raises(SQLExecutionError):
+            executor.execute("SELECT CLUSTER_HISTOGRAM(untouched)")
+
+    def test_cluster_histogram_after_s2t(self, executor):
+        executor.execute("SELECT S2T(lanes)")
+        rows = executor.execute("SELECT CLUSTER_HISTOGRAM(lanes, 10)")
+        assert rows
+        assert {"bin", "cluster", "members_alive"} <= set(rows[0])
+
+    def test_holding_patterns_function(self, executor):
+        rows = executor.execute("SELECT HOLDING_PATTERNS(lanes)")
+        assert isinstance(rows, list)
+
+    def test_unknown_function(self, executor):
+        with pytest.raises(SQLExecutionError, match="unknown function"):
+            executor.execute("SELECT FROBNICATE(lanes)")
+
+    def test_function_requires_dataset_argument(self, executor):
+        with pytest.raises(SQLExecutionError):
+            executor.execute("SELECT S2T(42)")
+
+    def test_engine_sql_shortcut(self, engine):
+        rows = engine.sql("SELECT SUMMARY(lanes)")
+        assert rows[0]["dataset"] == "lanes"

@@ -1,0 +1,74 @@
+"""Unit tests for the SQL tokeniser."""
+
+import pytest
+
+from repro.sql.errors import SQLParseError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql: str) -> list[str]:
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select from")[:2] == ["KEYWORD", "KEYWORD"]
+        assert kinds("SeLeCt FROM")[:2] == ["KEYWORD", "KEYWORD"]
+
+    def test_identifiers(self):
+        tokens = tokenize("flights qut_result x1")
+        assert [t.type for t in tokens[:-1]] == ["IDENT", "IDENT", "IDENT"]
+
+    def test_numbers(self):
+        assert values("42 3.14 -7 1e3 2.5e-2") == ["42", "3.14", "-7", "1e3", "2.5e-2"]
+        assert all(t == "NUMBER" for t in kinds("42 3.14 -7")[:3])
+
+    def test_strings_single_and_double_quotes(self):
+        tokens = tokenize("'hello world' \"other\"")
+        assert tokens[0].type == "STRING" and tokens[0].value == "hello world"
+        assert tokens[1].type == "STRING" and tokens[1].value == "other"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLParseError, match="unterminated"):
+            tokenize("SELECT 'oops")
+
+    def test_symbols_and_operators(self):
+        assert kinds("( ) , ; * = < > <= >= != <>")[:-1] == [
+            "LPAREN",
+            "RPAREN",
+            "COMMA",
+            "SEMI",
+            "STAR",
+            "EQ",
+            "LT",
+            "GT",
+            "LE",
+            "GE",
+            "NE",
+            "NE",
+        ]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLParseError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_token_appended(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT  QUT")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == ["EOF"]
+
+    def test_token_is_frozen(self):
+        token = Token("IDENT", "x", 0)
+        with pytest.raises(AttributeError):
+            token.value = "y"  # type: ignore[misc]

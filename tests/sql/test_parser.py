@@ -1,0 +1,146 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    Comparison,
+    CreateDataset,
+    DropDataset,
+    InsertPoints,
+    LoadDataset,
+    SelectCount,
+    SelectFunction,
+    SelectPoints,
+    ShowDatasets,
+)
+from repro.sql.errors import SQLParseError
+from repro.sql.parser import parse
+
+
+class TestDDLStatements:
+    def test_create_dataset(self):
+        assert parse("CREATE DATASET flights") == CreateDataset("flights")
+        assert parse("create dataset flights;") == CreateDataset("flights")
+
+    def test_drop_dataset(self):
+        assert parse("DROP DATASET flights") == DropDataset("flights")
+
+    def test_show_datasets(self):
+        assert parse("SHOW DATASETS") == ShowDatasets()
+
+    def test_load_dataset(self):
+        statement = parse("LOAD DATASET flights FROM '/tmp/data.csv'")
+        assert statement == LoadDataset("flights", "/tmp/data.csv")
+
+    def test_load_requires_string_path(self):
+        with pytest.raises(SQLParseError):
+            parse("LOAD DATASET flights FROM data.csv")
+
+
+class TestInsert:
+    def test_single_row(self):
+        statement = parse("INSERT INTO d VALUES ('a', '0', 1.0, 2.0, 3.0)")
+        assert isinstance(statement, InsertPoints)
+        assert statement.dataset == "d"
+        assert statement.rows == (("a", "0", 1.0, 2.0, 3.0),)
+
+    def test_multiple_rows(self):
+        statement = parse(
+            "INSERT INTO d VALUES ('a', '0', 1, 2, 3), ('a', '0', 2, 3, 4)"
+        )
+        assert len(statement.rows) == 2
+
+    def test_missing_parenthesis(self):
+        with pytest.raises(SQLParseError):
+            parse("INSERT INTO d VALUES 'a', '0', 1, 2, 3")
+
+
+class TestSelectFunction:
+    def test_qut_full_signature(self):
+        statement = parse("SELECT QUT(flights, 0, 1800, 900, 225, 0, 5, 3)")
+        assert statement == SelectFunction(
+            "QUT", ("flights", 0, 1800, 900, 225, 0, 5, 3)
+        )
+
+    def test_qut_minimal_signature(self):
+        statement = parse("SELECT QUT(flights, 0, 1800)")
+        assert statement.function == "QUT"
+        assert statement.args == ("flights", 0, 1800)
+
+    def test_function_name_uppercased(self):
+        assert parse("select s2t(flights)").function == "S2T"
+
+    def test_no_arguments(self):
+        assert parse("SELECT VERSION()") == SelectFunction("VERSION", ())
+
+    def test_float_arguments(self):
+        statement = parse("SELECT S2T(d, 1.5, 2.25)")
+        assert statement.args == ("d", 1.5, 2.25)
+
+
+class TestSelectCount:
+    def test_count_star(self):
+        statement = parse("SELECT COUNT(*) FROM flights")
+        assert statement == SelectCount("flights", ())
+
+    def test_count_with_where(self):
+        statement = parse("SELECT COUNT(*) FROM flights WHERE t >= 10")
+        assert statement.predicates == (Comparison("t", ">=", 10),)
+
+
+class TestSelectPoints:
+    def test_star_projection(self):
+        statement = parse("SELECT * FROM flights")
+        assert isinstance(statement, SelectPoints)
+        assert statement.columns == ("*",)
+
+    def test_column_list(self):
+        statement = parse("SELECT obj_id, x, y FROM flights")
+        assert statement.columns == ("obj_id", "x", "y")
+
+    def test_where_and_chain(self):
+        statement = parse("SELECT x FROM d WHERE t >= 5 AND t <= 10 AND obj_id = 'a'")
+        assert statement.predicates == (
+            Comparison("t", ">=", 5),
+            Comparison("t", "<=", 10),
+            Comparison("obj_id", "=", "a"),
+        )
+
+    def test_between_desugars_to_two_comparisons(self):
+        statement = parse("SELECT x FROM d WHERE t BETWEEN 3 AND 9")
+        assert statement.predicates == (
+            Comparison("t", ">=", 3),
+            Comparison("t", "<=", 9),
+        )
+
+    def test_order_by_and_limit(self):
+        statement = parse("SELECT x FROM d ORDER BY t DESC LIMIT 7")
+        assert statement.order_by == "t"
+        assert statement.descending is True
+        assert statement.limit == 7
+
+    def test_order_by_asc_default(self):
+        statement = parse("SELECT x FROM d ORDER BY t")
+        assert statement.descending is False
+
+    def test_unknown_column_in_where_rejected(self):
+        with pytest.raises(SQLParseError, match="unknown column"):
+            parse("SELECT x FROM d WHERE altitude > 3")
+
+
+class TestParseErrors:
+    def test_garbage_statement(self):
+        with pytest.raises(SQLParseError):
+            parse("EXPLODE THE DATABASE")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse("SHOW DATASETS SELECT")
+
+    def test_empty_statement(self):
+        with pytest.raises(SQLParseError):
+            parse("")
+
+    def test_statement_must_start_with_keyword(self):
+        with pytest.raises(SQLParseError):
+            parse("flights SELECT")

@@ -1,0 +1,84 @@
+"""Unit tests for the partition catalog / storage manager."""
+
+import pytest
+
+from repro.storage.catalog import StorageManager
+
+
+@pytest.fixture(params=["memory", "disk"])
+def manager(request, tmp_path):
+    if request.param == "memory":
+        return StorageManager()
+    return StorageManager(tmp_path / "partitions")
+
+
+class TestPartitionLifecycle:
+    def test_create_and_get(self, manager):
+        info = manager.create_partition("cluster_0")
+        assert manager.get("cluster_0") is info
+        assert manager.has("cluster_0")
+        assert not manager.has("cluster_1")
+
+    def test_duplicate_create_rejected(self, manager):
+        manager.create_partition("p")
+        with pytest.raises(ValueError):
+            manager.create_partition("p")
+
+    def test_get_or_create_idempotent(self, manager):
+        a = manager.get_or_create("p")
+        b = manager.get_or_create("p")
+        assert a is b
+        assert len(manager.partitions()) == 1
+
+    def test_drop_removes_partition(self, manager):
+        manager.create_partition("gone")
+        manager.drop_partition("gone")
+        assert not manager.has("gone")
+        with pytest.raises(KeyError):
+            manager.get("gone")
+
+    def test_drop_deletes_file_on_disk(self, tmp_path):
+        manager = StorageManager(tmp_path / "parts")
+        info = manager.create_partition("on_disk")
+        info.heapfile.insert(b"data")
+        info.heapfile.buffer_pool.flush_all()
+        assert info.path is not None and info.path.exists()
+        manager.drop_partition("on_disk")
+        assert not info.path.exists()
+
+    def test_unknown_partition_raises(self, manager):
+        with pytest.raises(KeyError):
+            manager.get("missing")
+
+
+class TestPartitionUsage:
+    def test_partitions_are_usable_heapfiles(self, manager):
+        info = manager.create_partition("data")
+        rid = info.heapfile.insert(b"record")
+        assert info.heapfile.get(rid) == b"record"
+        info.record_count += 1
+        assert manager.total_records() == 1
+
+    def test_total_pages_aggregates(self, manager):
+        a = manager.create_partition("a")
+        b = manager.create_partition("b")
+        a.heapfile.insert(b"x" * 100)
+        b.heapfile.insert(b"y" * 100)
+        assert manager.total_pages() >= 2
+
+    def test_io_stats_aggregate(self, manager):
+        info = manager.create_partition("io")
+        rid = info.heapfile.insert(b"payload")
+        info.heapfile.get(rid)
+        stats = manager.io_stats()
+        assert stats["hits"] + stats["misses"] > 0
+
+    def test_close_flushes_disk_partitions(self, tmp_path):
+        manager = StorageManager(tmp_path / "flush")
+        info = manager.create_partition("p")
+        rid = info.heapfile.insert(b"flushed")
+        manager.close()
+
+        reopened = StorageManager(tmp_path / "flush")
+        restored = reopened.create_partition("p")
+        assert restored.heapfile.get(rid) == b"flushed"

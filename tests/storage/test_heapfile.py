@@ -1,0 +1,90 @@
+"""Unit tests for heap files (RID-addressed record storage)."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heapfile import HeapFile, RID
+from repro.storage.pager import FilePager, InMemoryPager
+
+
+@pytest.fixture(params=["memory", "file"])
+def heapfile(request, tmp_path):
+    if request.param == "memory":
+        pager = InMemoryPager()
+    else:
+        pager = FilePager(tmp_path / "heap.pages")
+    return HeapFile(BufferPool(pager, capacity=8))
+
+
+class TestInsertAndGet:
+    def test_round_trip_small_record(self, heapfile):
+        rid = heapfile.insert(b"small record")
+        assert heapfile.get(rid) == b"small record"
+
+    def test_many_records_distinct_rids(self, heapfile):
+        rids = [heapfile.insert(f"rec-{i}".encode()) for i in range(200)]
+        assert len(set(rids)) == 200
+        for i, rid in enumerate(rids):
+            assert heapfile.get(rid) == f"rec-{i}".encode()
+
+    def test_record_spanning_multiple_pages(self, heapfile):
+        big = bytes(range(256)) * 150  # ~38 KiB, needs ~5 pages
+        rid = heapfile.insert(big)
+        assert heapfile.get(rid) == big
+        assert heapfile.num_pages() >= 5
+
+    def test_empty_record(self, heapfile):
+        rid = heapfile.insert(b"")
+        assert heapfile.get(rid) == b""
+
+    def test_records_fill_multiple_pages(self, heapfile):
+        payload = b"p" * 1000
+        for _ in range(30):
+            heapfile.insert(payload)
+        assert heapfile.num_pages() > 1
+
+
+class TestDelete:
+    def test_deleted_record_not_scanned(self, heapfile):
+        keep = heapfile.insert(b"keep")
+        victim = heapfile.insert(b"remove")
+        heapfile.delete(victim)
+        contents = [rec for _rid, rec in heapfile.scan_records()]
+        assert b"keep" in contents
+        assert b"remove" not in contents
+        assert heapfile.get(keep) == b"keep"
+
+    def test_delete_multi_page_record_removes_all_chunks(self, heapfile):
+        big = b"B" * 30000
+        rid = heapfile.insert(big)
+        heapfile.delete(rid)
+        assert [rec for _r, rec in heapfile.scan_records()] == []
+
+
+class TestScan:
+    def test_scan_records_returns_complete_records(self, heapfile):
+        small = heapfile.insert(b"small")
+        big_payload = b"X" * 20000
+        big = heapfile.insert(big_payload)
+        records = dict(heapfile.scan_records())
+        assert records[small] == b"small"
+        assert records[big] == big_payload
+        assert len(records) == 2
+
+    def test_scan_empty_file(self, heapfile):
+        assert list(heapfile.scan_records()) == []
+
+
+class TestDurability:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "durable.heap"
+        pool = BufferPool(FilePager(path), capacity=4)
+        heap = HeapFile(pool)
+        rid = heap.insert(b"persist me")
+        pool.close()
+
+        reopened = HeapFile(BufferPool(FilePager(path), capacity=4))
+        assert reopened.get(rid) == b"persist me"
+
+    def test_rid_ordering(self):
+        assert RID(0, 1) < RID(0, 2) < RID(1, 0)

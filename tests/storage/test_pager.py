@@ -1,0 +1,74 @@
+"""Unit tests for the page stores."""
+
+import pytest
+
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.pager import FilePager, InMemoryPager
+
+
+@pytest.fixture(params=["memory", "file"])
+def pager(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryPager()
+    return FilePager(tmp_path / "data.pages")
+
+
+class TestPagerCommon:
+    def test_starts_empty(self, pager):
+        assert pager.num_pages() == 0
+
+    def test_allocate_returns_sequential_numbers(self, pager):
+        assert [pager.allocate_page() for _ in range(3)] == [0, 1, 2]
+        assert pager.num_pages() == 3
+
+    def test_write_read_round_trip(self, pager):
+        page_no = pager.allocate_page()
+        page = Page()
+        page.insert(b"persisted")
+        pager.write_page(page_no, page)
+        assert pager.read_page(page_no).read(0) == b"persisted"
+
+    def test_read_unallocated_raises(self, pager):
+        with pytest.raises(IndexError):
+            pager.read_page(0)
+
+    def test_write_unallocated_raises(self, pager):
+        with pytest.raises(IndexError):
+            pager.write_page(5, Page())
+
+
+class TestFilePagerDurability:
+    def test_data_survives_reopen(self, tmp_path):
+        path = tmp_path / "durable.pages"
+        pager = FilePager(path)
+        page_no = pager.allocate_page()
+        page = Page()
+        page.insert(b"survivor")
+        pager.write_page(page_no, page)
+        pager.sync()
+        pager.close()
+
+        reopened = FilePager(path)
+        assert reopened.num_pages() == 1
+        assert reopened.read_page(page_no).read(0) == b"survivor"
+        reopened.close()
+
+    def test_file_size_matches_page_count(self, tmp_path):
+        path = tmp_path / "sized.pages"
+        pager = FilePager(path)
+        for _ in range(4):
+            pager.allocate_page()
+        pager.sync()
+        assert path.stat().st_size == 4 * PAGE_SIZE
+        pager.close()
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.pages"
+        path.write_bytes(b"\x00" * (PAGE_SIZE + 17))
+        with pytest.raises(ValueError):
+            FilePager(path)
+
+    def test_close_is_idempotent(self, tmp_path):
+        pager = FilePager(tmp_path / "x.pages")
+        pager.close()
+        pager.close()

@@ -1,0 +1,82 @@
+"""Unit tests for two-run comparison (Fig. 3)."""
+
+import pytest
+
+from repro.s2t.result import Cluster, ClusteringResult
+from repro.va.compare import compare_runs
+from tests.conftest import make_linear_trajectory
+
+
+def whole(traj):
+    return traj.subtrajectory(0, traj.num_points - 1)
+
+
+def result_with_reps(reps):
+    clusters = [
+        Cluster(cluster_id=i, representative=rep, members=[rep]) for i, rep in enumerate(reps)
+    ]
+    return ClusteringResult(method="test", clusters=clusters, outliers=[])
+
+
+class TestCompareRuns:
+    def test_identical_runs_fully_matched(self):
+        reps = [
+            whole(make_linear_trajectory("a", "0")),
+            whole(make_linear_trajectory("b", "0", (0, 30), (10, 30))),
+        ]
+        comparison = compare_runs(result_with_reps(reps), result_with_reps(reps), 1.0)
+        assert comparison.num_matched == 2
+        assert comparison.only_in_a == [] and comparison.only_in_b == []
+        assert all(dist == pytest.approx(0.0) for _a, _b, dist in comparison.matched)
+
+    def test_disjoint_runs_nothing_matched(self):
+        run_a = result_with_reps([whole(make_linear_trajectory("a", "0"))])
+        run_b = result_with_reps([whole(make_linear_trajectory("b", "0", (0, 500), (10, 500)))])
+        comparison = compare_runs(run_a, run_b, distance_threshold=5.0)
+        assert comparison.num_matched == 0
+        assert comparison.only_in_a == [0] and comparison.only_in_b == [0]
+
+    def test_one_to_one_matching_greedy_by_distance(self):
+        shared = whole(make_linear_trajectory("a", "0"))
+        near = whole(make_linear_trajectory("a2", "0", (0, 0.5), (10, 0.5)))
+        run_a = result_with_reps([shared])
+        run_b = result_with_reps([near, whole(make_linear_trajectory("b", "0", (0, 0.8), (10, 0.8)))])
+        comparison = compare_runs(run_a, run_b, distance_threshold=2.0)
+        # Run A's single representative is matched to the *closest* run-B one.
+        assert comparison.num_matched == 1
+        assert comparison.matched[0][1] == 0
+        assert comparison.only_in_b == [1]
+
+    def test_time_agnostic_matching(self):
+        early = whole(make_linear_trajectory("a", "0", t0=0, t1=100))
+        late = whole(make_linear_trajectory("b", "0", t0=1000, t1=1100))
+        run_a = result_with_reps([early])
+        run_b = result_with_reps([late])
+        time_aware = compare_runs(run_a, run_b, 1.0, time_aware=True)
+        spatial = compare_runs(run_a, run_b, 1.0, time_aware=False)
+        assert time_aware.num_matched == 0
+        assert spatial.num_matched == 1
+
+    def test_rows_and_summary(self):
+        reps = [whole(make_linear_trajectory("a", "0"))]
+        comparison = compare_runs(result_with_reps(reps), result_with_reps([]), 1.0)
+        assert comparison.summary() == {
+            "matched_pairs": 0,
+            "only_in_run_a": 1,
+            "only_in_run_b": 0,
+        }
+        rows = comparison.to_rows()
+        assert len(rows) == 1
+        assert rows[0]["status"] == "only in A"
+
+    def test_real_two_run_comparison(self, lanes_small):
+        from repro.s2t.params import S2TParams
+        from repro.s2t.pipeline import S2TClustering
+
+        mod, _ = lanes_small
+        diag = (mod.bbox.dx**2 + mod.bbox.dy**2) ** 0.5
+        run_a = S2TClustering(S2TParams(eps=0.04 * diag)).fit(mod)
+        run_b = S2TClustering(S2TParams(eps=0.08 * diag)).fit(mod)
+        comparison = compare_runs(run_a, run_b, distance_threshold=0.08 * diag)
+        assert comparison.num_matched > 0
+        assert comparison.num_matched <= min(run_a.num_clusters, run_b.num_clusters)

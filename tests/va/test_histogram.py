@@ -1,0 +1,89 @@
+"""Unit tests for the cluster-cardinality time histogram (Fig. 1 middle)."""
+
+import numpy as np
+import pytest
+
+from repro.hermes.types import Period
+from repro.s2t.result import Cluster, ClusteringResult
+from repro.va.histogram import cluster_time_histogram
+from tests.conftest import make_linear_trajectory
+
+
+def whole(traj):
+    return traj.subtrajectory(0, traj.num_points - 1)
+
+
+@pytest.fixture
+def staggered_result():
+    """Cluster 0 alive in [0, 50], cluster 1 alive in [50, 100]."""
+    early = [whole(make_linear_trajectory(f"e{i}", "0", t0=0, t1=50)) for i in range(3)]
+    late = [whole(make_linear_trajectory(f"l{i}", "0", t0=50, t1=100)) for i in range(2)]
+    return ClusteringResult(
+        method="test",
+        clusters=[
+            Cluster(cluster_id=0, representative=early[0], members=early),
+            Cluster(cluster_id=1, representative=late[0], members=late),
+        ],
+        outliers=[whole(make_linear_trajectory("noise", "0", t0=0, t1=100))],
+    )
+
+
+class TestClusterTimeHistogram:
+    def test_bin_layout(self, staggered_result):
+        hist = cluster_time_histogram(staggered_result, n_bins=10, period=Period(0, 100))
+        assert hist.num_bins == 10
+        assert hist.bin_edges[0] == 0 and hist.bin_edges[-1] == 100
+        assert hist.counts.shape == (2, 10)
+
+    def test_cardinality_reflects_cluster_lifetimes(self, staggered_result):
+        hist = cluster_time_histogram(staggered_result, n_bins=10, period=Period(0, 100))
+        series0 = hist.series_for(0)
+        series1 = hist.series_for(1)
+        assert series0[0] == 3 and series0[-1] == 0
+        assert series1[0] == 0 and series1[-1] == 2
+        # Totals stack the two clusters.
+        assert hist.total_per_bin()[0] == 3
+        assert hist.total_per_bin()[-1] == 2
+
+    def test_existence_period(self, staggered_result):
+        hist = cluster_time_histogram(staggered_result, n_bins=10, period=Period(0, 100))
+        existence0 = hist.existence_period(0)
+        assert existence0 is not None
+        assert existence0.tmin == pytest.approx(0.0)
+        assert existence0.tmax == pytest.approx(50.0, abs=10.0)
+
+    def test_default_period_inferred(self, staggered_result):
+        hist = cluster_time_histogram(staggered_result, n_bins=5)
+        assert hist.bin_edges[0] == pytest.approx(0.0)
+        assert hist.bin_edges[-1] == pytest.approx(100.0)
+
+    def test_rows_only_positive_counts(self, staggered_result):
+        hist = cluster_time_histogram(staggered_result, n_bins=10, period=Period(0, 100))
+        rows = hist.to_rows()
+        assert all(row["members_alive"] > 0 for row in rows)
+        assert all(row["cluster"] in (0, 1) for row in rows)
+        assert all(isinstance(row["color"], str) for row in rows)
+
+    def test_invalid_bins_rejected(self, staggered_result):
+        with pytest.raises(ValueError):
+            cluster_time_histogram(staggered_result, n_bins=0)
+
+    def test_empty_result_rejected_without_period(self):
+        empty = ClusteringResult(method="test", clusters=[], outliers=[])
+        with pytest.raises(ValueError):
+            cluster_time_histogram(empty)
+
+    def test_empty_result_with_period_gives_zero_matrix(self):
+        empty = ClusteringResult(method="test", clusters=[], outliers=[])
+        hist = cluster_time_histogram(empty, n_bins=4, period=Period(0, 10))
+        assert hist.counts.shape == (0, 4)
+        assert np.all(hist.total_per_bin() == 0)
+
+    def test_real_pipeline_histogram(self, lanes_small):
+        from repro.s2t.pipeline import S2TClustering
+
+        mod, _ = lanes_small
+        result = S2TClustering().fit(mod)
+        hist = cluster_time_histogram(result, n_bins=20)
+        assert hist.counts.sum() > 0
+        assert hist.counts.shape[0] == result.num_clusters

@@ -1,0 +1,91 @@
+"""Unit tests for map layers and 3D exports (Fig. 1 top/bottom)."""
+
+import json
+
+import pytest
+
+from repro.s2t.result import Cluster, ClusteringResult
+from repro.va.maps import cluster_map_layers, export_3d_points, export_geojson
+from tests.conftest import make_linear_trajectory
+
+
+def whole(traj):
+    return traj.subtrajectory(0, traj.num_points - 1)
+
+
+@pytest.fixture
+def simple_result():
+    a = whole(make_linear_trajectory("a", "0"))
+    b = whole(make_linear_trajectory("b", "0", (0, 1), (10, 1)))
+    out = whole(make_linear_trajectory("z", "0", (0, 50), (10, 50)))
+    return ClusteringResult(
+        method="test",
+        clusters=[Cluster(cluster_id=0, representative=a, members=[a, b])],
+        outliers=[out],
+    )
+
+
+class TestMapLayers:
+    def test_one_layer_per_cluster_plus_outliers(self, simple_result):
+        layers = cluster_map_layers(simple_result)
+        assert len(layers) == 2
+        assert layers[0].cluster_id == 0 and layers[0].size == 2
+        assert layers[-1].cluster_id is None and layers[-1].size == 1
+
+    def test_outliers_excludable(self, simple_result):
+        layers = cluster_map_layers(simple_result, include_outliers=False)
+        assert all(layer.cluster_id is not None for layer in layers)
+
+    def test_layers_are_toggleable_and_labelled(self, simple_result):
+        layers = cluster_map_layers(simple_result)
+        assert layers[0].visible is True
+        assert layers[0].label == "cluster 0"
+        assert layers[-1].label == "outliers"
+        layers[0].visible = False
+        assert layers[0].visible is False
+
+    def test_polylines_match_member_geometry(self, simple_result):
+        layer = cluster_map_layers(simple_result)[0]
+        assert len(layer.polylines[0]) == 11
+        assert layer.polylines[0][0] == (0.0, 0.0)
+        assert layer.polylines[0][-1] == (10.0, 0.0)
+
+    def test_distinct_clusters_get_distinct_colors(self, lanes_small):
+        from repro.s2t.pipeline import S2TClustering
+
+        mod, _ = lanes_small
+        result = S2TClustering().fit(mod)
+        layers = cluster_map_layers(result, include_outliers=False)
+        if len(layers) >= 2:
+            assert layers[0].color != layers[1].color
+
+
+class TestGeoJSON:
+    def test_feature_collection_shape(self, simple_result):
+        geo = export_geojson(simple_result)
+        assert geo["type"] == "FeatureCollection"
+        assert len(geo["features"]) == 3
+        feature = geo["features"][0]
+        assert feature["geometry"]["type"] == "LineString"
+        assert feature["properties"]["cluster"] == 0
+
+    def test_geojson_is_json_serialisable(self, simple_result):
+        text = json.dumps(export_geojson(simple_result))
+        assert "FeatureCollection" in text
+
+    def test_outlier_features_marked(self, simple_result):
+        geo = export_geojson(simple_result)
+        outlier_features = [f for f in geo["features"] if f["properties"]["cluster"] is None]
+        assert len(outlier_features) == 1
+
+
+class TestExport3D:
+    def test_rows_cover_all_points(self, simple_result):
+        rows = export_3d_points(simple_result)
+        assert len(rows) == 33  # 3 sub-trajectories x 11 samples
+        assert {"obj_id", "cluster", "x", "y", "t", "color"} <= set(rows[0])
+
+    def test_exclude_outliers(self, simple_result):
+        rows = export_3d_points(simple_result, include_outliers=False)
+        assert len(rows) == 22
+        assert all(row["cluster"] is not None for row in rows)

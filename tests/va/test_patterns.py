@@ -1,0 +1,100 @@
+"""Unit tests for holding-pattern detection (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+from repro.va.patterns import detect_holding_patterns, turning_angle
+from tests.conftest import make_linear_trajectory
+
+
+def loop_trajectory(obj_id: str = "loop", turns: float = 1.5, radius: float = 5.0) -> Trajectory:
+    """Approach, loop ``turns`` times, then continue."""
+    approach_x = np.linspace(-50, 0, 20)
+    approach_y = np.zeros(20)
+    angles = np.linspace(0, 2 * np.pi * turns, 40)
+    loop_x = radius * np.cos(angles) - radius
+    loop_y = radius * np.sin(angles)
+    exit_x = np.linspace(0, 50, 20)
+    exit_y = np.zeros(20)
+    xs = np.concatenate([approach_x, loop_x, exit_x])
+    ys = np.concatenate([approach_y, loop_y, exit_y])
+    ts = np.arange(len(xs), dtype=float)
+    return Trajectory(obj_id, "0", xs, ys, ts)
+
+
+class TestTurningAngle:
+    def test_straight_line_zero(self):
+        traj = make_linear_trajectory()
+        assert turning_angle(traj.xs, traj.ys) == pytest.approx(0.0, abs=1e-9)
+
+    def test_full_circle_accumulates_two_pi(self):
+        angles = np.linspace(0, 2 * np.pi, 50)
+        xs, ys = np.cos(angles), np.sin(angles)
+        assert abs(turning_angle(xs, ys)) == pytest.approx(2 * np.pi, rel=0.05)
+
+    def test_direction_sign(self):
+        angles = np.linspace(0, 2 * np.pi, 50)
+        ccw = turning_angle(np.cos(angles), np.sin(angles))
+        cw = turning_angle(np.cos(-angles), np.sin(-angles))
+        assert ccw > 0 > cw
+
+
+class TestDetectHoldingPatterns:
+    def test_loop_detected_in_mod(self):
+        mod = MOD()
+        mod.add(loop_trajectory("holder"))
+        mod.add(make_linear_trajectory("cruiser", "0", (-50, 20), (50, 20), 0, 80, 80))
+        patterns = detect_holding_patterns(mod, window=30)
+        holders = {p.obj_id for p in patterns}
+        assert "holder" in holders
+        assert "cruiser" not in holders
+
+    def test_no_loops_no_patterns(self):
+        mod = MOD()
+        for i in range(3):
+            mod.add(make_linear_trajectory(f"s{i}", "0", (0, i * 10), (100, i * 10), 0, 100, 60))
+        assert detect_holding_patterns(mod) == []
+
+    def test_pattern_metadata(self):
+        mod = MOD()
+        mod.add(loop_trajectory("holder", radius=5.0))
+        patterns = detect_holding_patterns(mod, window=30)
+        assert patterns
+        pattern = patterns[0]
+        assert pattern.turns >= 0.9
+        assert pattern.radius < 20.0
+        assert pattern.period.duration > 0
+        # The loop is centred near (-5, 0).
+        assert pattern.center[0] == pytest.approx(-5.0, abs=5.0)
+
+    def test_min_turns_threshold(self):
+        mod = MOD()
+        mod.add(loop_trajectory("halfloop", turns=0.5))
+        strict = detect_holding_patterns(mod, min_turns=0.9, window=30)
+        lenient = detect_holding_patterns(mod, min_turns=0.3, window=30)
+        assert len(lenient) >= len(strict)
+
+    def test_detection_from_clustering_result_tags_cluster(self, flights_small):
+        from repro.s2t.pipeline import S2TClustering
+
+        mod, _ = flights_small
+        result = S2TClustering().fit(mod)
+        patterns = detect_holding_patterns(result)
+        for pattern in patterns:
+            assert pattern.cluster_id is not None
+
+    def test_aircraft_scenario_has_holding_patterns(self):
+        from repro.datagen import aircraft_scenario
+
+        mod, _ = aircraft_scenario(n_trajectories=40, holding_fraction=0.5, seed=3)
+        none_mod, _ = aircraft_scenario(n_trajectories=40, holding_fraction=0.0, seed=3)
+        with_holding = detect_holding_patterns(mod)
+        without_holding = detect_holding_patterns(none_mod)
+        assert len(with_holding) > len(without_holding)
+
+    def test_empty_result_returns_empty(self):
+        from repro.s2t.result import ClusteringResult
+
+        assert detect_holding_patterns(ClusteringResult("x", [], [])) == []

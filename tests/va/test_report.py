@@ -1,0 +1,53 @@
+"""Unit tests for the Markdown report generator."""
+
+import pytest
+
+from repro.s2t.pipeline import S2TClustering
+from repro.s2t.result import ClusteringResult
+from repro.va.report import clustering_report
+
+
+class TestClusteringReport:
+    @pytest.fixture(scope="class")
+    def result(self, flights_small):
+        mod, _ = flights_small
+        return S2TClustering().fit(mod)
+
+    def test_report_contains_all_sections(self, result):
+        report = clustering_report(result, title="Flights analysis")
+        assert report.startswith("# Flights analysis")
+        assert "## Summary" in report
+        assert "## Largest clusters" in report
+        assert "## Cluster cardinality over time" in report
+        assert "## Holding patterns among cluster members" in report
+        assert "## Phase timings" in report
+
+    def test_report_reflects_result_counts(self, result):
+        report = clustering_report(result)
+        assert str(result.num_clusters) in report
+        assert result.method in report
+
+    def test_max_clusters_limits_table(self, result):
+        report = clustering_report(result, max_clusters=3)
+        cluster_section = report.split("## Largest clusters")[1].split("##")[0]
+        data_rows = [
+            line for line in cluster_section.splitlines() if line.startswith("|") and "---" not in line
+        ]
+        # Header row + at most 3 data rows.
+        assert len(data_rows) <= 4
+
+    def test_patterns_can_be_disabled(self, result):
+        report = clustering_report(result, include_patterns=False)
+        assert "Holding patterns" not in report
+
+    def test_empty_result_report(self):
+        empty = ClusteringResult(method="s2t", clusters=[], outliers=[])
+        report = clustering_report(empty)
+        assert "## Summary" in report
+        assert "*(empty)*" in report
+
+    def test_report_is_valid_markdown_tables(self, result):
+        report = clustering_report(result)
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
