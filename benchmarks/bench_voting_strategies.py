@@ -1,0 +1,72 @@
+"""Voting-strategy cross-check: the batched columnar engine vs the pair loops.
+
+The voting phase is the dominant cost of S2T-Clustering — the phase the
+paper accelerates with its in-DBMS index access path.  This benchmark runs
+the three execution strategies (``dense`` reference pair loop, ``indexed``
+R-tree-pruned pair loop, ``batched`` columnar MODFrame engine) on the
+``bench_s2t_scalability`` medium scenario (100 aircraft x 50 samples),
+verifies numerical equivalence against the dense reference, and records the
+speedups to ``BENCH_voting.json`` at the repository root.
+
+Acceptance floor: batched >= 5x faster than dense with votes within 1e-8.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.eval.voting_bench import run_voting_benchmark, write_report
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_voting.json"
+
+
+@pytest.mark.repro("E6/E10")
+def test_voting_strategies_speedup_and_equivalence():
+    report = run_voting_benchmark(n_trajectories=100, n_samples=50, seed=1, repeats=3)
+
+    rows = []
+    for name, entry in report["strategies"].items():
+        rows.append(
+            {
+                "strategy": name,
+                "elapsed_s": round(entry["elapsed_s"], 4),
+                "speedup": round(entry.get("speedup_vs_dense", 1.0), 2),
+                "max_vote_diff": f'{entry.get("max_abs_vote_diff_vs_dense", 0.0):.2e}',
+                "pairs_pruned": entry["pairs_pruned"],
+            }
+        )
+    print()
+    print(format_table(rows, title="Voting strategies: medium aircraft scenario"))
+
+    write_report(report, REPORT_PATH)
+    print(f"report written to {REPORT_PATH}")
+
+    batched = report["strategies"]["batched"]
+    # Numerical equivalence: the batched engine must reproduce the dense
+    # reference votes (kernel-support pruning margin keeps the error ~1e-12).
+    assert batched["max_abs_vote_diff_vs_dense"] <= 1e-8
+    # Performance floor: the whole point of the columnar engine.
+    assert batched["speedup_vs_dense"] >= 5.0, (
+        f"batched voting only {batched['speedup_vs_dense']:.1f}x faster than dense"
+    )
+
+
+@pytest.mark.repro("E6/E10")
+def test_voting_strategies_smoke_small():
+    """Small-scenario smoke run (the CI gate).
+
+    Asserts numerical equivalence plus a deliberately loose relative floor —
+    batched must beat dense at all (a real regression drops it to ~1x or
+    below) — so shared-runner timing noise cannot fail CI while a genuine
+    perf regression still does.  The strict 5x medium-scenario floor lives in
+    :func:`test_voting_strategies_speedup_and_equivalence`.
+    """
+    report = run_voting_benchmark(n_trajectories=25, n_samples=30, seed=2, repeats=2)
+    batched = report["strategies"]["batched"]
+    assert batched["max_abs_vote_diff_vs_dense"] <= 1e-8
+    assert batched["pairs_evaluated"] > 0
+    assert batched["speedup_vs_dense"] >= 1.2, (
+        f"batched voting regressed to {batched['speedup_vs_dense']:.2f}x on the smoke scenario"
+    )
+    write_report(report, REPORT_PATH.with_name("BENCH_voting_smoke.json"))

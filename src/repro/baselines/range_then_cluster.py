@@ -21,7 +21,7 @@ from repro.index.rtree3d import RTree3D
 from repro.s2t.params import S2TParams
 from repro.s2t.pipeline import S2TClustering
 from repro.s2t.result import ClusteringResult
-from repro.s2t.voting import build_trajectory_index
+from repro.s2t.voting import build_trajectory_index, kernel_support_radius
 
 __all__ = ["RangeThenCluster"]
 
@@ -49,12 +49,19 @@ class RangeThenCluster:
                 timings={"range_query": range_time, "index_build": 0.0},
             )
 
-        # (ii) build a fresh 3D R-tree on the query result.
+        # (ii) build a fresh 3D R-tree on the query result.  The margin must
+        # match the voting strategy: the batched engine prunes at the kernel
+        # support radius (its 1e-8 dense-equivalence contract), while the
+        # legacy pair strategies use the paper's 3 sigma.
         t0 = time.perf_counter()
         params = self.s2t_params.resolved(restricted)
         sigma = params.sigma
         assert sigma is not None
-        index: RTree3D = build_trajectory_index(restricted, spatial_margin=3.0 * sigma)
+        if params.effective_voting_strategy == "batched":
+            margin = kernel_support_radius(sigma, params.voting_kernel)
+        else:
+            margin = 3.0 * sigma
+        index: RTree3D = build_trajectory_index(restricted, spatial_margin=margin)
         index_time = time.perf_counter() - t0
 
         # (iii) apply S2T-Clustering using that index.

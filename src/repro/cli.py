@@ -1,0 +1,124 @@
+"""Console entry points (see ``[project.scripts]`` in ``pyproject.toml``).
+
+* ``repro-sql`` — load a dataset (CSV file or a built-in demo scenario) and
+  run SQL statements against the Hermes engine, one-shot or as a REPL.
+* ``repro-bench-voting`` — run the voting-strategy benchmark and write the
+  ``BENCH_voting.json`` report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main_sql", "main_bench_voting"]
+
+
+def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
+    from repro.core.engine import HermesEngine
+    from repro.datagen import aircraft_scenario, lane_scenario, urban_scenario
+
+    scenarios = {
+        "aircraft": aircraft_scenario,
+        "lanes": lane_scenario,
+        "urban": urban_scenario,
+    }
+    mod, _truth = scenarios[scenario](n_trajectories=n, seed=seed)
+    engine = HermesEngine.in_memory()
+    engine.load_mod(dataset, mod)
+    return engine
+
+
+def _print_rows(rows: list[dict]) -> None:
+    from repro.eval.harness import format_table
+
+    if rows:
+        print(format_table(rows))
+    else:
+        print("(no rows)")
+
+
+def main_sql(argv: list[str] | None = None) -> int:
+    """Run SQL statements against a CSV dataset or a demo scenario."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sql",
+        description="SQL front-end of the S2T/QuT reproduction engine.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--csv", help="load this CSV file as dataset DATASET")
+    source.add_argument(
+        "--demo",
+        choices=("aircraft", "lanes", "urban"),
+        default="aircraft",
+        help="generate a demo scenario as dataset DATASET (default: aircraft)",
+    )
+    parser.add_argument("--dataset", default="demo", help="dataset name (default: demo)")
+    parser.add_argument("--n", type=int, default=40, help="demo scenario size")
+    parser.add_argument("--seed", type=int, default=7, help="demo scenario seed")
+    parser.add_argument(
+        "statements",
+        nargs="*",
+        help="SQL statements to execute; none starts a REPL on stdin",
+    )
+    args = parser.parse_args(argv)
+
+    if args.csv:
+        from repro.core.engine import HermesEngine
+
+        engine = HermesEngine.in_memory()
+        engine.load_csv(args.dataset, args.csv)
+    else:
+        engine = _load_demo_engine(args.dataset, args.demo, args.n, args.seed)
+
+    def run(statement: str) -> None:
+        try:
+            _print_rows(engine.sql(statement))
+        except Exception as exc:  # surface engine/SQL errors without a stack trace
+            print(f"error: {exc}", file=sys.stderr)
+
+    if args.statements:
+        for statement in args.statements:
+            run(statement)
+        return 0
+
+    print(f"dataset {args.dataset!r} loaded; enter SQL (empty line quits)")
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            break
+        run(line)
+    return 0
+
+
+def main_bench_voting(argv: list[str] | None = None) -> int:
+    """Run the voting-strategy benchmark and write BENCH_voting.json."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-voting",
+        description="Benchmark dense/indexed/batched voting strategies.",
+    )
+    parser.add_argument("--trajectories", type=int, default=100)
+    parser.add_argument("--samples", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--kernel", choices=("gaussian", "triangular"), default="gaussian")
+    parser.add_argument("--out", default="BENCH_voting.json")
+    args = parser.parse_args(argv)
+
+    from repro.eval.voting_bench import run_voting_benchmark, write_report
+
+    report = run_voting_benchmark(
+        n_trajectories=args.trajectories,
+        n_samples=args.samples,
+        seed=args.seed,
+        repeats=args.repeats,
+        kernel=args.kernel,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    path = write_report(report, args.out)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution helper
+    sys.exit(main_sql())

@@ -1,0 +1,98 @@
+"""Voting-strategy benchmark core.
+
+Times the voting phase under every execution strategy on one scenario,
+cross-checks that the pruned/batched strategies reproduce the dense
+reference votes, and packages the result as a JSON-serialisable report.
+Used by ``benchmarks/bench_voting_strategies.py`` (the pytest harness that
+asserts the speedup floor) and the ``repro-bench-voting`` console script.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import aircraft_scenario
+from repro.s2t.params import S2TParams
+from repro.s2t.voting import VotingProfile, compute_voting
+
+__all__ = ["run_voting_benchmark", "write_report"]
+
+STRATEGIES = ("dense", "indexed", "batched")
+
+
+def _time_strategy(mod, params: S2TParams, repeats: int) -> tuple[float, VotingProfile]:
+    """Best-of-``repeats`` wall clock and the last profile (for vote checks)."""
+    best = float("inf")
+    profile: VotingProfile | None = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        profile = compute_voting(mod, params)
+        best = min(best, time.perf_counter() - start)
+    assert profile is not None
+    return best, profile
+
+
+def _max_abs_vote_diff(a: VotingProfile, b: VotingProfile) -> float:
+    return max(
+        float(np.max(np.abs(a.votes[key] - b.votes[key]))) for key in a.votes
+    )
+
+
+def run_voting_benchmark(
+    n_trajectories: int = 100,
+    n_samples: int = 50,
+    seed: int = 1,
+    repeats: int = 3,
+    kernel: str = "gaussian",
+) -> dict:
+    """Benchmark every voting strategy on the E10 "medium" aircraft scenario.
+
+    The default sizes match the ``bench_s2t_scalability`` medium
+    configuration (100 trajectories x 50 samples), so the recorded speedup is
+    directly comparable to the E10 phase-breakdown numbers.
+    """
+    mod, _truth = aircraft_scenario(
+        n_trajectories=n_trajectories, n_samples=n_samples, seed=seed
+    )
+    report: dict = {
+        "scenario": {
+            "name": "aircraft",
+            "n_trajectories": n_trajectories,
+            "n_samples": n_samples,
+            "seed": seed,
+            "kernel": kernel,
+            "repeats": repeats,
+        },
+        "strategies": {},
+    }
+
+    profiles: dict[str, VotingProfile] = {}
+    for strategy in STRATEGIES:
+        params = S2TParams(voting_kernel=kernel, voting_strategy=strategy)
+        elapsed, profile = _time_strategy(mod, params, repeats)
+        profiles[strategy] = profile
+        report["strategies"][strategy] = {
+            "elapsed_s": elapsed,
+            "pairs_evaluated": profile.pairs_evaluated,
+            "pairs_pruned": profile.pairs_pruned,
+        }
+
+    dense_t = report["strategies"]["dense"]["elapsed_s"]
+    for strategy in ("indexed", "batched"):
+        entry = report["strategies"][strategy]
+        entry["speedup_vs_dense"] = dense_t / entry["elapsed_s"]
+        entry["max_abs_vote_diff_vs_dense"] = _max_abs_vote_diff(
+            profiles["dense"], profiles[strategy]
+        )
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -12,6 +12,7 @@ container (:mod:`repro.hermes.mod`) and CSV import/export
 from repro.hermes.types import Period, PointST, SegmentST, BoxST
 from repro.hermes.trajectory import Trajectory, SubTrajectory
 from repro.hermes.mod import MOD
+from repro.hermes.frame import MODFrame
 from repro.hermes.io import read_csv, write_csv
 from repro.hermes.algebra import (
     detect_stops,
@@ -28,6 +29,7 @@ __all__ = [
     "Trajectory",
     "SubTrajectory",
     "MOD",
+    "MODFrame",
     "read_csv",
     "write_csv",
     "speed_series",

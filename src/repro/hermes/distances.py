@@ -6,6 +6,9 @@ implemented here is what the clustering modules and the baselines need:
 * :func:`spatiotemporal_distance` -- time-synchronised average Euclidean
   distance over the common lifespan (used by S2T voting, greedy clustering
   and T-OPTICS),
+* :func:`spatiotemporal_distance_batch` -- the same distance from one
+  trajectory to *every* row of a :class:`~repro.hermes.frame.MODFrame` in a
+  single vectorised pass (the batched greedy-clustering hot path),
 * :func:`closest_approach_distance` -- minimum synchronous distance,
 * :func:`hausdorff_distance` -- spatial Hausdorff distance (time-agnostic,
   used by TRACLUS-style comparisons),
@@ -24,12 +27,14 @@ import math
 
 import numpy as np
 
+from repro.hermes.frame import MAX_BATCH_CELLS, MODFrame
 from repro.hermes.interpolation import common_time_grid, synchronize
 from repro.hermes.trajectory import Trajectory
 from repro.hermes.types import PointST, SegmentST
 
 __all__ = [
     "spatiotemporal_distance",
+    "spatiotemporal_distance_batch",
     "closest_approach_distance",
     "hausdorff_distance",
     "dtw_distance",
@@ -56,6 +61,52 @@ def spatiotemporal_distance(
         return math.inf
     _, pa, pb = sync
     return float(np.mean(np.hypot(pa[:, 0] - pb[:, 0], pa[:, 1] - pb[:, 1])))
+
+
+def spatiotemporal_distance_batch(
+    frame: MODFrame,
+    traj: Trajectory,
+    max_samples: int = 128,
+) -> np.ndarray:
+    """:func:`spatiotemporal_distance` from ``traj`` to every row of ``frame``.
+
+    Returns a ``(len(frame),)`` array; rows whose lifespan does not overlap
+    ``traj``'s with positive duration get ``inf``.  Equivalent to calling
+    ``spatiotemporal_distance(frame row, traj, max_samples=max_samples)`` per
+    row, but each pair's ``max_samples``-point common time grid is built
+    vectorised and all rows are interpolated in one
+    :meth:`~repro.hermes.frame.MODFrame.positions_at_batch` pass.
+    """
+    out = np.full(len(frame), math.inf)
+    if len(frame) == 0:
+        return out
+    lo, hi = frame.lifespan_overlap(float(traj.ts[0]), float(traj.ts[-1]))
+    valid = np.flatnonzero(hi - lo > 0)
+    if valid.size == 0:
+        return out
+
+    if max_samples < 1:
+        raise ValueError("max_samples must be at least 1")
+    n = max_samples
+    steps = np.arange(n, dtype=float)
+    # Chunk so one batch never materialises more than MAX_BATCH_CELLS cells.
+    chunk = max(1, MAX_BATCH_CELLS // n)
+    for start in range(0, valid.size, chunk):
+        rows = valid[start : start + chunk]
+        if n == 1:
+            # np.linspace(lo, hi, 1) == [lo]
+            grids = lo[rows, None]
+        else:
+            # Per-row np.linspace(lo, hi, n): start + i * step, endpoint forced.
+            step = (hi[rows] - lo[rows]) / (n - 1)
+            grids = lo[rows, None] + steps[None, :] * step[:, None]
+            grids[:, -1] = hi[rows]
+
+        fx, fy = frame.positions_at_batch(rows, grids)
+        tx = np.interp(grids.ravel(), traj.ts, traj.xs).reshape(grids.shape)
+        ty = np.interp(grids.ravel(), traj.ts, traj.ys).reshape(grids.shape)
+        out[rows] = np.hypot(fx - tx, fy - ty).mean(axis=1)
+    return out
 
 
 def closest_approach_distance(
@@ -123,18 +174,26 @@ def lcss_similarity(
     ``delta`` is given, their timestamps differ by less than ``delta``.
     """
     n, m = a.num_points, b.num_points
-    dp = np.zeros((n + 1, m + 1), dtype=int)
-    for i in range(1, n + 1):
-        for j in range(1, m + 1):
-            close_space = (
-                math.hypot(a.xs[i - 1] - b.xs[j - 1], a.ys[i - 1] - b.ys[j - 1]) < eps
-            )
-            close_time = delta is None or abs(a.ts[i - 1] - b.ts[j - 1]) < delta
-            if close_space and close_time:
-                dp[i, j] = dp[i - 1, j - 1] + 1
-            else:
-                dp[i, j] = max(dp[i - 1, j], dp[i, j - 1])
-    return float(dp[n, m]) / float(min(n, m))
+    # Vectorised match matrix: samples match when they are close in space
+    # (and, optionally, in time).
+    match = (
+        np.hypot(a.xs[:, None] - b.xs[None, :], a.ys[:, None] - b.ys[None, :]) < eps
+    )
+    if delta is not None:
+        match &= np.abs(a.ts[:, None] - b.ts[None, :]) < delta
+
+    # Row-sweep DP.  Adjacent LCSS cells differ by at most 1, so the usual
+    # recurrence dp[i,j] = max(dp[i-1,j], dp[i,j-1], dp[i-1,j-1] + m_ij)
+    # collapses to a running maximum along the row: a matched cell's
+    # candidate dp[i-1,j-1] + 1 dominates its left/top neighbours, and the
+    # dp[i,j-1] term is exactly the prefix maximum.
+    prev = np.zeros(m + 1, dtype=np.int64)
+    cur = np.zeros(m + 1, dtype=np.int64)
+    for i in range(n):
+        cand = np.where(match[i], prev[:-1] + 1, 0)
+        np.maximum.accumulate(np.maximum(prev[1:], cand), out=cur[1:])
+        prev, cur = cur, prev
+    return float(prev[m]) / float(min(n, m))
 
 
 def point_to_segment_distance_2d(p: PointST, seg: SegmentST) -> float:
@@ -169,8 +228,13 @@ def segment_trajectory_distance(
         return math.inf
     ts = common_time_grid(period, resolution=None, max_samples=n_samples)
     other_pos = other.positions_at(ts)
-    dists = np.empty(len(ts))
-    for i, t in enumerate(ts):
-        p = seg.point_at(float(t))
-        dists[i] = math.hypot(p.x - other_pos[i, 0], p.y - other_pos[i, 1])
-    return float(np.mean(dists))
+    # Vectorised segment interpolation (SegmentST.point_at for the whole
+    # grid at once); ts lies inside the segment's period, so no clamping.
+    if seg.duration <= 1e-12:  # SegmentST.point_at's degenerate-segment guard
+        sx = np.full(len(ts), seg.start.x)
+        sy = np.full(len(ts), seg.start.y)
+    else:
+        frac = (ts - seg.start.t) / seg.duration
+        sx = seg.start.x + frac * (seg.end.x - seg.start.x)
+        sy = seg.start.y + frac * (seg.end.y - seg.start.y)
+    return float(np.mean(np.hypot(sx - other_pos[:, 0], sy - other_pos[:, 1])))

@@ -1,0 +1,262 @@
+"""Columnar trajectory storage: the batched counterpart of :class:`~repro.hermes.mod.MOD`.
+
+A :class:`MODFrame` is an immutable column-store snapshot of a set of
+trajectories: every sample of every trajectory lives in three concatenated
+``xs`` / ``ys`` / ``ts`` arrays, with a per-trajectory ``offsets`` table
+delimiting the blocks, plus per-trajectory *lifespan* (``tmins`` / ``tmaxs``)
+and *bounding-box* tables.  It is built once per MOD (an ``O(total samples)``
+concatenation) and then serves the hot paths of S2T-Clustering —
+synchronised interpolation and synchronous distances — **batched across
+trajectories** instead of pair-at-a-time.
+
+The key kernel is :meth:`MODFrame.positions_at_batch`: it linearly
+interpolates *many* trajectories (each with its own sample times) onto a
+query time grid in a single vectorised pass.  Per-trajectory binary searches
+are folded into **one** :func:`numpy.searchsorted` call by shifting each
+trajectory's timestamps into a private disjoint band (``t - t0 + row * step``
+with ``step`` larger than the global time span): within a band the timestamps
+stay sorted, and the bands are ordered by row, so the concatenated shifted
+array is globally sorted and a single binary search locates the bracketing
+samples of every (trajectory, instant) pair at once.
+
+This is the engine behind ``voting_strategy="batched"``
+(:mod:`repro.s2t.voting`) and
+:func:`repro.hermes.distances.spatiotemporal_distance_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.hermes.trajectory import Trajectory
+from repro.hermes.types import _EPS, BoxST, Period
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hermes.mod import MOD
+
+__all__ = ["MODFrame"]
+
+# Cap on the number of (trajectory, instant) cells materialised per batch;
+# larger requests are transparently chunked by the callers' helpers.
+MAX_BATCH_CELLS = 1 << 21
+
+
+class MODFrame:
+    """Immutable columnar snapshot of a trajectory collection.
+
+    Attributes
+    ----------
+    keys:
+        ``(obj_id, traj_id)`` of row ``i`` — the row ↔ trajectory mapping.
+    xs, ys, ts:
+        Concatenated sample coordinates of all trajectories.
+    offsets:
+        ``(n + 1,)`` int array; row ``i`` owns samples
+        ``offsets[i]:offsets[i + 1]``.
+    tmins, tmaxs:
+        Per-row lifespan table.
+    xmins, ymins, xmaxs, ymaxs:
+        Per-row spatial bounding-box table.
+    """
+
+    __slots__ = (
+        "keys",
+        "xs",
+        "ys",
+        "ts",
+        "offsets",
+        "tmins",
+        "tmaxs",
+        "xmins",
+        "ymins",
+        "xmaxs",
+        "ymaxs",
+        "_key_to_row",
+        "_t0",
+        "_band_step",
+        "_banded_ts",
+    )
+
+    def __init__(self, trajectories: Sequence[Trajectory]) -> None:
+        self.keys: list[tuple[str, str]] = [t.key for t in trajectories]
+        n = len(trajectories)
+        lengths = np.fromiter(
+            (t.num_points for t in trajectories), dtype=np.intp, count=n
+        )
+        self.offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(lengths, out=self.offsets[1:])
+        total = int(self.offsets[-1])
+
+        self.xs = np.empty(total, dtype=float)
+        self.ys = np.empty(total, dtype=float)
+        self.ts = np.empty(total, dtype=float)
+        for i, traj in enumerate(trajectories):
+            lo, hi = self.offsets[i], self.offsets[i + 1]
+            self.xs[lo:hi] = traj.xs
+            self.ys[lo:hi] = traj.ys
+            self.ts[lo:hi] = traj.ts
+
+        if n:
+            self.tmins = self.ts[self.offsets[:-1]].copy()
+            self.tmaxs = self.ts[self.offsets[1:] - 1].copy()
+            self.xmins = np.minimum.reduceat(self.xs, self.offsets[:-1])
+            self.xmaxs = np.maximum.reduceat(self.xs, self.offsets[:-1])
+            self.ymins = np.minimum.reduceat(self.ys, self.offsets[:-1])
+            self.ymaxs = np.maximum.reduceat(self.ys, self.offsets[:-1])
+        else:
+            empty = np.empty(0, dtype=float)
+            self.tmins = self.tmaxs = empty
+            self.xmins = self.xmaxs = self.ymins = self.ymaxs = empty
+
+        self._key_to_row = {key: i for i, key in enumerate(self.keys)}
+
+        # Disjoint time bands for the single-searchsorted trick (see module
+        # docstring).  The band step must exceed the global time span so that
+        # row i's shifted timestamps all precede row i+1's.
+        self._t0 = float(self.tmins.min()) if n else 0.0
+        span = float(self.tmaxs.max()) - self._t0 if n else 0.0
+        self._band_step = span + 1.0
+        row_of_sample = np.repeat(np.arange(n, dtype=np.intp), lengths)
+        self._banded_ts = (self.ts - self._t0) + row_of_sample * self._band_step
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_mod(cls, mod: "MOD") -> "MODFrame":
+        """Columnar snapshot of a whole MOD (row order = MOD insertion order)."""
+        return cls(mod.trajectories())
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Iterable[Trajectory]) -> "MODFrame":
+        """Columnar snapshot of an arbitrary trajectory sequence."""
+        return cls(list(trajectories))
+
+    # -- row access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def total_points(self) -> int:
+        """Total number of samples across all rows."""
+        return int(self.offsets[-1])
+
+    def row_of(self, key: tuple[str, str]) -> int:
+        """Row index of trajectory ``key``; raises :class:`KeyError` if absent."""
+        return self._key_to_row[key]
+
+    def maybe_row_of(self, key: tuple[str, str]) -> int | None:
+        """Row index of trajectory ``key``, or ``None`` if absent."""
+        return self._key_to_row.get(key)
+
+    def num_points_of(self, row: int) -> int:
+        """Sample count of row ``row``."""
+        return int(self.offsets[row + 1] - self.offsets[row])
+
+    def ts_of(self, row: int) -> np.ndarray:
+        """Timestamps of row ``row`` (a view into the column)."""
+        return self.ts[self.offsets[row] : self.offsets[row + 1]]
+
+    def xs_of(self, row: int) -> np.ndarray:
+        """X coordinates of row ``row`` (a view into the column)."""
+        return self.xs[self.offsets[row] : self.offsets[row + 1]]
+
+    def ys_of(self, row: int) -> np.ndarray:
+        """Y coordinates of row ``row`` (a view into the column)."""
+        return self.ys[self.offsets[row] : self.offsets[row + 1]]
+
+    def period_of(self, row: int) -> Period:
+        """Lifespan of row ``row``."""
+        return Period(float(self.tmins[row]), float(self.tmaxs[row]))
+
+    def bbox_of(self, row: int) -> BoxST:
+        """3D bounding box of row ``row``."""
+        return BoxST(
+            float(self.xmins[row]),
+            float(self.ymins[row]),
+            float(self.tmins[row]),
+            float(self.xmaxs[row]),
+            float(self.ymaxs[row]),
+            float(self.tmaxs[row]),
+        )
+
+    # -- batched kernels ------------------------------------------------------
+
+    def positions_at_batch(
+        self, rows: np.ndarray | Sequence[int], grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated positions of many rows at many instants, in one pass.
+
+        Parameters
+        ----------
+        rows:
+            ``(V,)`` row indices to interpolate.
+        grid:
+            Either a shared ``(P,)`` time grid evaluated for every row, or a
+            ``(V, P)`` array giving each row its own grid.
+
+        Returns
+        -------
+        ``(X, Y)`` — two ``(V, P)`` arrays.  Instants outside a row's lifespan
+        are clamped to its endpoints, matching
+        :meth:`repro.hermes.trajectory.Trajectory.positions_at`.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim == 1:
+            grid = np.broadcast_to(grid, (len(rows), grid.shape[0]))
+        elif grid.shape[0] != len(rows):
+            raise ValueError(
+                f"grid has {grid.shape[0]} rows but {len(rows)} rows were requested"
+            )
+        if rows.size == 0 or grid.size == 0:
+            shape = (len(rows), grid.shape[1] if grid.ndim == 2 else 0)
+            return np.empty(shape), np.empty(shape)
+
+        # Clamp into each row's lifespan (np.interp endpoint semantics).
+        q = np.clip(grid, self.tmins[rows, None], self.tmaxs[rows, None])
+
+        # One global binary search over the banded timestamp column.
+        banded_q = (q - self._t0) + rows[:, None] * self._band_step
+        idx = np.searchsorted(self._banded_ts, banded_q.ravel(), side="right") - 1
+        idx = idx.reshape(q.shape)
+
+        # Bracket indices must stay inside each row's block (every row has at
+        # least two samples, so offsets[r+1] - 2 >= offsets[r]).
+        lo = self.offsets[rows][:, None]
+        hi = self.offsets[rows + 1][:, None] - 2
+        np.clip(idx, lo, hi, out=idx)
+
+        t_lo = self.ts[idx]
+        dt = self.ts[idx + 1] - t_lo
+        # dt > 0 always (timestamps are strictly increasing per trajectory).
+        w = np.clip((q - t_lo) / dt, 0.0, 1.0)
+        x_lo = self.xs[idx]
+        y_lo = self.ys[idx]
+        return (
+            x_lo + w * (self.xs[idx + 1] - x_lo),
+            y_lo + w * (self.ys[idx + 1] - y_lo),
+        )
+
+    def lifespan_overlap(
+        self, tmin: float, tmax: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row common lifespan with ``[tmin, tmax]``.
+
+        Returns ``(lo, hi)`` arrays; a row overlaps with positive duration
+        exactly when ``hi - lo > 0``.
+        """
+        return np.maximum(self.tmins, tmin), np.minimum(self.tmaxs, tmax)
+
+    def overlaps_period(self, period: Period, tolerance: float = 0.0) -> np.ndarray:
+        """Per-row boolean: does the row's ``tolerance``-expanded lifespan overlap?
+
+        The vectorised counterpart of
+        ``row_period.expand(tolerance).overlaps(period)``, sharing the
+        :class:`~repro.hermes.types.Period` epsilon.
+        """
+        return (self.tmins - tolerance <= period.tmax + _EPS) & (
+            period.tmin <= self.tmaxs + tolerance + _EPS
+        )

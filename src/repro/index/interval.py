@@ -25,6 +25,20 @@ class IntervalIndex(Generic[V]):
         self._starts: list[float] = []
         self._items: list[tuple[Period, V]] = []
 
+    @classmethod
+    def bulk_load(cls, items: list[tuple[Period, V]]) -> "IntervalIndex[V]":
+        """Build an index from many entries at once.
+
+        A single ``O(n log n)`` sort instead of ``n`` sorted insertions —
+        this is how the voting phase's sweep-line temporal prefilter builds
+        its per-MOD lifespan index.
+        """
+        index: IntervalIndex[V] = cls()
+        ordered = sorted(items, key=lambda item: item[0].tmin)
+        index._items = ordered
+        index._starts = [period.tmin for period, _value in ordered]
+        return index
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -29,12 +29,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.hermes.distances import spatiotemporal_distance
+from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.hermes.trajectory import SubTrajectory, Trajectory
 from repro.hermes.types import BoxST, Period
 from repro.index.rtree3d import RTree3D
 from repro.qut.params import QuTParams
+from repro.s2t.clustering import assign_to_representatives_batch
 from repro.s2t.pipeline import S2TClustering
 from repro.storage.catalog import StorageManager
 from repro.storage.heapfile import RID
@@ -133,6 +134,10 @@ class ReTraTree:
         self.origin = origin
         self._subchunks: dict[tuple[int, int], SubChunk] = {}
         self._rtrees: dict[str, RTree3D[RID]] = {}
+        # Columnar snapshot of each sub-chunk's representatives, keyed by the
+        # entry count it was built from (entries are append-only, so a count
+        # mismatch is the only invalidation needed).
+        self._entry_frames: dict[tuple[int, int], tuple[int, MODFrame]] = {}
         self._next_cluster_id = 0
         self.stats = ReTraTreeStats()
 
@@ -278,25 +283,36 @@ class ReTraTree:
             if subchunk.unclustered_count >= params.overflow_threshold:
                 self.flush_unclustered(subchunk)
 
+    def _rep_frame(self, subchunk: SubChunk) -> MODFrame:
+        """Columnar snapshot of the sub-chunk's representatives (cached)."""
+        cached = self._entry_frames.get(subchunk.key)
+        if cached is not None and cached[0] == len(subchunk.entries):
+            return cached[1]
+        frame = MODFrame.from_trajectories(
+            entry.representative.traj for entry in subchunk.entries
+        )
+        self._entry_frames[subchunk.key] = (len(subchunk.entries), frame)
+        return frame
+
     def _best_entry(self, subchunk: SubChunk, sub: SubTrajectory) -> ClusterEntry | None:
-        """The closest representative within the distance threshold, or ``None``."""
+        """The closest representative within the distance threshold, or ``None``.
+
+        Distances to every representative are computed in one
+        :func:`~repro.s2t.clustering.assign_to_representatives_batch` call
+        over the sub-chunk's cached representative frame.
+        """
         params = self.params
         assert params is not None and params.distance_threshold is not None
-        best: ClusterEntry | None = None
-        best_dist = math.inf
-        for entry in subchunk.entries:
-            rep_period = entry.representative.period.expand(params.temporal_tolerance)
-            if not rep_period.overlaps(sub.period):
-                continue
-            dist = spatiotemporal_distance(
-                entry.representative.traj, sub.traj, max_samples=32
-            )
-            if dist < best_dist:
-                best_dist = dist
-                best = entry
-        if best is not None and best_dist <= params.distance_threshold:
-            return best
-        return None
+        if not subchunk.entries:
+            return None
+        idx, _dist = assign_to_representatives_batch(
+            sub,
+            self._rep_frame(subchunk),
+            eps=params.distance_threshold,
+            temporal_tolerance=params.temporal_tolerance,
+            max_samples=32,
+        )
+        return None if idx is None else subchunk.entries[idx]
 
     # -- maintenance (S2T on overflowing partitions) -----------------------------------------
 

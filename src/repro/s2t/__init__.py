@@ -23,7 +23,12 @@ per-phase timings (benchmark E10).
 
 from repro.s2t.params import S2TParams
 from repro.s2t.result import Cluster, ClusteringResult
-from repro.s2t.voting import VotingProfile, compute_voting
+from repro.s2t.voting import (
+    VotingProfile,
+    build_trajectory_index,
+    compute_voting,
+    kernel_support_radius,
+)
 from repro.s2t.segmentation import segment_by_voting, segment_mod
 from repro.s2t.sampling import select_representatives
 from repro.s2t.clustering import greedy_clustering
@@ -34,7 +39,9 @@ __all__ = [
     "Cluster",
     "ClusteringResult",
     "VotingProfile",
+    "build_trajectory_index",
     "compute_voting",
+    "kernel_support_radius",
     "segment_by_voting",
     "segment_mod",
     "select_representatives",

@@ -6,6 +6,11 @@ that distance is at most ``eps``; otherwise it is an outlier.  Clusters that
 end up with fewer than ``min_cluster_support`` members are dissolved and
 their members become outliers, matching the role of the ``γ`` parameter in
 the QuT SQL signature.
+
+The representatives are snapshotted once into a columnar
+:class:`~repro.hermes.frame.MODFrame` (their sample grids concatenated), so
+the per-(sub, representative) :func:`spatiotemporal_distance` loop collapses
+into one :func:`spatiotemporal_distance_batch` call per sub-trajectory.
 """
 
 from __future__ import annotations
@@ -13,12 +18,19 @@ from __future__ import annotations
 import math
 import time
 
-from repro.hermes.distances import spatiotemporal_distance
+import numpy as np
+
+from repro.hermes.distances import spatiotemporal_distance, spatiotemporal_distance_batch
+from repro.hermes.frame import MODFrame
 from repro.hermes.trajectory import SubTrajectory
 from repro.s2t.params import S2TParams
 from repro.s2t.result import Cluster, ClusteringResult
 
-__all__ = ["greedy_clustering", "assign_to_representatives"]
+__all__ = [
+    "greedy_clustering",
+    "assign_to_representatives",
+    "assign_to_representatives_batch",
+]
 
 
 def assign_to_representatives(
@@ -33,6 +45,9 @@ def assign_to_representatives(
     temporal tolerance expands each representative's lifespan before checking
     temporal overlap, implementing the ``t`` parameter of the paper's QUT
     signature.
+
+    This is the scalar reference; :func:`assign_to_representatives_batch`
+    computes the same answer against a pre-built representative frame.
     """
     best_idx: int | None = None
     best_dist = math.inf
@@ -48,6 +63,32 @@ def assign_to_representatives(
     if best_dist > eps:
         return None, best_dist
     return best_idx, best_dist
+
+
+def assign_to_representatives_batch(
+    sub: SubTrajectory,
+    rep_frame: MODFrame,
+    eps: float,
+    temporal_tolerance: float = 0.0,
+    max_samples: int = 32,
+) -> tuple[int | None, float]:
+    """Batched :func:`assign_to_representatives` against a representative frame.
+
+    ``rep_frame`` holds the representatives' precomputed sample grids (row
+    ``i`` = representative ``i``); distances to all of them are computed in
+    one :func:`spatiotemporal_distance_batch` call.
+    """
+    if len(rep_frame) == 0:
+        return None, math.inf
+    dists = spatiotemporal_distance_batch(rep_frame, sub.traj, max_samples=max_samples)
+    if temporal_tolerance > 0:
+        overlaps = rep_frame.overlaps_period(sub.period, temporal_tolerance)
+        dists = np.where(overlaps, dists, math.inf)
+    idx = int(np.argmin(dists))
+    best_dist = float(dists[idx])
+    if best_dist > eps:
+        return None, best_dist
+    return idx, best_dist
 
 
 def greedy_clustering(
@@ -69,13 +110,14 @@ def greedy_clustering(
         for i, rep in enumerate(representatives)
     ]
     rep_keys = {rep.key for rep in representatives}
+    rep_frame = MODFrame.from_trajectories(rep.traj for rep in representatives)
     outliers: list[SubTrajectory] = []
 
     for sub in subtrajectories:
         if sub.key in rep_keys:
             continue
-        idx, _dist = assign_to_representatives(
-            sub, representatives, eps, params.temporal_tolerance
+        idx, _dist = assign_to_representatives_batch(
+            sub, rep_frame, eps, params.temporal_tolerance
         )
         if idx is None:
             outliers.append(sub)

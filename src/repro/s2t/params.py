@@ -27,8 +27,21 @@ class S2TParams:
         resolves to 3 % of the spatial diagonal.
     voting_kernel:
         ``"gaussian"`` (default) or ``"triangular"`` — ablation E12.
+    voting_strategy:
+        How the voting phase executes (see :mod:`repro.s2t.voting`):
+
+        * ``"dense"`` — all-pairs Python loop, the exact reference;
+        * ``"indexed"`` — pair loop pruned by a 3D R-tree with a ``3 sigma``
+          margin (the paper's access path; approximate for the Gaussian
+          kernel at the ``~1e-2`` level);
+        * ``"batched"`` (default) — the columnar
+          :class:`~repro.hermes.frame.MODFrame` engine: R-tree plus
+          sweep-line temporal prefilter, one vectorised interpolation pass
+          per target; matches ``"dense"`` within ``1e-8``.
     use_index:
-        Prune voting pairs with a 3D R-tree over trajectory bounding boxes.
+        Legacy knob: ``use_index=False`` forces the ``"dense"`` strategy
+        regardless of ``voting_strategy``.  Kept for backward compatibility;
+        prefer ``voting_strategy``.
     segmentation_method:
         ``"dp"`` for the optimal dynamic-programming segmentation or
         ``"greedy"`` for the linear-time heuristic — ablation E12.
@@ -62,6 +75,7 @@ class S2TParams:
 
     sigma: float | None = None
     voting_kernel: str = "gaussian"
+    voting_strategy: str = "batched"
     use_index: bool = True
     segmentation_method: str = "dp"
     segmentation_penalty: float = 0.05
@@ -83,9 +97,22 @@ class S2TParams:
         coverage = self.coverage_radius if self.coverage_radius is not None else 2.0 * eps
         return replace(self, sigma=sigma, eps=eps, coverage_radius=coverage)
 
+    @property
+    def effective_voting_strategy(self) -> str:
+        """The strategy the voting phase will actually run.
+
+        ``use_index=False`` predates ``voting_strategy`` and means "no
+        pruning, evaluate every pair" — it therefore forces ``"dense"``.
+        """
+        if not self.use_index:
+            return "dense"
+        return self.voting_strategy
+
     def __post_init__(self) -> None:
         if self.voting_kernel not in ("gaussian", "triangular"):
             raise ValueError(f"unknown voting kernel {self.voting_kernel!r}")
+        if self.voting_strategy not in ("dense", "indexed", "batched"):
+            raise ValueError(f"unknown voting strategy {self.voting_strategy!r}")
         if self.segmentation_method not in ("dp", "greedy"):
             raise ValueError(f"unknown segmentation method {self.segmentation_method!r}")
         if self.min_segment_samples < 2:

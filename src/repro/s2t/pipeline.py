@@ -9,6 +9,12 @@
 
 and returns a :class:`~repro.s2t.result.ClusteringResult` whose ``timings``
 dictionary holds the per-phase wall-clock breakdown used by benchmark E10.
+
+The voting phase honours ``S2TParams.voting_strategy`` (``"dense"``,
+``"indexed"`` or ``"batched"``, default batched — see
+:mod:`repro.s2t.voting`); the strategy actually used is reported in
+``result.extras["voting_strategy"]``.  Greedy clustering always runs on the
+batched columnar path (:mod:`repro.hermes.frame`).
 """
 
 from __future__ import annotations
@@ -86,6 +92,7 @@ class S2TClustering:
         result.extras = {
             "num_subtrajectories": len(subtrajectories),
             "num_representatives": len(representatives),
+            "voting_strategy": profile.strategy,
             "voting_pairs_evaluated": profile.pairs_evaluated,
             "voting_pairs_pruned": profile.pairs_pruned,
         }

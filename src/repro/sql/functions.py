@@ -79,6 +79,15 @@ def _opt_int(args: tuple, idx: int, default: int) -> int:
     return default if value is None else int(value)
 
 
+def _opt_str(args: tuple, idx: int, default: str) -> str:
+    if len(args) <= idx or args[idx] is None:
+        return default
+    value = args[idx]
+    if not isinstance(value, str):
+        raise SQLExecutionError(f"argument {idx + 1} must be a string, got {value!r}")
+    return value
+
+
 # -- the individual functions ----------------------------------------------------------
 
 
@@ -101,13 +110,22 @@ def _fn_qut(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
 
 
 def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
-    """``S2T(D [, sigma, eps, gamma])``"""
+    """``S2T(D [, sigma, eps, gamma, strategy])``
+
+    ``strategy`` selects the voting execution path: ``'dense'``,
+    ``'indexed'`` or ``'batched'`` (default) — see :mod:`repro.s2t.voting`.
+    """
     dataset = _require_dataset(args, "S2T")
-    params = S2TParams(
-        sigma=_opt_float(args, 1),
-        eps=_opt_float(args, 2),
-        min_cluster_support=_opt_int(args, 3, 2),
-    )
+    strategy = _opt_str(args, 4, "batched")
+    try:
+        params = S2TParams(
+            sigma=_opt_float(args, 1),
+            eps=_opt_float(args, 2),
+            min_cluster_support=_opt_int(args, 3, 2),
+            voting_strategy=strategy,
+        )
+    except ValueError as exc:
+        raise SQLExecutionError(str(exc)) from exc
     return _cluster_rows(engine.s2t(dataset, params))
 
 

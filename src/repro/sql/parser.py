@@ -159,6 +159,10 @@ class _Parser:
             return token.value
         if token.type == "IDENT":
             self._advance()
+            # NULL skips an optional positional argument (falls back to the
+            # function's data-driven default).
+            if token.value.upper() == "NULL":
+                return None
             return token.value
         raise SQLParseError(f"expected a literal at position {token.position}")
 

@@ -1,0 +1,119 @@
+"""Unit tests for the MODFrame column-store."""
+
+import numpy as np
+import pytest
+
+from repro.hermes.frame import MODFrame
+from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
+from tests.conftest import make_linear_trajectory
+
+
+def _random_trajs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        m = int(rng.integers(2, 40))
+        ts = rng.uniform(0, 50) + np.cumsum(rng.uniform(0.1, 2.0, m))
+        xs = np.cumsum(rng.normal(0, 1, m))
+        ys = np.cumsum(rng.normal(0, 1, m))
+        out.append(Trajectory(f"o{i}", "0", xs, ys, ts))
+    return out
+
+
+class TestConstruction:
+    def test_columns_concatenate_in_row_order(self):
+        trajs = _random_trajs(5)
+        frame = MODFrame.from_trajectories(trajs)
+        assert len(frame) == 5
+        assert frame.total_points == sum(t.num_points for t in trajs)
+        for i, traj in enumerate(trajs):
+            assert frame.keys[i] == traj.key
+            assert frame.row_of(traj.key) == i
+            np.testing.assert_array_equal(frame.xs_of(i), traj.xs)
+            np.testing.assert_array_equal(frame.ys_of(i), traj.ys)
+            np.testing.assert_array_equal(frame.ts_of(i), traj.ts)
+
+    def test_lifespan_and_bbox_tables(self):
+        trajs = _random_trajs(6, seed=3)
+        frame = MODFrame.from_trajectories(trajs)
+        for i, traj in enumerate(trajs):
+            assert frame.period_of(i) == traj.period
+            assert frame.bbox_of(i) == traj.bbox
+            assert frame.num_points_of(i) == traj.num_points
+
+    def test_from_mod_uses_insertion_order(self, small_mod):
+        frame = MODFrame.from_mod(small_mod)
+        assert frame.keys == small_mod.keys()
+
+    def test_empty_frame(self):
+        frame = MODFrame.from_trajectories([])
+        assert len(frame) == 0
+        assert frame.total_points == 0
+
+
+class TestPositionsAtBatch:
+    def test_matches_scalar_interpolation(self):
+        trajs = _random_trajs(12, seed=1)
+        frame = MODFrame.from_trajectories(trajs)
+        grid = np.linspace(-5.0, 120.0, 33)  # extends beyond every lifespan
+        X, Y = frame.positions_at_batch(np.arange(len(trajs)), grid)
+        for i, traj in enumerate(trajs):
+            ref = traj.positions_at(grid)
+            np.testing.assert_allclose(X[i], ref[:, 0], atol=1e-12)
+            np.testing.assert_allclose(Y[i], ref[:, 1], atol=1e-12)
+
+    def test_per_row_grids(self):
+        trajs = _random_trajs(8, seed=2)
+        frame = MODFrame.from_trajectories(trajs)
+        rng = np.random.default_rng(7)
+        grids = np.sort(rng.uniform(0, 100, size=(len(trajs), 9)), axis=1)
+        X, Y = frame.positions_at_batch(np.arange(len(trajs)), grids)
+        for i, traj in enumerate(trajs):
+            ref = traj.positions_at(grids[i])
+            np.testing.assert_allclose(X[i], ref[:, 0], atol=1e-12)
+            np.testing.assert_allclose(Y[i], ref[:, 1], atol=1e-12)
+
+    def test_exact_at_sample_instants(self):
+        traj = make_linear_trajectory(n=7)
+        frame = MODFrame.from_trajectories([traj])
+        X, Y = frame.positions_at_batch([0], traj.ts)
+        np.testing.assert_array_equal(X[0], traj.xs)
+        np.testing.assert_array_equal(Y[0], traj.ys)
+
+    def test_row_subset(self):
+        trajs = _random_trajs(10, seed=4)
+        frame = MODFrame.from_trajectories(trajs)
+        rows = np.array([7, 2, 5])
+        grid = np.linspace(0, 80, 11)
+        X, Y = frame.positions_at_batch(rows, grid)
+        for out_i, row in enumerate(rows):
+            ref = trajs[row].positions_at(grid)
+            np.testing.assert_allclose(X[out_i], ref[:, 0], atol=1e-12)
+            np.testing.assert_allclose(Y[out_i], ref[:, 1], atol=1e-12)
+
+    def test_mismatched_grid_rows_raise(self):
+        frame = MODFrame.from_trajectories(_random_trajs(3))
+        with pytest.raises(ValueError):
+            frame.positions_at_batch([0, 1], np.zeros((3, 4)))
+
+    def test_empty_rows(self):
+        frame = MODFrame.from_trajectories(_random_trajs(3))
+        X, Y = frame.positions_at_batch(np.array([], dtype=int), np.linspace(0, 1, 5))
+        assert X.shape == (0, 5)
+
+
+class TestLifespanOverlap:
+    def test_overlap_matches_period_intersection(self):
+        trajs = _random_trajs(9, seed=5)
+        frame = MODFrame.from_trajectories(trajs)
+        lo, hi = frame.lifespan_overlap(10.0, 40.0)
+        from repro.hermes.types import Period
+
+        for i, traj in enumerate(trajs):
+            inter = traj.period.intersection(Period(10.0, 40.0))
+            if inter is None or inter.duration <= 0:
+                assert hi[i] - lo[i] <= 0
+            else:
+                assert lo[i] == pytest.approx(inter.tmin)
+                assert hi[i] == pytest.approx(inter.tmax)

@@ -1,17 +1,30 @@
 """Property-based tests on cross-module invariants (hypothesis)."""
 
+import math
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.hermes.distances import (
+    spatiotemporal_distance,
+    spatiotemporal_distance_batch,
+)
+from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.hermes.trajectory import Trajectory
 from repro.hermes.types import Period
 from repro.qut.params import QuTParams
 from repro.qut.query import QuTClustering
 from repro.qut.retratree import ReTraTree
+from repro.s2t.clustering import (
+    assign_to_representatives,
+    assign_to_representatives_batch,
+)
 from repro.s2t.params import S2TParams
 from repro.s2t.pipeline import S2TClustering
+from repro.s2t.voting import compute_voting
 from repro.storage.records import decode_record, encode_record
 
 
@@ -92,6 +105,66 @@ class TestClusteringInvariants:
         assignments = result.point_assignments()
         for traj in mod:
             assert set(assignments[traj.key].keys()) == set(range(traj.num_points))
+
+
+class TestBatchKernelEquivalence:
+    """The columnar batch kernels must agree with their scalar counterparts."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=8), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_positions_at_batch_matches_positions_at(self, mod, seed):
+        trajs = mod.trajectories()
+        frame = MODFrame.from_mod(mod)
+        rng = np.random.default_rng(seed)
+        period = mod.period
+        grid = np.sort(
+            rng.uniform(period.tmin - 10.0, period.tmax + 10.0, size=16)
+        )
+        X, Y = frame.positions_at_batch(np.arange(len(trajs)), grid)
+        for i, traj in enumerate(trajs):
+            ref = traj.positions_at(grid)
+            np.testing.assert_allclose(X[i], ref[:, 0], rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(Y[i], ref[:, 1], rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=8), random_trajectory(obj_id="target"))
+    def test_spatiotemporal_distance_batch_matches_scalar(self, mod, target):
+        trajs = mod.trajectories()
+        frame = MODFrame.from_mod(mod)
+        batch = spatiotemporal_distance_batch(frame, target, max_samples=32)
+        for i, traj in enumerate(trajs):
+            scalar = spatiotemporal_distance(traj, target, max_samples=32)
+            if math.isinf(scalar):
+                assert math.isinf(batch[i])
+            else:
+                assert batch[i] == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_mod(min_trajs=3, max_trajs=8), random_trajectory(obj_id="sub"))
+    def test_assignment_batch_matches_scalar(self, mod, sub_traj):
+        reps = [t.subtrajectory(0, t.num_points - 1) for t in mod.trajectories()]
+        sub = sub_traj.subtrajectory(0, sub_traj.num_points - 1)
+        rep_frame = MODFrame.from_trajectories(r.traj for r in reps)
+        for eps, tol in ((5.0, 0.0), (50.0, 2.5)):
+            scalar_idx, scalar_dist = assign_to_representatives(sub, reps, eps, tol)
+            batch_idx, batch_dist = assign_to_representatives_batch(
+                sub, rep_frame, eps, tol
+            )
+            assert batch_idx == scalar_idx
+            if math.isinf(scalar_dist):
+                assert math.isinf(batch_dist)
+            else:
+                assert batch_dist == pytest.approx(scalar_dist, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=7))
+    def test_batched_voting_matches_dense(self, mod):
+        dense = compute_voting(mod, S2TParams(sigma=2.0, use_index=False))
+        batched = compute_voting(mod, S2TParams(sigma=2.0, voting_strategy="batched"))
+        for key, votes in dense.votes.items():
+            np.testing.assert_allclose(
+                batched.votes[key], votes, atol=1e-8, err_msg=f"votes differ for {key}"
+            )
 
 
 class TestReTraTreeInvariants:

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.datagen import aircraft_scenario, lane_scenario, urban_scenario
 from repro.hermes.mod import MOD
 from repro.s2t.params import S2TParams
-from repro.s2t.voting import build_trajectory_index, compute_voting
+from repro.s2t.voting import (
+    build_trajectory_index,
+    compute_voting,
+    kernel_support_radius,
+)
 from tests.conftest import make_linear_trajectory
 
 
@@ -72,7 +77,7 @@ class TestVotingKernels:
 class TestIndexPrunedVoting:
     def test_index_and_dense_agree(self, lanes_small):
         mod, _ = lanes_small
-        params = S2TParams(sigma=2.0)
+        params = S2TParams(sigma=2.0, voting_strategy="indexed")
         dense = compute_voting(mod, S2TParams(sigma=2.0, use_index=False))
         pruned = compute_voting(mod, params)
         for traj in mod:
@@ -85,7 +90,8 @@ class TestIndexPrunedVoting:
 
     def test_index_prunes_pairs(self, lanes_small):
         mod, _ = lanes_small
-        pruned = compute_voting(mod, S2TParams(sigma=1.0, use_index=True))
+        pruned = compute_voting(mod, S2TParams(sigma=1.0, voting_strategy="indexed"))
+        assert pruned.strategy == "indexed"
         assert pruned.pairs_pruned > 0
         assert pruned.pairs_evaluated < len(mod) * (len(mod) - 1)
 
@@ -94,3 +100,61 @@ class TestIndexPrunedVoting:
         index = build_trajectory_index(small_mod, spatial_margin=3.0)
         profile = compute_voting(small_mod, params, index=index)
         assert profile.segment_votes(("a", "0")).mean() > 0.5
+
+
+class TestVotingStrategies:
+    def test_use_index_false_forces_dense(self):
+        params = S2TParams(use_index=False)
+        assert params.effective_voting_strategy == "dense"
+        assert S2TParams().effective_voting_strategy == "batched"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            S2TParams(voting_strategy="mystery")
+
+    def test_batched_prunes_and_reports_strategy(self, lanes_small):
+        mod, _ = lanes_small
+        profile = compute_voting(mod, S2TParams(sigma=1.0))
+        assert profile.strategy == "batched"
+        assert profile.pairs_pruned > 0
+
+    def test_kernel_support_radius(self):
+        assert kernel_support_radius(2.0, "triangular") == pytest.approx(6.0)
+        # Gaussian support: vote at the radius is the pruning tolerance.
+        r = kernel_support_radius(2.0, "gaussian")
+        assert np.exp(-(r**2) / (2.0 * 4.0)) == pytest.approx(1e-12)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            lambda: lane_scenario(n_trajectories=18, n_lanes=3, n_samples=30, seed=11),
+            lambda: aircraft_scenario(n_trajectories=20, n_samples=30, seed=5),
+            lambda: urban_scenario(n_trajectories=16, n_samples=25, seed=3),
+        ],
+        ids=["lanes", "aircraft", "urban"],
+    )
+    @pytest.mark.parametrize("kernel", ["gaussian", "triangular"])
+    def test_strategies_agree_on_datagen_scenarios(self, scenario, kernel):
+        mod, _truth = scenario()
+        dense = compute_voting(mod, S2TParams(voting_kernel=kernel, use_index=False))
+        batched = compute_voting(
+            mod, S2TParams(voting_kernel=kernel, voting_strategy="batched")
+        )
+        indexed = compute_voting(
+            mod, S2TParams(voting_kernel=kernel, voting_strategy="indexed")
+        )
+        for traj in mod:
+            # Batched is exact (kernel-support pruning margin).
+            np.testing.assert_allclose(
+                batched.segment_votes(traj.key),
+                dense.segment_votes(traj.key),
+                atol=1e-8,
+                err_msg=f"batched != dense for {traj.key}",
+            )
+            # Indexed prunes at 3 sigma, approximate for the Gaussian tail.
+            np.testing.assert_allclose(
+                indexed.segment_votes(traj.key),
+                dense.segment_votes(traj.key),
+                atol=0.05,
+                err_msg=f"indexed != dense for {traj.key}",
+            )
