@@ -1,0 +1,64 @@
+"""End-to-end pipeline breakdown: partitioned S2T, serial vs parallel.
+
+The E10-style per-phase view of the whole pipeline (voting / segmentation /
+sampling / clustering) under the partition-parallel scheduler at
+``n_jobs ∈ {1, 4}``, recorded to ``BENCH_pipeline.json`` at the repository
+root.  Parallel runs must reproduce the serial cluster memberships exactly
+— the scheduler's determinism contract — and the smoke variant (the CI
+gate) asserts only that contract plus report structure, so shared-runner
+timing noise cannot fail CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.eval.pipeline_bench import PHASES, run_pipeline_benchmark, write_report
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _print_report(report: dict, title: str) -> None:
+    rows = []
+    for n_jobs, entry in sorted(report["runs"].items(), key=lambda kv: int(kv[0])):
+        row = {"n_jobs": n_jobs, "wall_s": round(entry["wall_s"], 4)}
+        row.update(
+            {phase: round(entry["phases"][phase], 4) for phase in PHASES}
+        )
+        row["clusters"] = entry["clusters"]
+        row["matches_serial"] = entry["matches_serial"]
+        rows.append(row)
+    print()
+    print(format_table(rows, title=title))
+
+
+@pytest.mark.repro("E10")
+def test_pipeline_breakdown_serial_vs_parallel():
+    report = run_pipeline_benchmark(
+        scenario="aircraft", n_trajectories=100, n_samples=50, seed=1, jobs=(1, 4)
+    )
+    _print_report(report, "Partitioned S2T: medium aircraft scenario")
+    write_report(report, REPORT_PATH)
+    print(f"report written to {REPORT_PATH}")
+
+    parallel = report["runs"]["4"]
+    # Determinism contract: the worker pool must not change results.
+    assert parallel["matches_serial"]
+    # Every phase must have been exercised and timed.
+    for phase in PHASES:
+        assert parallel["phases"][phase] >= 0.0
+    assert parallel["clusters"] > 0
+
+
+@pytest.mark.repro("E10")
+def test_pipeline_smoke_small():
+    """Small-scenario smoke run (the CI gate): structure + equivalence only."""
+    report = run_pipeline_benchmark(
+        scenario="lanes", n_trajectories=20, n_samples=30, seed=2, jobs=(1, 2)
+    )
+    entry = report["runs"]["2"]
+    assert entry["matches_serial"]
+    assert set(entry["phases"]) == set(PHASES)
+    assert entry["partitions_fitted"] >= 1
+    write_report(report, REPORT_PATH.with_name("BENCH_pipeline_smoke.json"))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 
+from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.hermes.types import Period
 from repro.index.rtree3d import RTree3D
@@ -27,17 +28,37 @@ __all__ = ["RangeThenCluster"]
 
 
 class RangeThenCluster:
-    """Temporal range query, fresh 3D R-tree, then S2T from scratch."""
+    """Temporal range query, fresh 3D R-tree, then S2T from scratch.
 
-    def __init__(self, mod: MOD, s2t_params: S2TParams | None = None) -> None:
+    When the engine hands over its cached dataset frame, the range query
+    runs as a columnar :meth:`~repro.hermes.frame.MODFrame.slice_period`
+    (row-for-row equivalent to ``MOD.temporal_range``) and the sliced frame
+    is threaded through the S2T phases, so no phase re-snapshots the
+    restricted dataset.
+    """
+
+    def __init__(
+        self,
+        mod: MOD,
+        s2t_params: S2TParams | None = None,
+        frame: MODFrame | None = None,
+    ) -> None:
         self.mod = mod
         self.s2t_params = s2t_params or S2TParams()
+        self.frame = frame
 
     def query(self, window: Period) -> ClusteringResult:
         """Cluster the sub-trajectories alive during ``window``."""
         # (i) temporal range query.
         t0 = time.perf_counter()
-        restricted = self.mod.temporal_range(window)
+        restricted_frame: MODFrame | None = None
+        if self.frame is not None:
+            restricted_frame = self.frame.slice_period(window)
+            restricted = restricted_frame.to_mod(
+                name=f"{self.mod.name}@[{window.tmin:.0f},{window.tmax:.0f}]"
+            )
+        else:
+            restricted = self.mod.temporal_range(window)
         range_time = time.perf_counter() - t0
 
         if len(restricted) == 0:
@@ -65,7 +86,7 @@ class RangeThenCluster:
         index_time = time.perf_counter() - t0
 
         # (iii) apply S2T-Clustering using that index.
-        result = S2TClustering(params).fit(restricted, index=index)
+        result = S2TClustering(params).fit(restricted, index=index, frame=restricted_frame)
         result.method = "range+s2t"
         result.timings = {
             "range_query": range_time,

@@ -4,6 +4,9 @@
   run SQL statements against the Hermes engine, one-shot or as a REPL.
 * ``repro-bench-voting`` — run the voting-strategy benchmark and write the
   ``BENCH_voting.json`` report.
+* ``repro-bench-pipeline`` — run the end-to-end partitioned-pipeline
+  benchmark (serial vs parallel per-phase breakdown) and write the
+  ``BENCH_pipeline.json`` report.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ import argparse
 import json
 import sys
 
-__all__ = ["main_sql", "main_bench_voting"]
+__all__ = ["main_sql", "main_bench_voting", "main_bench_pipeline"]
 
 
 def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
@@ -113,6 +116,43 @@ def main_bench_voting(argv: list[str] | None = None) -> int:
         seed=args.seed,
         repeats=args.repeats,
         kernel=args.kernel,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    path = write_report(report, args.out)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+def main_bench_pipeline(argv: list[str] | None = None) -> int:
+    """Run the partitioned-pipeline benchmark and write BENCH_pipeline.json."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-pipeline",
+        description="Benchmark the partition-parallel S2T pipeline (serial vs parallel).",
+    )
+    parser.add_argument("--scenario", choices=("aircraft", "lanes"), default="aircraft")
+    parser.add_argument("--trajectories", type=int, default=100)
+    parser.add_argument("--samples", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        nargs="+",
+        default=(1, 4),
+        help="worker counts to benchmark (first one is the serial reference)",
+    )
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+
+    from repro.eval.pipeline_bench import run_pipeline_benchmark, write_report
+
+    report = run_pipeline_benchmark(
+        scenario=args.scenario,
+        n_trajectories=args.trajectories,
+        n_samples=args.samples,
+        seed=args.seed,
+        jobs=tuple(args.jobs),
+        repeats=args.repeats,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
     path = write_report(report, args.out)

@@ -5,9 +5,12 @@ with: it manages named datasets (MODs), builds and caches ReTraTrees, and
 exposes every clustering method plus the SQL front-end.
 :class:`~repro.core.session.ProgressiveSession` wraps the progressive
 time-aware analysis workflow of the paper's scenario 2.
+:func:`~repro.core.parallel.partitioned_s2t` is the partition-parallel S2T
+scheduler behind ``HermesEngine.s2t(name, n_jobs=...)``.
 """
 
 from repro.core.engine import HermesEngine
+from repro.core.parallel import partitioned_s2t
 from repro.core.session import ProgressiveSession
 
-__all__ = ["HermesEngine", "ProgressiveSession"]
+__all__ = ["HermesEngine", "ProgressiveSession", "partitioned_s2t"]

@@ -2,9 +2,21 @@
 
 The engine is the Python analogue of a Hermes@PostgreSQL installation:
 datasets are registered under names, clustering runs are invoked against a
-dataset name, and the ReTraTree built for a dataset is cached so subsequent
-QuT queries are progressive (no rebuilding).  The SQL front-end
-(:mod:`repro.sql`) executes against an engine instance.
+dataset name, and the per-dataset derived state is cached:
+
+* the **frame catalog** — each dataset's columnar
+  :class:`~repro.hermes.frame.MODFrame` is built once (``engine.frame``)
+  and handed to every consumer (S2T, range-then-cluster, the ReTraTree bulk
+  load), so no phase rebuilds its own snapshot;
+* the **ReTraTree** built for a dataset, so subsequent QuT queries are
+  progressive (no rebuilding).
+
+Both caches — plus the SQL executor's INSERT buffers — are invalidated
+together whenever a dataset is replaced (``load_mod``) or removed
+(``drop``); SQL ``INSERT`` re-materialisation goes through ``load_mod`` and
+therefore invalidates too.  Each mutation bumps the dataset's *generation*
+token, which is how the SQL executor detects externally replaced datasets.
+The SQL front-end (:mod:`repro.sql`) executes against an engine instance.
 """
 
 from __future__ import annotations
@@ -15,6 +27,8 @@ from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
 from repro.baselines.range_then_cluster import RangeThenCluster
 from repro.baselines.toptics import TOpticsClustering, TOpticsParams
 from repro.baselines.traclus import TraclusClustering, TraclusParams
+from repro.core.parallel import partitioned_s2t
+from repro.hermes.frame import MODFrame
 from repro.hermes.io import read_csv, write_csv
 from repro.hermes.mod import MOD
 from repro.hermes.types import Period
@@ -46,8 +60,11 @@ class HermesEngine:
     def __init__(self, storage_directory: str | Path | None = None) -> None:
         self.storage_directory = Path(storage_directory) if storage_directory else None
         self._datasets: dict[str, MOD] = {}
+        self._frames: dict[str, MODFrame] = {}
         self._retratrees: dict[str, ReTraTree] = {}
         self._last_results: dict[str, ClusteringResult] = {}
+        self._generations: dict[str, int] = {}
+        self._generation_counter = 0
         self._sql_executor = None
 
     # -- constructors -------------------------------------------------------------
@@ -65,10 +82,15 @@ class HermesEngine:
     # -- dataset management ----------------------------------------------------------
 
     def load_mod(self, name: str, mod: MOD) -> None:
-        """Register an in-memory MOD under ``name`` (replaces any previous one)."""
+        """Register an in-memory MOD under ``name`` (replaces any previous one).
+
+        Invalidates every cache derived from the previous registration: the
+        frame-catalog entry, the ReTraTree and the last clustering result,
+        and bumps the dataset's generation token (which is how the SQL
+        executor notices an externally replaced dataset).
+        """
         self._datasets[name] = mod
-        self._retratrees.pop(name, None)
-        self._last_results.pop(name, None)
+        self._invalidate(name)
 
     def load_csv(self, name: str, path: str | Path) -> MOD:
         """Load a point-record CSV and register it under ``name``."""
@@ -91,12 +113,42 @@ class HermesEngine:
         return sorted(self._datasets)
 
     def drop(self, name: str) -> None:
-        """Remove a dataset and any index built for it."""
+        """Remove a dataset, its cached frame/index and any SQL buffered state."""
         self._datasets.pop(name, None)
+        self._invalidate(name)
+        if self._sql_executor is not None:
+            self._sql_executor.forget(name)
+
+    def _invalidate(self, name: str) -> None:
+        """Evict every cache derived from dataset ``name`` and bump its generation."""
+        self._frames.pop(name, None)
         tree = self._retratrees.pop(name, None)
         if tree is not None:
             tree.storage.close()
         self._last_results.pop(name, None)
+        self._generation_counter += 1
+        self._generations[name] = self._generation_counter
+
+    def dataset_generation(self, name: str) -> int:
+        """Monotonic token bumped on every mutation of dataset ``name``.
+
+        Consumers that buffer state derived from a dataset (e.g. the SQL
+        executor's INSERT buffers) record the generation they read from and
+        re-seed when it moved.
+        """
+        return self._generations.get(name, 0)
+
+    def frame(self, name: str) -> MODFrame:
+        """The dataset's cached columnar frame, building it on first use.
+
+        This is the frame-catalog entry point: every engine consumer (S2T,
+        range-then-cluster, the ReTraTree bulk load) reads the dataset
+        through this one frame, so it is constructed at most once per
+        registration.  ``load_mod``/``drop`` evict the entry.
+        """
+        if name not in self._frames:
+            self._frames[name] = MODFrame.from_mod(self.get_mod(name))
+        return self._frames[name]
 
     def dataset_summary(self, name: str) -> dict[str, object]:
         """Descriptive statistics of a dataset (used by ``SELECT SUMMARY``)."""
@@ -118,9 +170,39 @@ class HermesEngine:
 
     # -- clustering methods ----------------------------------------------------------------
 
-    def s2t(self, name: str, params: S2TParams | None = None) -> ClusteringResult:
-        """Run S2T-Clustering on the whole dataset."""
-        result = S2TClustering(params).fit(self.get_mod(name))
+    def s2t(
+        self,
+        name: str,
+        params: S2TParams | None = None,
+        n_jobs: int | None = None,
+    ) -> ClusteringResult:
+        """Run S2T-Clustering on the dataset.
+
+        ``n_jobs`` (or ``params.n_jobs``) selects the execution mode: ``1``
+        fits the whole MOD in-process; ``> 1`` runs the partition-parallel
+        scheduler (:func:`repro.core.parallel.partitioned_s2t`) over the
+        dataset's cached frame.  Either way the frame comes from the
+        engine's frame catalog — it is never rebuilt per run.
+
+        .. warning::
+           The two modes are different operators, not just different
+           speeds: partitioned S2T cuts trajectories at temporal partition
+           boundaries, so clusters cannot span partitions and memberships
+           generally differ from the whole-MOD fit.  The determinism
+           guarantee is *within* the partitioned mode — any ``n_jobs > 1``
+           reproduces a partitioned serial run exactly.
+        """
+        params = params or S2TParams()
+        jobs = n_jobs if n_jobs is not None else params.n_jobs
+        if jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        mod = self.get_mod(name)
+        if len(mod) == 0:
+            result = S2TClustering(params).fit(mod)
+        elif jobs > 1:
+            result = partitioned_s2t(mod, params, n_jobs=jobs, frame=self.frame(name))
+        else:
+            result = S2TClustering(params).fit(mod, frame=self.frame(name))
         self._last_results[name] = result
         return result
 
@@ -131,7 +213,11 @@ class HermesEngine:
             if self.storage_directory is not None:
                 storage = StorageManager(self.storage_directory / name)
             self._retratrees[name] = ReTraTree.build(
-                self.get_mod(name), params=params, storage=storage, name=name
+                self.get_mod(name),
+                params=params,
+                storage=storage,
+                name=name,
+                frame=self.frame(name),
             )
         return self._retratrees[name]
 
@@ -156,7 +242,9 @@ class HermesEngine:
         self, name: str, window: Period, params: S2TParams | None = None
     ) -> ClusteringResult:
         """The paper's scenario-2 baseline: range query + fresh index + S2T."""
-        result = RangeThenCluster(self.get_mod(name), params).query(window)
+        result = RangeThenCluster(
+            self.get_mod(name), params, frame=self.frame(name)
+        ).query(window)
         self._last_results[name] = result
         return result
 

@@ -1,0 +1,187 @@
+"""Partition-parallel S2T execution.
+
+The ReTraTree's own structure — temporal chunks — makes S2T-Clustering
+embarrassingly parallel: the dataset's lifespan is split into ``n_partitions``
+equal temporal partitions, each partition's frame is derived by
+:meth:`~repro.hermes.frame.MODFrame.slice_period` from the dataset's cached
+frame (cheap: one batched boundary interpolation, no per-pair work), and an
+independent S2T pipeline is fitted per partition.  Partition fits are
+distributed over a :class:`concurrent.futures.ProcessPoolExecutor`; frames
+cross the process boundary through their raw-column pickle path
+(:meth:`~repro.hermes.frame.MODFrame.to_payload`).
+
+Determinism: the partition layout depends only on the data (default
+``n_partitions = 4``, matching the ReTraTree's default ``tau`` = a quarter of
+the lifespan), parameters are resolved once against the *whole* MOD so every
+partition shares the same ``sigma``/``eps``, and partition results are merged
+in temporal order — therefore ``n_jobs=4`` produces bit-identical cluster
+memberships to a serial (``n_jobs=1``) run of the same scheduler; the worker
+pool only changes wall-clock, never results.
+
+Note the semantics: partitioned S2T cuts trajectories at partition
+boundaries, so clusters cannot span partitions (exactly like the ReTraTree's
+sub-chunk clustering).  It is therefore a different — coarser-grained —
+operator than whole-MOD ``S2TClustering.fit``, traded for near-linear
+scaling across cores.
+
+Entry points: :func:`partitioned_s2t` (library),
+``HermesEngine.s2t(name, n_jobs=...)`` (engine) and
+``SELECT S2T(D, sigma, eps, gamma, strategy, jobs)`` (SQL).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.hermes.frame import MODFrame
+from repro.hermes.mod import MOD
+from repro.hermes.types import Period
+from repro.s2t.params import S2TParams
+from repro.s2t.pipeline import S2TClustering
+from repro.s2t.result import ClusteringResult
+
+__all__ = ["DEFAULT_PARTITIONS", "partitioned_s2t", "merge_partition_results"]
+
+# Default temporal fan-out: the ReTraTree's data-driven default chunk length
+# is tau = lifespan / 4, i.e. four level-1 chunks per dataset.
+DEFAULT_PARTITIONS = 4
+
+
+def _fit_partition(task: tuple[MODFrame, S2TParams]) -> ClusteringResult:
+    """Fit one temporal partition (runs inside a worker process).
+
+    The partition travels as a frame; the MOD is rebuilt from column views
+    on the worker side, so the only serialized payload is the raw columns.
+    """
+    frame, params = task
+    mod = frame.to_mod(name="partition")
+    return S2TClustering(params).fit(mod, frame=frame)
+
+
+def merge_partition_results(
+    parts: list[ClusteringResult], params: S2TParams
+) -> ClusteringResult:
+    """Merge per-partition results into one :class:`ClusteringResult`.
+
+    Cluster ids are re-numbered densely in partition order (each partition's
+    local ids offset by the clusters merged so far), outliers are
+    concatenated, per-phase timings are summed and the per-partition
+    sub-trajectory/representative counts are aggregated.
+    """
+    clusters = []
+    outliers = []
+    timings: Counter[str] = Counter()
+    extras_sums: Counter[str] = Counter()
+    next_id = 0
+    for part in parts:
+        for cluster in part.clusters:
+            cluster.cluster_id = next_id
+            next_id += 1
+            clusters.append(cluster)
+        outliers.extend(part.outliers)
+        timings.update(part.timings)
+        for key in (
+            "num_subtrajectories",
+            "num_representatives",
+            "voting_pairs_evaluated",
+            "voting_pairs_pruned",
+        ):
+            extras_sums[key] += int(part.extras.get(key, 0))
+
+    result = ClusteringResult(
+        method="s2t",
+        clusters=clusters,
+        outliers=outliers,
+        params=params,
+        timings=dict(timings),
+    )
+    result.extras = dict(extras_sums)
+    # Uniform across partitions (all fits share the resolved params).
+    result.extras["voting_strategy"] = params.effective_voting_strategy
+    return result
+
+
+def partitioned_s2t(
+    mod: MOD,
+    params: S2TParams | None = None,
+    n_jobs: int = 1,
+    n_partitions: int | None = None,
+    frame: MODFrame | None = None,
+) -> ClusteringResult:
+    """S2T-Clustering fitted per temporal partition, optionally in parallel.
+
+    Parameters
+    ----------
+    mod:
+        The dataset to cluster.
+    params:
+        S2T tuning knobs.  Data-driven thresholds are resolved against the
+        *whole* MOD before partitioning, so all partitions agree on
+        ``sigma``/``eps`` and results do not depend on the partition layout's
+        local extents.
+    n_jobs:
+        Worker processes.  ``1`` runs the partition loop serially in-process
+        (same results, no pool); ``> 1`` uses a process pool.  If the
+        platform refuses to start a pool the scheduler falls back to the
+        serial loop.
+    n_partitions:
+        Temporal partition count; default :data:`DEFAULT_PARTITIONS`.
+        Independent of ``n_jobs`` so results never depend on the worker
+        count.
+    frame:
+        Optional prebuilt frame of ``mod`` (the engine's catalog entry);
+        built once here otherwise.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be at least 1")
+    if n_partitions is not None and n_partitions < 1:
+        raise ValueError("n_partitions must be at least 1")
+    params = (params or S2TParams()).resolved(mod) if len(mod) else (params or S2TParams())
+    if len(mod) == 0:
+        return ClusteringResult(method="s2t", clusters=[], outliers=[], params=params)
+    if frame is None:
+        frame = MODFrame.from_mod(mod)
+    n_partitions = n_partitions or DEFAULT_PARTITIONS
+
+    periods = mod.period.split(n_partitions)
+    piece_frames = [frame.slice_period(period) for period in periods]
+    tasks = [(piece, params) for piece in piece_frames if len(piece)]
+
+    parts: list[ClusteringResult]
+    if n_jobs > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+                parts = list(pool.map(_fit_partition, tasks))
+        except (OSError, PermissionError) as exc:  # pragma: no cover - sandboxed hosts
+            # Platforms without working process pools (e.g. sandboxes that
+            # forbid semaphores) degrade to the serial partition loop, which
+            # produces identical results.
+            parts = [_fit_partition(task) for task in tasks]
+            result = merge_partition_results(parts, params)
+            result.extras["pool_error"] = repr(exc)
+            _finish_extras(result, periods, tasks, n_jobs=1)
+            return result
+    else:
+        parts = [_fit_partition(task) for task in tasks]
+
+    result = merge_partition_results(parts, params)
+    _finish_extras(result, periods, tasks, n_jobs)
+    return result
+
+
+def _finish_extras(
+    result: ClusteringResult,
+    periods: list[Period],
+    tasks: list[tuple[MODFrame, S2TParams]],
+    n_jobs: int,
+) -> None:
+    result.extras.update(
+        {
+            "execution": "partitioned",
+            "n_jobs": n_jobs,
+            "n_partitions": len(periods),
+            "partitions_fitted": len(tasks),
+            "partition_bounds": [(p.tmin, p.tmax) for p in periods],
+        }
+    )

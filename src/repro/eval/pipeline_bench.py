@@ -1,0 +1,120 @@
+"""End-to-end S2T pipeline benchmark core.
+
+Runs the partition-parallel scheduler (:mod:`repro.core.parallel`) at
+several worker counts on one scenario, records the per-phase wall-clock
+breakdown (voting / segmentation / sampling / clustering) of every run,
+cross-checks that the parallel runs reproduce the serial cluster
+memberships exactly, and packages everything as a JSON-serialisable
+report.  Used by ``benchmarks/bench_pipeline.py`` (the pytest harness) and
+the ``repro-bench-pipeline`` console script; the report lands in
+``BENCH_pipeline.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.parallel import DEFAULT_PARTITIONS, partitioned_s2t
+from repro.datagen import aircraft_scenario, lane_scenario
+from repro.hermes.frame import MODFrame
+from repro.s2t.params import S2TParams
+from repro.s2t.result import ClusteringResult
+
+__all__ = ["run_pipeline_benchmark", "write_report", "membership_signature"]
+
+PHASES = ("voting", "segmentation", "sampling", "clustering")
+
+_SCENARIOS = {
+    "aircraft": aircraft_scenario,
+    "lanes": lane_scenario,
+}
+
+
+def membership_signature(result: ClusteringResult) -> tuple:
+    """Hashable view of exactly which sub-trajectories cluster together."""
+    clusters = tuple(
+        tuple(sorted(member.key for member in cluster.members))
+        for cluster in result.clusters
+    )
+    outliers = tuple(sorted(outlier.key for outlier in result.outliers))
+    return clusters, outliers
+
+
+def run_pipeline_benchmark(
+    scenario: str = "aircraft",
+    n_trajectories: int = 100,
+    n_samples: int = 50,
+    seed: int = 1,
+    jobs: tuple[int, ...] = (1, 4),
+    repeats: int = 1,
+) -> dict:
+    """Benchmark the partitioned S2T pipeline at each worker count.
+
+    The frame is built once and shared by every run (the engine-catalog
+    behaviour), so the measured times are pure pipeline work.  Every
+    ``n_jobs > 1`` run is checked for exact membership equality against the
+    ``jobs[0]`` (serial) reference.
+    """
+    mod, _truth = _SCENARIOS[scenario](
+        n_trajectories=n_trajectories, n_samples=n_samples, seed=seed
+    )
+    frame = MODFrame.from_mod(mod)
+    params = S2TParams()
+
+    try:
+        available_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available_cpus = os.cpu_count() or 1
+    report: dict = {
+        "scenario": {
+            "name": scenario,
+            "n_trajectories": n_trajectories,
+            "n_samples": n_samples,
+            "seed": seed,
+            "repeats": repeats,
+            "n_partitions": DEFAULT_PARTITIONS,
+            # Parallel speedups are bounded by this; on a single-CPU host
+            # n_jobs > 1 can only demonstrate the equivalence contract.
+            "available_cpus": available_cpus,
+        },
+        "runs": {},
+    }
+
+    reference: tuple | None = None
+    for n_jobs in jobs:
+        best_wall = float("inf")
+        result: ClusteringResult | None = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = partitioned_s2t(mod, params, n_jobs=n_jobs, frame=frame)
+            best_wall = min(best_wall, time.perf_counter() - start)
+        assert result is not None
+        signature = membership_signature(result)
+        if reference is None:
+            reference = signature
+        entry = {
+            "wall_s": best_wall,
+            "phases": {phase: result.timings.get(phase, 0.0) for phase in PHASES},
+            "clusters": result.num_clusters,
+            "outliers": result.num_outliers,
+            "subtrajectories": result.extras.get("num_subtrajectories", 0),
+            "partitions_fitted": result.extras.get("partitions_fitted", 0),
+            "matches_serial": signature == reference,
+        }
+        report["runs"][str(n_jobs)] = entry
+
+    serial_wall = report["runs"][str(jobs[0])]["wall_s"]
+    for n_jobs in jobs[1:]:
+        entry = report["runs"][str(n_jobs)]
+        entry["speedup_vs_serial"] = serial_wall / entry["wall_s"]
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

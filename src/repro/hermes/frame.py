@@ -22,6 +22,37 @@ samples of every (trajectory, instant) pair at once.
 This is the engine behind ``voting_strategy="batched"``
 (:mod:`repro.s2t.voting`) and
 :func:`repro.hermes.distances.spatiotemporal_distance_batch`.
+
+Frame lifecycle
+---------------
+The frame is the engine's *canonical* dataset representation; every phase of
+S2T-Clustering, the ReTraTree bulk load and the baselines read it instead of
+rebuilding their own columnar snapshots:
+
+* **Construction** — :meth:`MODFrame.from_mod` snapshots a whole MOD (one
+  ``O(total samples)`` concatenation, row order = MOD insertion order);
+  :meth:`MODFrame.from_trajectories` does the same for an arbitrary
+  trajectory sequence.  Derived state (lifespan/bbox tables, the key → row
+  map and the banded timestamp column) is computed once at construction.
+* **Caching** — :class:`~repro.core.engine.HermesEngine` keeps a *frame
+  catalog*: ``engine.frame(name)`` builds the dataset's frame on first use
+  and hands the cached instance to every consumer
+  (``engine.s2t`` / ``engine.range_then_cluster`` / ``engine.retratree``),
+  so a dataset's frame is constructed at most once per load.
+* **Invalidation** — the catalog entry is dropped whenever the dataset
+  changes: ``engine.load_mod`` (which SQL ``INSERT`` re-materialisation goes
+  through) and ``engine.drop`` both evict it; the next consumer rebuilds.
+* **Slicing** — :meth:`MODFrame.select_rows` restricts a frame to a
+  trajectory subset (zero-copy column views for contiguous row ranges) and
+  :meth:`MODFrame.slice_period` restricts it to a time period with
+  interpolated boundary samples, mirroring
+  :meth:`~repro.hermes.trajectory.Trajectory.slice_period` exactly.  The
+  partition-parallel scheduler (:mod:`repro.core.parallel`) and the
+  ReTraTree bulk load derive their per-partition frames this way instead of
+  re-concatenating trajectory objects.
+* **Serialization** — frames pickle as their raw columns plus keys
+  (:meth:`MODFrame.to_payload`); derived state is rebuilt on load.  This is
+  the cheap path that ships partition frames to worker processes.
 """
 
 from __future__ import annotations
@@ -79,24 +110,46 @@ class MODFrame:
         "_banded_ts",
     )
 
+    # Number of whole-MOD snapshots taken so far (see :meth:`from_mod`).
+    # Tests assert through this counter that a dataset's frame is built at
+    # most once per ``fit`` when the engine's frame catalog is warm.
+    from_mod_calls: int = 0
+
     def __init__(self, trajectories: Sequence[Trajectory]) -> None:
-        self.keys: list[tuple[str, str]] = [t.key for t in trajectories]
+        keys: list[tuple[str, str]] = [t.key for t in trajectories]
         n = len(trajectories)
         lengths = np.fromiter(
             (t.num_points for t in trajectories), dtype=np.intp, count=n
         )
-        self.offsets = np.zeros(n + 1, dtype=np.intp)
-        np.cumsum(lengths, out=self.offsets[1:])
-        total = int(self.offsets[-1])
+        offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
 
-        self.xs = np.empty(total, dtype=float)
-        self.ys = np.empty(total, dtype=float)
-        self.ts = np.empty(total, dtype=float)
+        xs = np.empty(total, dtype=float)
+        ys = np.empty(total, dtype=float)
+        ts = np.empty(total, dtype=float)
         for i, traj in enumerate(trajectories):
-            lo, hi = self.offsets[i], self.offsets[i + 1]
-            self.xs[lo:hi] = traj.xs
-            self.ys[lo:hi] = traj.ys
-            self.ts[lo:hi] = traj.ts
+            lo, hi = offsets[i], offsets[i + 1]
+            xs[lo:hi] = traj.xs
+            ys[lo:hi] = traj.ys
+            ts[lo:hi] = traj.ts
+        self._init_columns(keys, xs, ys, ts, offsets)
+
+    def _init_columns(
+        self,
+        keys: list[tuple[str, str]],
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ts: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        """Populate all slots from raw columns (derived tables recomputed)."""
+        self.keys = keys
+        self.xs = xs
+        self.ys = ys
+        self.ts = ts
+        self.offsets = offsets
+        n = len(keys)
 
         if n:
             self.tmins = self.ts[self.offsets[:-1]].copy()
@@ -118,7 +171,7 @@ class MODFrame:
         self._t0 = float(self.tmins.min()) if n else 0.0
         span = float(self.tmaxs.max()) - self._t0 if n else 0.0
         self._band_step = span + 1.0
-        row_of_sample = np.repeat(np.arange(n, dtype=np.intp), lengths)
+        row_of_sample = np.repeat(np.arange(n, dtype=np.intp), np.diff(self.offsets))
         self._banded_ts = (self.ts - self._t0) + row_of_sample * self._band_step
 
     # -- construction --------------------------------------------------------
@@ -126,12 +179,47 @@ class MODFrame:
     @classmethod
     def from_mod(cls, mod: "MOD") -> "MODFrame":
         """Columnar snapshot of a whole MOD (row order = MOD insertion order)."""
+        MODFrame.from_mod_calls += 1
         return cls(mod.trajectories())
 
     @classmethod
     def from_trajectories(cls, trajectories: Iterable[Trajectory]) -> "MODFrame":
         """Columnar snapshot of an arbitrary trajectory sequence."""
         return cls(list(trajectories))
+
+    @classmethod
+    def _from_columns(
+        cls,
+        keys: list[tuple[str, str]],
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ts: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "MODFrame":
+        """Build a frame directly from raw columns (no Trajectory objects)."""
+        frame = cls.__new__(cls)
+        frame._init_columns(keys, xs, ys, ts, offsets)
+        return frame
+
+    # -- serialization --------------------------------------------------------
+
+    def to_payload(self) -> tuple:
+        """The frame's raw columns — the cheap wire format.
+
+        Only ``keys`` and the four column arrays are shipped; derived state
+        (lifespan/bbox tables, key map, banded timestamps) is rebuilt on
+        :meth:`from_payload`.  This is what makes sending partition frames to
+        :class:`concurrent.futures.ProcessPoolExecutor` workers cheap.
+        """
+        return (self.keys, self.xs, self.ys, self.ts, self.offsets)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "MODFrame":
+        """Rebuild a frame from :meth:`to_payload` output."""
+        return cls._from_columns(*payload)
+
+    def __reduce__(self) -> tuple:
+        return (MODFrame.from_payload, (self.to_payload(),))
 
     # -- row access ----------------------------------------------------------
 
@@ -170,6 +258,105 @@ class MODFrame:
     def period_of(self, row: int) -> Period:
         """Lifespan of row ``row``."""
         return Period(float(self.tmins[row]), float(self.tmaxs[row]))
+
+    def trajectory_of(self, row: int) -> Trajectory:
+        """Row ``row`` as a :class:`Trajectory` (zero-copy column views)."""
+        obj_id, traj_id = self.keys[row]
+        return Trajectory(
+            obj_id, traj_id, self.xs_of(row), self.ys_of(row), self.ts_of(row)
+        )
+
+    def to_mod(self, name: str = "frame") -> "MOD":
+        """Materialise the frame as a :class:`~repro.hermes.mod.MOD`.
+
+        The trajectories share the frame's columns (views, no copies); this
+        is how parallel workers rebuild a MOD from a shipped partition frame.
+        """
+        from repro.hermes.mod import MOD
+
+        return MOD(name=name, trajectories=(self.trajectory_of(r) for r in range(len(self))))
+
+    # -- slicing ---------------------------------------------------------------
+
+    def select_rows(self, rows: np.ndarray | Sequence[int]) -> "MODFrame":
+        """Frame restricted to ``rows`` (in the given order).
+
+        A contiguous ascending row range keeps zero-copy views into the
+        parent's columns; any other selection gathers the row blocks into
+        fresh arrays.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        keys = [self.keys[r] for r in rows]
+        lengths = self.offsets[rows + 1] - self.offsets[rows]
+        offsets = np.zeros(rows.size + 1, dtype=np.intp)
+        np.cumsum(lengths, out=offsets[1:])
+        if rows.size and np.array_equal(rows, np.arange(rows[0], rows[0] + rows.size)):
+            lo, hi = self.offsets[rows[0]], self.offsets[rows[-1] + 1]
+            return MODFrame._from_columns(
+                keys, self.xs[lo:hi], self.ys[lo:hi], self.ts[lo:hi], offsets
+            )
+        sample_idx = np.concatenate(
+            [np.arange(self.offsets[r], self.offsets[r + 1]) for r in rows]
+        ) if rows.size else np.empty(0, dtype=np.intp)
+        return MODFrame._from_columns(
+            keys, self.xs[sample_idx], self.ys[sample_idx], self.ts[sample_idx], offsets
+        )
+
+    def slice_period(self, period: Period) -> "MODFrame":
+        """Frame restricted to ``period`` (Hermes ``atPeriod``, batched).
+
+        Row-for-row equivalent to
+        :meth:`~repro.hermes.trajectory.Trajectory.slice_period`: boundary
+        samples are interpolated at the period bounds, duplicate boundary
+        timestamps are dropped, and rows whose restriction degenerates (no
+        overlap, or fewer than two samples) are omitted.  The surviving rows
+        keep their keys and relative order, so
+        ``frame.slice_period(w).to_mod()`` equals ``mod.temporal_range(w)``.
+        """
+        n = len(self)
+        if n == 0:
+            return MODFrame([])
+        lo, hi = self.lifespan_overlap(period.tmin, period.tmax)
+        cand = np.flatnonzero(hi - lo > 0)
+        if cand.size == 0:
+            return MODFrame([])
+        # Interpolated boundary positions of every candidate row, batched.
+        bounds = np.stack([lo[cand], hi[cand]], axis=1)
+        bx, by = self.positions_at_batch(cand, bounds)
+
+        keys: list[tuple[str, str]] = []
+        xs_parts: list[np.ndarray] = []
+        ys_parts: list[np.ndarray] = []
+        ts_parts: list[np.ndarray] = []
+        lengths: list[int] = []
+        for k, row in enumerate(cand):
+            ts = self.ts_of(row)
+            inside = (ts > lo[row]) & (ts < hi[row])
+            new_ts = np.concatenate([[lo[row]], ts[inside], [hi[row]]])
+            new_xs = np.concatenate([[bx[k, 0]], self.xs_of(row)[inside], [bx[k, 1]]])
+            new_ys = np.concatenate([[by[k, 0]], self.ys_of(row)[inside], [by[k, 1]]])
+            # Guard against duplicate boundary timestamps.
+            keep = np.concatenate([[True], np.diff(new_ts) > 0])
+            if keep.size - int(np.count_nonzero(~keep)) < 2:
+                continue
+            if not keep.all():
+                new_ts, new_xs, new_ys = new_ts[keep], new_xs[keep], new_ys[keep]
+            keys.append(self.keys[row])
+            xs_parts.append(new_xs)
+            ys_parts.append(new_ys)
+            ts_parts.append(new_ts)
+            lengths.append(len(new_ts))
+        if not keys:
+            return MODFrame([])
+        offsets = np.zeros(len(keys) + 1, dtype=np.intp)
+        np.cumsum(np.asarray(lengths, dtype=np.intp), out=offsets[1:])
+        return MODFrame._from_columns(
+            keys,
+            np.concatenate(xs_parts),
+            np.concatenate(ys_parts),
+            np.concatenate(ts_parts),
+            offsets,
+        )
 
     def bbox_of(self, row: int) -> BoxST:
         """3D bounding box of row ``row``."""

@@ -98,10 +98,18 @@ class SubChunk:
     entries: list[ClusterEntry] = field(default_factory=list)
     unclustered_partition: str = ""
     unclustered_count: int = 0
+    # Bumped by touch_entries() on ANY entry-list mutation (append, removal,
+    # representative replacement); derived caches key on it, so replacing a
+    # representative without changing the entry count still invalidates.
+    entries_version: int = 0
 
     @property
     def key(self) -> tuple[int, int]:
         return (self.chunk_idx, self.sub_idx)
+
+    def touch_entries(self) -> None:
+        """Record an entry mutation (invalidates the representative frame)."""
+        self.entries_version += 1
 
 
 @dataclass
@@ -135,8 +143,9 @@ class ReTraTree:
         self._subchunks: dict[tuple[int, int], SubChunk] = {}
         self._rtrees: dict[str, RTree3D[RID]] = {}
         # Columnar snapshot of each sub-chunk's representatives, keyed by the
-        # entry count it was built from (entries are append-only, so a count
-        # mismatch is the only invalidation needed).
+        # sub-chunk's entries_version at build time: any entry mutation
+        # (append or representative replacement) bumps the version and
+        # invalidates the cached frame.
         self._entry_frames: dict[tuple[int, int], tuple[int, MODFrame]] = {}
         self._next_cluster_id = 0
         self.stats = ReTraTreeStats()
@@ -284,15 +293,32 @@ class ReTraTree:
                 self.flush_unclustered(subchunk)
 
     def _rep_frame(self, subchunk: SubChunk) -> MODFrame:
-        """Columnar snapshot of the sub-chunk's representatives (cached)."""
+        """Columnar snapshot of the sub-chunk's representatives (cached).
+
+        Keyed on ``subchunk.entries_version``, not the entry count: swapping
+        a representative in place leaves the count unchanged but must still
+        rebuild the frame.
+        """
         cached = self._entry_frames.get(subchunk.key)
-        if cached is not None and cached[0] == len(subchunk.entries):
+        if cached is not None and cached[0] == subchunk.entries_version:
             return cached[1]
         frame = MODFrame.from_trajectories(
             entry.representative.traj for entry in subchunk.entries
         )
-        self._entry_frames[subchunk.key] = (len(subchunk.entries), frame)
+        self._entry_frames[subchunk.key] = (subchunk.entries_version, frame)
         return frame
+
+    def replace_representative(
+        self, subchunk: SubChunk, entry_index: int, representative: SubTrajectory
+    ) -> None:
+        """Swap the representative of a level-3 entry.
+
+        Goes through here (rather than mutating the entry directly) so the
+        sub-chunk's entries version — and with it the cached representative
+        frame — is invalidated.
+        """
+        subchunk.entries[entry_index].representative = representative
+        subchunk.touch_entries()
 
     def _best_entry(self, subchunk: SubChunk, sub: SubTrajectory) -> ClusterEntry | None:
         """The closest representative within the distance threshold, or ``None``.
@@ -370,6 +396,7 @@ class ReTraTree:
                 entry.expand_bbox(original.bbox)
             if entry.member_count > 0:
                 subchunk.entries.append(entry)
+                subchunk.touch_entries()
             else:
                 self.storage.drop_partition(entry.partition_name)
                 self._rtrees.pop(entry.partition_name, None)
@@ -409,6 +436,45 @@ class ReTraTree:
 
     # -- bulk construction -----------------------------------------------------------------------
 
+    def _bulk_insert_from_frame(
+        self,
+        traj: Trajectory,
+        partition_frames: dict[tuple[int, int], MODFrame],
+        parent_frame: MODFrame,
+    ) -> None:
+        """Frame-native :meth:`insert_trajectory` used by the bulk load.
+
+        Walks the same sub-chunk cursor as :meth:`insert_trajectory`, but the
+        per-sub-chunk piece comes from the sub-chunk's *partition frame* —
+        ``parent_frame.slice_period(subchunk period)``, computed once for
+        **all** trajectories in one batched pass — instead of a fresh
+        ``traj.slice_period`` concatenation per (trajectory, sub-chunk) pair.
+        The slicing algorithms are row-for-row identical, so the inserted
+        pieces (and therefore the resulting tree) match the incremental path
+        exactly.
+        """
+        params = self._ensure_params(traj)
+        assert params.delta is not None
+        self.stats.trajectories_inserted += 1
+        end_chunk = self._locate(traj.period.tmax)
+        cursor = traj.period.tmin
+        seen: set[tuple[int, int]] = set()
+        while True:
+            key = self._locate(cursor)
+            if key not in seen:
+                seen.add(key)
+                partition = partition_frames.get(key)
+                if partition is None:
+                    partition = parent_frame.slice_period(self._subchunk_period(*key))
+                    partition_frames[key] = partition
+                row = partition.maybe_row_of(traj.key)
+                if row is not None:
+                    piece = partition.trajectory_of(row)
+                    self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+            if key == end_chunk or cursor >= traj.period.tmax:
+                break
+            cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9
+
     @classmethod
     def build(
         cls,
@@ -416,14 +482,25 @@ class ReTraTree:
         params: QuTParams | None = None,
         storage: StorageManager | None = None,
         name: str = "retratree",
+        frame: MODFrame | None = None,
     ) -> "ReTraTree":
-        """Build a ReTraTree over an existing MOD (bulk load + finalize)."""
+        """Build a ReTraTree over an existing MOD (bulk load + finalize).
+
+        ``frame`` is the MOD's columnar snapshot (the engine passes its
+        cached catalog entry); built here otherwise.  The bulk load derives
+        each sub-chunk's pieces from *partition frames* sliced off this
+        parent frame rather than re-concatenating trajectory objects
+        per piece.
+        """
         tree = cls(params=params, storage=storage, name=name)
         if len(mod) == 0:
             return tree
         tree.origin = mod.period.tmin
         tree.params = (params or QuTParams()).resolved(mod)
+        if frame is None:
+            frame = MODFrame.from_mod(mod)
+        partition_frames: dict[tuple[int, int], MODFrame] = {}
         for traj in mod:
-            tree.insert_trajectory(traj)
+            tree._bulk_insert_from_frame(traj, partition_frames, frame)
         tree.finalize()
         return tree

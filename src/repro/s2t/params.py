@@ -71,6 +71,12 @@ class S2TParams:
     voting_samples:
         Number of time samples per trajectory pair when computing synchronous
         distances for voting.
+    n_jobs:
+        Number of worker processes for partition-parallel S2T execution
+        (:mod:`repro.core.parallel`).  ``1`` (default) runs the classic
+        whole-MOD pipeline in-process; ``> 1`` splits the dataset into
+        temporal partitions, fits each on a process pool and merges the
+        per-partition results.
     """
 
     sigma: float | None = None
@@ -87,6 +93,7 @@ class S2TParams:
     min_cluster_support: int = 2
     temporal_tolerance: float = 0.0
     voting_samples: int = 64
+    n_jobs: int = 1
 
     def resolved(self, mod: MOD) -> "S2TParams":
         """Return a copy with all ``None`` thresholds resolved against ``mod``."""
@@ -121,3 +128,5 @@ class S2TParams:
             raise ValueError("gain_threshold must be in [0, 1]")
         if self.min_cluster_support < 1:
             raise ValueError("min_cluster_support must be at least 1")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")

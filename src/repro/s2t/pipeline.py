@@ -15,10 +15,17 @@ The voting phase honours ``S2TParams.voting_strategy`` (``"dense"``,
 :mod:`repro.s2t.voting`); the strategy actually used is reported in
 ``result.extras["voting_strategy"]``.  Greedy clustering always runs on the
 batched columnar path (:mod:`repro.hermes.frame`).
+
+The pipeline is frame-native: the MOD's columnar :class:`MODFrame` is built
+**once per fit** (or taken prebuilt from the engine's frame catalog /
+a partition scheduler) and shared by the voting and segmentation phases.
+For partition-parallel execution across a process pool see
+:func:`repro.core.parallel.partitioned_s2t`.
 """
 
 from __future__ import annotations
 
+from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.index.rtree3d import RTree3D
 from repro.s2t.clustering import greedy_clustering
@@ -56,6 +63,7 @@ class S2TClustering:
         self,
         mod: MOD,
         index: RTree3D[tuple[str, str]] | None = None,
+        frame: MODFrame | None = None,
     ) -> ClusteringResult:
         """Cluster the MOD's sub-trajectories.
 
@@ -66,15 +74,24 @@ class S2TClustering:
         index:
             Optional pre-built trajectory R-tree reused for voting (the
             ReTraTree passes the partition-local index here).
+        frame:
+            Optional prebuilt columnar snapshot of ``mod`` (the engine's
+            frame catalog and the partition scheduler pass theirs here).
+            When omitted, the frame is built once and shared by the voting
+            and segmentation phases.
         """
         if len(mod) == 0:
             return ClusteringResult(method="s2t", clusters=[], outliers=[], params=self.params)
         params = self.params.resolved(mod)
+        if frame is None:
+            frame = MODFrame.from_mod(mod)
 
-        profile = compute_voting(mod, params, index=index)
+        profile = compute_voting(mod, params, index=index, frame=frame)
         self.last_voting_profile = profile
 
-        subtrajectories, voting_mass, seg_elapsed = segment_mod(mod, profile, params)
+        subtrajectories, voting_mass, seg_elapsed = segment_mod(
+            mod, profile, params, frame=frame
+        )
         representatives, sampling_elapsed = select_representatives(
             subtrajectories, voting_mass, params
         )

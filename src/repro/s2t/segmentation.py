@@ -17,9 +17,11 @@ Both return *cut points*: sample indices where a new sub-trajectory starts.
 from __future__ import annotations
 
 import time
+from typing import Iterable
 
 import numpy as np
 
+from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.hermes.trajectory import SubTrajectory, Trajectory
 from repro.s2t.params import S2TParams
@@ -61,25 +63,25 @@ def dp_segmentation(
     # Prefix sums for O(1) within-segment cost.
     prefix = np.concatenate([[0.0], np.cumsum(votes)])
     prefix_sq = np.concatenate([[0.0], np.cumsum(votes**2)])
-
-    def seg_cost(i: int, j: int) -> float:
-        """Sum of squared deviation of votes[i:j] (j exclusive)."""
-        length = j - i
-        s = prefix[j] - prefix[i]
-        sq = prefix_sq[j] - prefix_sq[i]
-        return sq - s * s / length
+    i_index = np.arange(n + 1, dtype=float)
 
     best = np.full(n + 1, np.inf)
     best[0] = 0.0
     back = np.zeros(n + 1, dtype=int)
     for j in range(min_len, n + 1):
-        for i in range(0, j - min_len + 1):
-            if best[i] == np.inf:
-                continue
-            cost = best[i] + seg_cost(i, j) + penalty_cost
-            if cost < best[j]:
-                best[j] = cost
-                back[j] = i
+        # All candidate segment starts i in [0, j - min_len] at once: the
+        # within-segment cost of votes[i:j] is prefix_sq[j] - prefix_sq[i]
+        # minus (prefix[j] - prefix[i])^2 / (j - i), one broadcast over the
+        # prefix-sum arrays.  Unreachable starts (best[i] = inf) stay inf
+        # and can never win the argmin (i = 0 is always reachable).
+        i_hi = j - min_len + 1
+        s = prefix[j] - prefix[:i_hi]
+        sq = prefix_sq[j] - prefix_sq[:i_hi]
+        costs = best[:i_hi] + (sq - s * s / (j - i_index[:i_hi])) + penalty_cost
+        i = int(np.argmin(costs))
+        if costs[i] < best[j]:
+            best[j] = costs[i]
+            back[j] = i
     # Recover the cut points.
     cuts = []
     j = n
@@ -143,18 +145,31 @@ def segment_by_voting(
 
 
 def segment_mod(
-    mod: MOD, profile: VotingProfile, params: S2TParams
+    mod: MOD,
+    profile: VotingProfile,
+    params: S2TParams,
+    frame: MODFrame | None = None,
 ) -> tuple[list[SubTrajectory], dict[tuple[str, str, int, int], float], float]:
     """Segment every trajectory of a MOD.
 
     Returns ``(subtrajectories, voting_mass, elapsed_seconds)`` where
     ``voting_mass`` maps each sub-trajectory key to the mean vote of its
     segments — the representativeness score consumed by the sampling phase.
+
+    When ``frame`` (a columnar snapshot of ``mod``) is given, trajectories
+    are read straight off the frame's columns (zero-copy views) in row
+    order — the frame-native path the pipeline uses so the per-``fit`` frame
+    is built once and shared across phases.
     """
     start = time.perf_counter()
     subtrajectories: list[SubTrajectory] = []
     voting_mass: dict[tuple[str, str, int, int], float] = {}
-    for traj in mod:
+    trajectories: Iterable[Trajectory]
+    if frame is not None:
+        trajectories = (frame.trajectory_of(row) for row in range(len(frame)))
+    else:
+        trajectories = mod
+    for traj in trajectories:
         votes = profile.segment_votes(traj.key)
         subs = segment_by_voting(traj, votes, params)
         for sub in subs:

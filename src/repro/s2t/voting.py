@@ -279,11 +279,13 @@ def _compute_voting_batched(
     params: S2TParams,
     profile: VotingProfile,
     index: RTree3D[tuple[str, str]] | None,
+    frame: MODFrame | None = None,
 ) -> None:
     """The columnar engine: R-tree + sweep-line prefilter, batched kernels."""
     sigma = params.sigma
     assert sigma is not None
-    frame = MODFrame.from_mod(mod)
+    if frame is None:
+        frame = MODFrame.from_mod(mod)
     n = len(frame)
     margin = kernel_support_radius(sigma, params.voting_kernel)
 
@@ -355,6 +357,7 @@ def compute_voting(
     mod: MOD,
     params: S2TParams,
     index: RTree3D[tuple[str, str]] | None = None,
+    frame: MODFrame | None = None,
 ) -> VotingProfile:
     """Run the voting phase over the whole MOD.
 
@@ -373,6 +376,10 @@ def compute_voting(
         ``3 sigma`` margin for ``"indexed"``, the kernel support radius for
         ``"batched"``).  A caller-supplied index keeps its own margin, which
         then governs the pruning accuracy.
+    frame:
+        Optional prebuilt columnar snapshot of ``mod`` (the engine's frame
+        catalog passes its cached frame here); the batched strategy then
+        skips rebuilding it.
     """
     start = time.perf_counter()
     params = params.resolved(mod)
@@ -383,7 +390,7 @@ def compute_voting(
     profile = VotingProfile(strategy=strategy)
 
     if strategy == "batched":
-        _compute_voting_batched(mod, params, profile, index)
+        _compute_voting_batched(mod, params, profile, index, frame=frame)
     elif strategy == "indexed":
         if index is None:
             index = build_trajectory_index(mod, spatial_margin=3.0 * sigma)

@@ -51,6 +51,15 @@ class SQLExecutor:
         self.engine = engine
         # Pending point records per (dataset, obj_id, traj_id).
         self._pending: dict[str, dict[tuple[str, str], list[tuple[float, float, float]]]] = {}
+        # Engine dataset generation each pending buffer was seeded from; a
+        # mismatch means the dataset was replaced outside this executor
+        # (engine.load_mod / drop+reload) and the buffer must be re-seeded.
+        self._pending_generation: dict[str, int] = {}
+
+    def forget(self, name: str) -> None:
+        """Discard buffered state for a dataset (called by ``engine.drop``)."""
+        self._pending.pop(name, None)
+        self._pending_generation.pop(name, None)
 
     # -- public API ----------------------------------------------------------------
 
@@ -96,22 +105,28 @@ class SQLExecutor:
             raise SQLExecutionError(f"dataset {statement.name!r} already exists")
         self.engine.load_mod(statement.name, MOD(name=statement.name))
         self._pending[statement.name] = defaultdict(list)
+        self._pending_generation[statement.name] = self.engine.dataset_generation(
+            statement.name
+        )
         return [{"created": statement.name}]
 
     def _drop(self, statement: DropDataset) -> list[dict[str, object]]:
         if statement.name not in self.engine.datasets():
             raise SQLExecutionError(f"unknown dataset {statement.name!r}")
         self.engine.drop(statement.name)
-        self._pending.pop(statement.name, None)
+        self.forget(statement.name)
         return [{"dropped": statement.name}]
 
     def _insert(self, statement: InsertPoints) -> list[dict[str, object]]:
         name = statement.dataset
         if name not in self.engine.datasets():
             raise SQLExecutionError(f"unknown dataset {name!r}; CREATE DATASET it first")
-        if name not in self._pending:
+        generation = self.engine.dataset_generation(name)
+        if name not in self._pending or self._pending_generation.get(name) != generation:
             # Seed the buffer from the already-materialised trajectories so
             # that INSERTs extend, rather than replace, an existing dataset.
+            # Also taken when the dataset's generation moved, i.e. it was
+            # replaced outside this executor and the old buffer is stale.
             seeded: dict[tuple[str, str], list[tuple[float, float, float]]] = defaultdict(list)
             for traj in self.engine.get_mod(name):
                 for i in range(traj.num_points):
@@ -119,6 +134,7 @@ class SQLExecutor:
                         (float(traj.ts[i]), float(traj.xs[i]), float(traj.ys[i]))
                     )
             self._pending[name] = seeded
+            self._pending_generation[name] = generation
         pending = self._pending[name]
         inserted = 0
         for row in statement.rows:
@@ -151,6 +167,10 @@ class SQLExecutor:
             if len(ts) >= 2:
                 mod.add(Trajectory(obj_id, traj_id, xs, ys, ts))
         self.engine.load_mod(name, mod)
+        # load_mod bumped the generation for the dataset we just wrote; the
+        # buffer is the source of that state, not stale — record the new
+        # token so the next INSERT keeps extending it.
+        self._pending_generation[name] = self.engine.dataset_generation(name)
 
     # -- queries over point records ------------------------------------------------------------
 

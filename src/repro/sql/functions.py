@@ -110,10 +110,15 @@ def _fn_qut(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
 
 
 def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
-    """``S2T(D [, sigma, eps, gamma, strategy])``
+    """``S2T(D [, sigma, eps, gamma, strategy, jobs])``
 
     ``strategy`` selects the voting execution path: ``'dense'``,
     ``'indexed'`` or ``'batched'`` (default) — see :mod:`repro.s2t.voting`.
+    ``jobs > 1`` runs the partition-parallel scheduler
+    (:mod:`repro.core.parallel`) with that many worker processes; note that
+    partitioned S2T is a coarser operator than the whole-MOD fit (clusters
+    cannot span partition boundaries), so its memberships differ from
+    ``jobs = 1``.
     """
     dataset = _require_dataset(args, "S2T")
     strategy = _opt_str(args, 4, "batched")
@@ -123,6 +128,7 @@ def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
             eps=_opt_float(args, 2),
             min_cluster_support=_opt_int(args, 3, 2),
             voting_strategy=strategy,
+            n_jobs=_opt_int(args, 5, 1),
         )
     except ValueError as exc:
         raise SQLExecutionError(str(exc)) from exc

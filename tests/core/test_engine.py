@@ -99,3 +99,90 @@ class TestClusteringEntryPoints:
         tree = engine.retratree("lanes")
         assert any(p.on_disk for p in tree.storage.partitions())
         assert (tmp_path / "engine" / "lanes").exists()
+
+
+class TestFrameCatalog:
+    def test_frame_is_cached(self, engine):
+        assert engine.frame("lanes") is engine.frame("lanes")
+
+    def test_frame_built_at_most_once_per_fit(self, engine):
+        from repro.hermes.frame import MODFrame
+
+        engine.frame("lanes")  # warm the catalog
+        before = MODFrame.from_mod_calls
+        engine.s2t("lanes")
+        engine.s2t("lanes")
+        # With a warm catalog no fit rebuilds the dataset frame.
+        assert MODFrame.from_mod_calls == before
+
+    def test_cold_catalog_builds_once_for_everything(self, lanes_small):
+        from repro.hermes.frame import MODFrame
+
+        mod, _ = lanes_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("lanes", mod)
+        before = MODFrame.from_mod_calls
+        engine.s2t("lanes")
+        engine.range_then_cluster("lanes", mod.period)
+        assert MODFrame.from_mod_calls == before + 1
+
+    def test_load_mod_invalidates_frame(self, engine, lanes_small):
+        mod, _ = lanes_small
+        frame = engine.frame("lanes")
+        engine.load_mod("lanes", mod)
+        assert engine.frame("lanes") is not frame
+
+    def test_drop_invalidates_frame(self, engine, lanes_small):
+        mod, _ = lanes_small
+        frame = engine.frame("lanes")
+        engine.drop("lanes")
+        engine.load_mod("lanes", mod)
+        assert engine.frame("lanes") is not frame
+
+    def test_generation_bumps_on_mutation(self, engine, lanes_small):
+        mod, _ = lanes_small
+        g0 = engine.dataset_generation("lanes")
+        engine.load_mod("lanes", mod)
+        g1 = engine.dataset_generation("lanes")
+        assert g1 > g0
+        engine.drop("lanes")
+        assert engine.dataset_generation("lanes") > g1
+
+
+class TestUnifiedInvalidation:
+    def test_load_query_drop_reload_query(self, lanes_small, flights_small):
+        """The regression sequence of the cache-unification satellite."""
+        lanes, _ = lanes_small
+        flights, _ = flights_small
+
+        engine = HermesEngine.in_memory()
+        engine.load_mod("data", lanes)
+        first = engine.sql("SELECT S2T(data)")
+        assert first[-1]["cluster_id"] == "outliers"
+        engine.retratree("data")
+
+        engine.drop("data")
+        assert engine.datasets() == []
+
+        engine.load_mod("data", flights)
+        second = engine.sql("SELECT SUMMARY(data)")
+        assert second[0]["trajectories"] == len(flights)
+        third = engine.sql("SELECT S2T(data)")
+        assert third[-1]["cluster_id"] == "outliers"
+        # The frame and tree now describe the reloaded dataset.
+        assert len(engine.frame("data")) == len(flights)
+        assert engine.retratree("data").stats.trajectories_inserted == len(flights)
+
+    def test_drop_clears_sql_buffered_state(self, lanes_small):
+        lanes, _ = lanes_small
+        engine = HermesEngine.in_memory()
+        engine.sql("CREATE DATASET scratch")
+        engine.sql("INSERT INTO scratch VALUES ('a', '0', 0.0, 0.0, 0.0)")
+        engine.drop("scratch")
+        # Recreate: the single buffered point of the dropped incarnation
+        # must not leak into the new one.
+        engine.sql("CREATE DATASET scratch")
+        engine.sql("INSERT INTO scratch VALUES ('b', '0', 1.0, 1.0, 1.0)")
+        engine.sql("INSERT INTO scratch VALUES ('b', '0', 2.0, 2.0, 2.0)")
+        rows = engine.sql("SELECT obj_id FROM scratch")
+        assert {row["obj_id"] for row in rows} == {"b"}

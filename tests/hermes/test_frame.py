@@ -6,6 +6,7 @@ import pytest
 from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
 from repro.hermes.trajectory import Trajectory
+from repro.hermes.types import Period
 from tests.conftest import make_linear_trajectory
 
 
@@ -117,3 +118,119 @@ class TestLifespanOverlap:
             else:
                 assert lo[i] == pytest.approx(inter.tmin)
                 assert hi[i] == pytest.approx(inter.tmax)
+
+
+def _frames_equal(a: MODFrame, b: MODFrame) -> bool:
+    return (
+        a.keys == b.keys
+        and np.array_equal(a.offsets, b.offsets)
+        and np.array_equal(a.xs, b.xs)
+        and np.array_equal(a.ys, b.ys)
+        and np.array_equal(a.ts, b.ts)
+    )
+
+
+class TestRowMaterialisation:
+    def test_trajectory_of_round_trips(self):
+        trajs = _random_trajs(4, seed=9)
+        frame = MODFrame.from_trajectories(trajs)
+        for i, traj in enumerate(trajs):
+            assert frame.trajectory_of(i) == traj
+
+    def test_trajectory_of_shares_columns(self):
+        frame = MODFrame.from_trajectories(_random_trajs(3, seed=2))
+        traj = frame.trajectory_of(1)
+        assert traj.xs.base is frame.xs
+
+    def test_to_mod_round_trips(self):
+        trajs = _random_trajs(5, seed=4)
+        frame = MODFrame.from_trajectories(trajs)
+        mod = frame.to_mod(name="restored")
+        assert mod.name == "restored"
+        assert mod.trajectories() == trajs
+
+
+class TestSelectRows:
+    def test_subset_keeps_order_and_columns(self):
+        trajs = _random_trajs(6, seed=5)
+        frame = MODFrame.from_trajectories(trajs)
+        sub = frame.select_rows([4, 1, 3])
+        assert sub.keys == [trajs[4].key, trajs[1].key, trajs[3].key]
+        for new_row, old in enumerate([4, 1, 3]):
+            np.testing.assert_array_equal(sub.xs_of(new_row), frame.xs_of(old))
+            np.testing.assert_array_equal(sub.ts_of(new_row), frame.ts_of(old))
+
+    def test_contiguous_selection_is_zero_copy(self):
+        frame = MODFrame.from_trajectories(_random_trajs(6, seed=6))
+        sub = frame.select_rows([2, 3, 4])
+        assert sub.xs.base is frame.xs
+
+    def test_empty_selection(self):
+        frame = MODFrame.from_trajectories(_random_trajs(3, seed=7))
+        sub = frame.select_rows([])
+        assert len(sub) == 0
+        assert sub.total_points == 0
+
+    def test_select_then_build_equals_build_then_select(self):
+        trajs = _random_trajs(8, seed=8)
+        frame = MODFrame.from_trajectories(trajs)
+        rows = [6, 0, 5, 2]
+        direct = MODFrame.from_trajectories([trajs[r] for r in rows])
+        assert _frames_equal(frame.select_rows(rows), direct)
+
+
+class TestSlicePeriod:
+    def test_matches_per_trajectory_slicing(self):
+        trajs = _random_trajs(10, seed=10)
+        frame = MODFrame.from_trajectories(trajs)
+        tmin = min(t.period.tmin for t in trajs)
+        tmax = max(t.period.tmax for t in trajs)
+        window = Period(tmin + 0.25 * (tmax - tmin), tmin + 0.7 * (tmax - tmin))
+        expected = [t.slice_period(window) for t in trajs]
+        expected = [t for t in expected if t is not None]
+        direct = MODFrame.from_trajectories(expected)
+        assert _frames_equal(frame.slice_period(window), direct)
+
+    def test_disjoint_window_empty(self):
+        frame = MODFrame.from_trajectories(_random_trajs(4, seed=11))
+        sliced = frame.slice_period(Period(1e6, 2e6))
+        assert len(sliced) == 0
+
+    def test_degenerate_window_empty(self):
+        trajs = _random_trajs(4, seed=12)
+        frame = MODFrame.from_trajectories(trajs)
+        mid = float(trajs[0].ts[1])
+        assert len(frame.slice_period(Period(mid, mid))) == 0
+
+    def test_empty_frame(self):
+        frame = MODFrame.from_trajectories([])
+        assert len(frame.slice_period(Period(0.0, 1.0))) == 0
+
+
+class TestSerialization:
+    def test_pickle_round_trip(self):
+        import pickle
+
+        frame = MODFrame.from_trajectories(_random_trajs(5, seed=13))
+        restored = pickle.loads(pickle.dumps(frame))
+        assert _frames_equal(frame, restored)
+        # Derived state must be rebuilt, not dropped.
+        assert restored.row_of(frame.keys[2]) == 2
+        np.testing.assert_array_equal(restored.tmins, frame.tmins)
+        np.testing.assert_array_equal(restored.xmaxs, frame.xmaxs)
+
+    def test_payload_round_trip_preserves_kernels(self):
+        frame = MODFrame.from_trajectories(_random_trajs(4, seed=14))
+        restored = MODFrame.from_payload(frame.to_payload())
+        grid = np.linspace(float(frame.tmins.min()), float(frame.tmaxs.max()), 7)
+        rows = np.arange(len(frame))
+        x0, y0 = frame.positions_at_batch(rows, grid)
+        x1, y1 = restored.positions_at_batch(rows, grid)
+        np.testing.assert_array_equal(x0, x1)
+        np.testing.assert_array_equal(y0, y1)
+
+    def test_from_mod_counter_increments(self):
+        mod = MOD(name="counted", trajectories=_random_trajs(3, seed=15))
+        before = MODFrame.from_mod_calls
+        MODFrame.from_mod(mod)
+        assert MODFrame.from_mod_calls == before + 1

@@ -189,3 +189,64 @@ class TestReTraTreeInvariants:
         for sub, _cid in result.all_subtrajectories():
             assert sub.period.tmin >= window.tmin - 1e-6
             assert sub.period.tmax <= window.tmax + 1e-6
+
+
+class TestFrameSlicingInvariants:
+    """Slice-then-build == build-then-slice (the frame-catalog contract)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_mod(min_trajs=2, max_trajs=8), st.data())
+    def test_select_rows_commutes_with_build(self, mod, data):
+        frame = MODFrame.from_mod(mod)
+        trajs = mod.trajectories()
+        rows = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(trajs) - 1),
+                min_size=0,
+                max_size=len(trajs),
+                unique=True,
+            )
+        )
+        selected = frame.select_rows(rows)
+        direct = MODFrame.from_trajectories([trajs[r] for r in rows])
+        assert selected.keys == direct.keys
+        np.testing.assert_array_equal(selected.offsets, direct.offsets)
+        np.testing.assert_array_equal(selected.xs, direct.xs)
+        np.testing.assert_array_equal(selected.ys, direct.ys)
+        np.testing.assert_array_equal(selected.ts, direct.ts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        random_mod(min_trajs=2, max_trajs=8),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_slice_period_commutes_with_build(self, mod, a, b):
+        period = mod.period
+        lo = period.tmin + min(a, b) * period.duration
+        hi = period.tmin + max(a, b) * period.duration
+        window = Period(lo, hi)
+
+        sliced = MODFrame.from_mod(mod).slice_period(window)
+        direct = MODFrame.from_mod(mod.temporal_range(window))
+        assert sliced.keys == direct.keys
+        np.testing.assert_array_equal(sliced.offsets, direct.offsets)
+        np.testing.assert_array_equal(sliced.xs, direct.xs)
+        np.testing.assert_array_equal(sliced.ys, direct.ys)
+        np.testing.assert_array_equal(sliced.ts, direct.ts)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        random_mod(min_trajs=2, max_trajs=6),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_slice_pickle_round_trip(self, mod, frac):
+        import pickle
+
+        period = mod.period
+        window = Period(period.tmin, period.tmin + frac * period.duration)
+        sliced = MODFrame.from_mod(mod).slice_period(window)
+        restored = pickle.loads(pickle.dumps(sliced))
+        assert restored.keys == sliced.keys
+        np.testing.assert_array_equal(restored.xs, sliced.xs)
+        np.testing.assert_array_equal(restored.ts, sliced.ts)

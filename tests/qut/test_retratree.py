@@ -3,9 +3,10 @@
 import pytest
 
 from repro.hermes.mod import MOD
+from repro.hermes.trajectory import SubTrajectory, Trajectory
 from repro.hermes.types import Period
 from repro.qut.params import QuTParams
-from repro.qut.retratree import ReTraTree, subtrajectory_from_slice
+from repro.qut.retratree import ClusterEntry, ReTraTree, subtrajectory_from_slice
 from repro.storage.catalog import StorageManager
 from tests.conftest import make_linear_trajectory
 
@@ -119,3 +120,71 @@ class TestIncrementalInsert:
         stats = tree.stats
         assert stats.pieces_inserted == stats.pieces_assigned + stats.pieces_unclustered
         assert stats.maintenance_seconds >= 0.0
+
+
+class TestRepFrameCache:
+    def _built_tree_with_entries(self):
+        from repro.datagen import lane_scenario
+
+        mod, _ = lane_scenario(n_trajectories=20, n_lanes=2, n_samples=40, seed=3)
+        tree = ReTraTree.build(mod, QuTParams(overflow_threshold=8))
+        for subchunk in tree.subchunks():
+            if len(subchunk.entries) >= 1:
+                return tree, subchunk
+        pytest.skip("scenario produced no cluster entries")
+
+    def test_rep_frame_cached_while_entries_unchanged(self):
+        tree, subchunk = self._built_tree_with_entries()
+        assert tree._rep_frame(subchunk) is tree._rep_frame(subchunk)
+
+    def test_replacing_representative_invalidates_cache(self):
+        """Regression: same entry count, different representative -> new frame."""
+        tree, subchunk = self._built_tree_with_entries()
+        frame_before = tree._rep_frame(subchunk)
+        entry = subchunk.entries[0]
+        old_rep = entry.representative
+        replacement = SubTrajectory(
+            old_rep.parent_key,
+            old_rep.start_idx,
+            old_rep.end_idx,
+            Trajectory(
+                old_rep.traj.obj_id,
+                old_rep.traj.traj_id,
+                old_rep.traj.xs + 1000.0,
+                old_rep.traj.ys + 1000.0,
+                old_rep.traj.ts,
+            ),
+        )
+        tree.replace_representative(subchunk, 0, replacement)
+        frame_after = tree._rep_frame(subchunk)
+        assert frame_after is not frame_before
+        row = frame_after.row_of(replacement.traj.key)
+        assert frame_after.xs_of(row)[0] == replacement.traj.xs[0]
+
+    def test_appending_entry_invalidates_cache(self):
+        tree, subchunk = self._built_tree_with_entries()
+        frame_before = tree._rep_frame(subchunk)
+        version_before = subchunk.entries_version
+        clone = subchunk.entries[0]
+        other_rep = SubTrajectory(
+            clone.representative.parent_key,
+            clone.representative.start_idx,
+            clone.representative.end_idx,
+            Trajectory(
+                "synthetic",
+                "rep",
+                clone.representative.traj.xs + 5.0,
+                clone.representative.traj.ys + 5.0,
+                clone.representative.traj.ts,
+            ),
+        )
+        subchunk.entries.append(
+            ClusterEntry(
+                cluster_id=9999,
+                representative=other_rep,
+                partition_name=clone.partition_name,
+            )
+        )
+        subchunk.touch_entries()
+        assert subchunk.entries_version == version_before + 1
+        assert tree._rep_frame(subchunk) is not frame_before

@@ -111,3 +111,80 @@ class TestSegmentMod:
         mass_a = max(m for key, m in masses.items() if key[0] == "a")
         mass_z = max(m for key, m in masses.items() if key[0] == "z")
         assert mass_a > mass_z
+
+
+def _dp_segmentation_reference(votes: np.ndarray, penalty: float, min_len: int) -> list[int]:
+    """The pre-vectorisation O(n^2) Python loop, kept as the exactness oracle."""
+    n = len(votes)
+    if n <= min_len:
+        return []
+    dynamic_range = float(votes.max() - votes.min())
+    if dynamic_range <= 1e-9 * (float(np.abs(votes).max()) + 1.0):
+        return []
+    total_ss = float(np.sum((votes - votes.mean()) ** 2))
+    penalty_cost = penalty * total_ss if total_ss > 0 else penalty
+
+    prefix = np.concatenate([[0.0], np.cumsum(votes)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(votes**2)])
+
+    def seg_cost(i: int, j: int) -> float:
+        length = j - i
+        s = prefix[j] - prefix[i]
+        sq = prefix_sq[j] - prefix_sq[i]
+        return sq - s * s / length
+
+    best = np.full(n + 1, np.inf)
+    best[0] = 0.0
+    back = np.zeros(n + 1, dtype=int)
+    for j in range(min_len, n + 1):
+        for i in range(0, j - min_len + 1):
+            if best[i] == np.inf:
+                continue
+            cost = best[i] + seg_cost(i, j) + penalty_cost
+            if cost < best[j]:
+                best[j] = cost
+                back[j] = i
+    cuts = []
+    j = n
+    while j > 0:
+        i = int(back[j])
+        if i > 0:
+            cuts.append(i)
+        j = i
+    cuts.reverse()
+    return cuts
+
+
+class TestDPVectorisedEquivalence:
+    """The broadcast inner loop must reproduce the scalar DP exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_signals_exact_match(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        kind = seed % 3
+        if kind == 0:
+            votes = rng.uniform(0, 10, n)
+        elif kind == 1:  # step signal with noise
+            votes = np.concatenate(
+                [np.full(max(n // 2, 1), 1.0), np.full(n - max(n // 2, 1), 8.0)]
+            ) + rng.normal(0, 0.3, n)
+        else:  # smooth drift
+            votes = np.cumsum(rng.normal(0, 0.5, n)) + 5.0
+        for penalty in (0.01, 0.05, 0.5):
+            for min_len in (2, 4):
+                assert dp_segmentation(votes, penalty, min_len) == (
+                    _dp_segmentation_reference(votes, penalty, min_len)
+                ), f"divergence at seed={seed} penalty={penalty} min_len={min_len}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=3, max_size=80),
+        st.floats(min_value=0.001, max_value=1.0),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_hypothesis_signals_exact_match(self, values, penalty, min_len):
+        votes = np.asarray(values)
+        assert dp_segmentation(votes, penalty, min_len) == (
+            _dp_segmentation_reference(votes, penalty, min_len)
+        )

@@ -164,3 +164,49 @@ class TestClusteringFunctions:
     def test_engine_sql_shortcut(self, engine):
         rows = engine.sql("SELECT SUMMARY(lanes)")
         assert rows[0]["dataset"] == "lanes"
+
+
+class TestParallelS2TFunction:
+    def test_s2t_jobs_argument(self, executor):
+        rows = executor.execute("SELECT S2T(lanes, NULL, NULL, 2, 'batched', 2)")
+        assert rows[-1]["cluster_id"] == "outliers"
+        assert any(isinstance(r["cluster_id"], int) for r in rows)
+
+    def test_s2t_jobs_matches_serial_memberships(self, executor, engine):
+        executor.execute("SELECT S2T(lanes, NULL, NULL, 2, 'batched', 2)")
+        parallel = engine.last_result("lanes")
+        assert parallel.extras["execution"] == "partitioned"
+
+    def test_s2t_invalid_jobs_rejected(self, executor):
+        with pytest.raises(SQLExecutionError, match="n_jobs"):
+            executor.execute("SELECT S2T(lanes, NULL, NULL, 2, 'batched', 0)")
+
+
+class TestBufferInvalidation:
+    def test_insert_after_external_reload_does_not_resurrect_points(
+        self, executor, engine
+    ):
+        from repro.hermes.mod import MOD
+
+        executor.execute("CREATE DATASET tiny")
+        executor.execute(
+            "INSERT INTO tiny VALUES ('a', '0', 0.0, 0.0, 0.0), ('a', '0', 1.0, 1.0, 10.0)"
+        )
+        assert executor.execute("SELECT COUNT(*) FROM tiny")[0]["count"] == 2
+        # Replace the dataset from outside the executor: the INSERT buffer
+        # for 'tiny' is now stale and must be re-seeded from the new MOD.
+        engine.load_mod("tiny", MOD(name="tiny"))
+        executor.execute(
+            "INSERT INTO tiny VALUES ('b', '0', 5.0, 5.0, 0.0), ('b', '0', 6.0, 6.0, 10.0)"
+        )
+        rows = executor.execute("SELECT obj_id FROM tiny")
+        assert {row["obj_id"] for row in rows} == {"b"}
+
+    def test_buffer_survives_own_materialisation(self, executor):
+        executor.execute("CREATE DATASET grow")
+        # One point alone cannot materialise a trajectory...
+        executor.execute("INSERT INTO grow VALUES ('a', '0', 0.0, 0.0, 0.0)")
+        assert executor.execute("SELECT COUNT(*) FROM grow")[0]["count"] == 0
+        # ...but it must still be buffered for the next INSERT to extend.
+        executor.execute("INSERT INTO grow VALUES ('a', '0', 1.0, 1.0, 10.0)")
+        assert executor.execute("SELECT COUNT(*) FROM grow")[0]["count"] == 2
