@@ -1,0 +1,68 @@
+"""QuT window restriction: frame-native batch vs per-member loop.
+
+PR 3's query-side change: partially covered sub-chunks restrict their
+archived members with one batched ``MODFrame.slice_period_rows`` call
+instead of a per-member Python loop.  The full run records timings at three
+window widths to ``BENCH_qut.json``; both variants must produce bit-exact
+identical restrictions, and the batched path must not be slower than the
+loop it replaced.  The smoke variant (the CI gate) asserts only equivalence
+and report structure, so shared-runner timing noise cannot fail CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.eval.qut_bench import run_qut_benchmark, write_report
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_qut.json"
+
+
+def _print_report(report: dict, title: str) -> None:
+    rows = []
+    for fraction, entry in sorted(report["windows"].items()):
+        rows.append(
+            {
+                "window": fraction,
+                "members": entry["members"],
+                "batched_s": round(entry["restrict_batched_s"], 5),
+                "loop_s": round(entry["restrict_loop_s"], 5),
+                "speedup": round(entry["speedup_vs_loop"], 2),
+                "equal": entry["outputs_equal"],
+                "query_s": round(entry["query_s"], 5),
+            }
+        )
+    print()
+    print(format_table(rows, title=title))
+
+
+@pytest.mark.repro("E7")
+def test_qut_restriction_batched_vs_loop():
+    report = run_qut_benchmark(
+        scenario="aircraft", n_trajectories=100, n_samples=50, seed=1, repeats=3
+    )
+    _print_report(report, "QuT window restriction: medium aircraft scenario")
+    write_report(report, REPORT_PATH)
+    print(f"report written to {REPORT_PATH}")
+
+    # Bit-exact equivalence is non-negotiable.
+    assert report["all_outputs_equal"]
+    # Acceptance floor: the batched restriction is no slower than the loop
+    # (a small tolerance absorbs scheduler noise on loaded machines).
+    assert report["min_speedup_vs_loop"] >= 0.9
+    # The windows actually exercised restriction work.
+    assert any(entry["members"] > 0 for entry in report["windows"].values())
+
+
+@pytest.mark.repro("E7")
+def test_qut_smoke_small():
+    """Small-scenario smoke run (the CI gate): structure + equivalence only."""
+    report = run_qut_benchmark(
+        scenario="lanes", n_trajectories=20, n_samples=30, seed=2, repeats=1
+    )
+    assert report["all_outputs_equal"]
+    for entry in report["windows"].values():
+        assert entry["restrict_batched_s"] >= 0.0
+        assert entry["clusters"] >= 0
+    write_report(report, REPORT_PATH.with_name("BENCH_qut_smoke.json"))

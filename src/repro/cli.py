@@ -7,6 +7,9 @@
 * ``repro-bench-pipeline`` — run the end-to-end partitioned-pipeline
   benchmark (serial vs parallel per-phase breakdown) and write the
   ``BENCH_pipeline.json`` report.
+* ``repro-bench-qut`` — run the QuT window-restriction benchmark (batched
+  frame slicing vs the per-member loop) and write the ``BENCH_qut.json``
+  report.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import argparse
 import json
 import sys
 
-__all__ = ["main_sql", "main_bench_voting", "main_bench_pipeline"]
+__all__ = ["main_sql", "main_bench_voting", "main_bench_pipeline", "main_bench_qut"]
 
 
 def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
@@ -152,6 +155,46 @@ def main_bench_pipeline(argv: list[str] | None = None) -> int:
         n_samples=args.samples,
         seed=args.seed,
         jobs=tuple(args.jobs),
+        repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    path = write_report(report, args.out)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+def main_bench_qut(argv: list[str] | None = None) -> int:
+    """Run the QuT window-restriction benchmark and write BENCH_qut.json."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-qut",
+        description=(
+            "Benchmark QuT's frame-native batched window restriction "
+            "against the per-member slice_period loop."
+        ),
+    )
+    parser.add_argument("--scenario", choices=("aircraft", "lanes"), default="aircraft")
+    parser.add_argument("--trajectories", type=int, default=100)
+    parser.add_argument("--samples", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--windows",
+        type=float,
+        nargs="+",
+        default=(0.2, 0.45, 0.7),
+        help="window widths to benchmark, as fractions of the dataset lifespan",
+    )
+    parser.add_argument("--out", default="BENCH_qut.json")
+    args = parser.parse_args(argv)
+
+    from repro.eval.qut_bench import run_qut_benchmark, write_report
+
+    report = run_qut_benchmark(
+        scenario=args.scenario,
+        n_trajectories=args.trajectories,
+        n_samples=args.samples,
+        seed=args.seed,
+        window_fractions=tuple(args.windows),
         repeats=args.repeats,
     )
     print(json.dumps(report, indent=2, sort_keys=True))

@@ -17,6 +17,28 @@ together whenever a dataset is replaced (``load_mod``) or removed
 therefore invalidates too.  Each mutation bumps the dataset's *generation*
 token, which is how the SQL executor detects externally replaced datasets.
 The SQL front-end (:mod:`repro.sql`) executes against an engine instance.
+
+Durability
+----------
+An ``HermesEngine.on_disk(directory)`` engine is *persistent*, mirroring the
+paper's in-DBMS deployment where S2T runs once and the ReTraTree lives in
+PostgreSQL.  Each dataset owns one subdirectory of ``directory`` holding its
+heapfile partitions plus a ``manifest.json`` catalog root
+(:mod:`repro.storage.catalog`):
+
+* ``load_mod`` archives the dataset's trajectories into a ``__dataset``
+  partition and writes the manifest;
+* ``retratree`` serialises the built tree's structure (sub-chunk periods,
+  cluster entries, representative references) into the manifest, next to the
+  member partitions the build already wrote;
+* constructing a new engine over the same directory **recovers** every
+  catalogued dataset — the MOD, its frame-catalog entry and (lazily, on
+  first use) the ReTraTree — so a cold process answers ``qut`` and SQL
+  queries from disk without re-running S2T;
+* ``drop`` (and dataset replacement through ``load_mod``) deletes the
+  dataset's partition files and manifest, reclaiming the disk space.
+
+In-memory engines skip all of this; their partitions die with the process.
 """
 
 from __future__ import annotations
@@ -31,6 +53,7 @@ from repro.core.parallel import partitioned_s2t
 from repro.hermes.frame import MODFrame
 from repro.hermes.io import read_csv, write_csv
 from repro.hermes.mod import MOD
+from repro.hermes.trajectory import Trajectory
 from repro.hermes.types import Period
 from repro.qut.params import QuTParams
 from repro.qut.query import QuTClustering
@@ -38,9 +61,14 @@ from repro.qut.retratree import ReTraTree
 from repro.s2t.params import S2TParams
 from repro.s2t.pipeline import S2TClustering
 from repro.s2t.result import ClusteringResult
-from repro.storage.catalog import StorageManager
+from repro.storage.catalog import MANIFEST_FILENAME, StorageManager
+from repro.storage.records import encode_record
 
 __all__ = ["HermesEngine"]
+
+# Manifest layout version; bump on incompatible changes so stale directories
+# fail loudly instead of recovering garbage.
+MANIFEST_FORMAT = 1
 
 
 class HermesEngine:
@@ -66,6 +94,19 @@ class HermesEngine:
         self._generations: dict[str, int] = {}
         self._generation_counter = 0
         self._sql_executor = None
+        # Per-dataset storage managers (on-disk engines only); the ReTraTree
+        # build, the dataset archive and the manifest all share one manager.
+        self._storages: dict[str, StorageManager] = {}
+        # Serialised tree structures recovered from manifests, consumed
+        # lazily by the first retratree() call.
+        self._tree_manifests: dict[str, dict] = {}
+        # Catalogued-but-not-yet-materialised datasets (manifest dicts); the
+        # archived records are decoded lazily on first get_mod/frame access,
+        # so opening a large store costs one manifest read per dataset, not
+        # a full decode of every archive.
+        self._pending_datasets: dict[str, dict] = {}
+        if self.storage_directory is not None:
+            self._recover_catalog()
 
     # -- constructors -------------------------------------------------------------
 
@@ -87,10 +128,52 @@ class HermesEngine:
         Invalidates every cache derived from the previous registration: the
         frame-catalog entry, the ReTraTree and the last clustering result,
         and bumps the dataset's generation token (which is how the SQL
-        executor notices an externally replaced dataset).
+        executor notices an externally replaced dataset).  On an on-disk
+        engine the new dataset is archived *before* the previous
+        registration's partition files are reclaimed — the manifest write is
+        the commit point, so a crash mid-replacement leaves either the old
+        or the new archive recoverable, never neither (see
+        :meth:`_persist_dataset`).
         """
+        if self.storage_directory is not None:
+            self._check_durable_name(name)
         self._datasets[name] = mod
         self._invalidate(name)
+        self._persist_dataset(name)
+
+    @staticmethod
+    def _check_durable_name(name: str) -> None:
+        """Reject dataset names that cannot safely become path components.
+
+        On a durable engine the name is embedded in the dataset's directory
+        and partition filenames, and ``drop`` *deletes* those paths — a name
+        like ``"../evil"`` would write and later destroy files outside the
+        storage directory.
+        """
+        if not name or name in (".", "..") or any(sep in name for sep in ("/", "\\", "\0")):
+            raise ValueError(
+                f"dataset name {name!r} cannot be persisted: names must be "
+                "non-empty and must not contain path separators"
+            )
+
+    def _invalidate(self, name: str) -> None:
+        """Evict every cache derived from dataset ``name`` and bump its generation.
+
+        Purely in-memory: on-disk state is left alone so that replacement
+        (``load_mod``) can stage the successor before the predecessor's
+        files go away; :meth:`drop` reclaims the disk explicitly.
+        """
+        self._frames.pop(name, None)
+        self._pending_datasets.pop(name, None)
+        self._tree_manifests.pop(name, None)
+        tree = self._retratrees.pop(name, None)
+        if tree is not None and tree.storage is not self._storages.get(name):
+            # A private (in-memory) manager dies with the tree; the shared
+            # on-disk manager stays open for the successor's persist.
+            tree.storage.close()
+        self._last_results.pop(name, None)
+        self._generation_counter += 1
+        self._generations[name] = self._generation_counter
 
     def load_csv(self, name: str, path: str | Path) -> MOD:
         """Load a point-record CSV and register it under ``name``."""
@@ -103,31 +186,33 @@ class HermesEngine:
         write_csv(self.get_mod(name), path)
 
     def get_mod(self, name: str) -> MOD:
-        """The MOD registered under ``name``; raises :class:`KeyError` if unknown."""
+        """The MOD registered under ``name``; raises :class:`KeyError` if unknown.
+
+        A dataset recovered from disk is materialised (archive records
+        decoded) on first access here.
+        """
+        if name in self._pending_datasets:
+            self._materialise_recovered(name)
         if name not in self._datasets:
-            raise KeyError(f"unknown dataset {name!r}; loaded: {sorted(self._datasets)}")
+            raise KeyError(f"unknown dataset {name!r}; loaded: {self.datasets()}")
         return self._datasets[name]
 
     def datasets(self) -> list[str]:
-        """Names of the registered datasets."""
-        return sorted(self._datasets)
+        """Names of the registered datasets (including recovered ones)."""
+        return sorted(set(self._datasets) | set(self._pending_datasets))
 
     def drop(self, name: str) -> None:
-        """Remove a dataset, its cached frame/index and any SQL buffered state."""
+        """Remove a dataset, its cached frame/index and any SQL buffered state.
+
+        On an on-disk engine this also deletes the dataset's partition files
+        and manifest, so disk usage is reclaimed and a future same-named
+        dataset starts from a clean directory instead of stale heapfiles.
+        """
         self._datasets.pop(name, None)
         self._invalidate(name)
+        self._reclaim_storage(name)
         if self._sql_executor is not None:
             self._sql_executor.forget(name)
-
-    def _invalidate(self, name: str) -> None:
-        """Evict every cache derived from dataset ``name`` and bump its generation."""
-        self._frames.pop(name, None)
-        tree = self._retratrees.pop(name, None)
-        if tree is not None:
-            tree.storage.close()
-        self._last_results.pop(name, None)
-        self._generation_counter += 1
-        self._generations[name] = self._generation_counter
 
     def dataset_generation(self, name: str) -> int:
         """Monotonic token bumped on every mutation of dataset ``name``.
@@ -146,6 +231,8 @@ class HermesEngine:
         through this one frame, so it is constructed at most once per
         registration.  ``load_mod``/``drop`` evict the entry.
         """
+        if name in self._pending_datasets:
+            self._materialise_recovered(name)  # seeds the frame entry too
         if name not in self._frames:
             self._frames[name] = MODFrame.from_mod(self.get_mod(name))
         return self._frames[name]
@@ -207,18 +294,41 @@ class HermesEngine:
         return result
 
     def retratree(self, name: str, params: QuTParams | None = None, rebuild: bool = False) -> ReTraTree:
-        """The (cached) ReTraTree of a dataset, building it on first use."""
-        if rebuild or name not in self._retratrees:
-            storage = None
-            if self.storage_directory is not None:
-                storage = StorageManager(self.storage_directory / name)
-            self._retratrees[name] = ReTraTree.build(
-                self.get_mod(name),
-                params=params,
-                storage=storage,
-                name=name,
-                frame=self.frame(name),
-            )
+        """The (cached) ReTraTree of a dataset, building it on first use.
+
+        On an on-disk engine a persisted tree (from a previous process, or a
+        previous ``retratree`` call) is *recovered* from the storage
+        manifest instead of rebuilt — no S2T runs — provided the requested
+        ``params`` match the ones it was built with; a mismatch, or
+        ``rebuild=True``, discards the persisted structure and bulk-loads a
+        fresh tree, which is then persisted in its turn.  The same rule
+        applies to the warm in-process cache: explicit ``params`` that
+        differ from the cached tree's build parameters trigger a rebuild,
+        while ``params=None`` always accepts the existing tree — so warm
+        and cold processes answer identical calls identically.
+        """
+        if rebuild:
+            self._forget_tree(name)
+        cached = self._retratrees.get(name)
+        if cached is not None and not self._params_satisfied(
+            params,
+            cached.raw_params.to_dict(),
+            cached.params.to_dict() if cached.params is not None else None,
+        ):
+            self._forget_tree(name)
+        if name not in self._retratrees:
+            tree = self._recover_tree(name, params)
+            if tree is None:
+                self._forget_tree(name)
+                tree = ReTraTree.build(
+                    self.get_mod(name),
+                    params=params,
+                    storage=self._dataset_storage(name),
+                    name=name,
+                    frame=self.frame(name),
+                )
+                self._persist_tree(name, tree)
+            self._retratrees[name] = tree
         return self._retratrees[name]
 
     def qut(
@@ -265,6 +375,295 @@ class HermesEngine:
         result = ConvoyDiscovery(params).fit(self.get_mod(name))
         self._last_results[name] = result
         return result
+
+    # -- persistence & recovery -------------------------------------------------------------------
+
+    def _dataset_storage(self, name: str) -> StorageManager | None:
+        """The dataset's shared storage manager (``None`` on in-memory engines).
+
+        One manager per dataset directory serves the dataset archive, the
+        ReTraTree partitions and the manifest, so no two open handles ever
+        point at the same heapfile.
+        """
+        if self.storage_directory is None:
+            return None
+        self._check_durable_name(name)
+        if name not in self._storages:
+            self._storages[name] = StorageManager(self.storage_directory / name)
+        return self._storages[name]
+
+    def is_persisted(self, name: str) -> bool:
+        """Whether dataset ``name`` has a durable manifest on disk."""
+        if self.storage_directory is None:
+            return False
+        try:
+            self._check_durable_name(name)
+        except ValueError:
+            return False
+        storage = self._storages.get(name)
+        if storage is not None and storage.manifest_path is not None:
+            # Trust the tracked manager: recovery keys on manifest contents,
+            # not directory names, and the two views must agree.
+            return storage.manifest_path.exists()
+        return (self.storage_directory / name / MANIFEST_FILENAME).exists()
+
+    def _reclaim_storage(self, name: str) -> None:
+        """Delete dataset ``name``'s partition files, manifest and directory."""
+        self._tree_manifests.pop(name, None)
+        if self.storage_directory is None:
+            return
+        try:
+            self._check_durable_name(name)
+        except ValueError:
+            return  # such a name can never have been persisted
+        storage = self._storages.pop(name, None)
+        if storage is None:
+            directory = self.storage_directory / name
+            if (
+                not (directory / MANIFEST_FILENAME).exists()
+                and not any(directory.glob("*.part"))
+                and not any(directory.glob("*.json.tmp"))
+            ):
+                return
+            storage = StorageManager(directory)
+        storage.destroy()
+
+    @staticmethod
+    def _params_satisfied(
+        requested: QuTParams | None,
+        raw_params: dict | None,
+        resolved_params: dict | None,
+    ) -> bool:
+        """Whether an existing tree satisfies an explicit params request.
+
+        ``None`` always accepts (the progressive workflow: the tree in the
+        store *is* the index).  Explicit params match when they equal either
+        the tree's *raw* build parameters or their *resolved* form — so
+        passing back ``tree.params`` / ``result.params`` from a previous run
+        pins the same tree instead of triggering a redundant rebuild.
+        """
+        if requested is None:
+            return True
+        data = requested.to_dict()
+        return data == raw_params or data == resolved_params
+
+    def _read_manifest_or_none(self, storage: StorageManager) -> dict | None:
+        """The storage's manifest, or ``None`` if absent or unparseable."""
+        try:
+            manifest = storage.read_manifest()
+        except (ValueError, OSError):  # truncated / hand-edited / unreadable
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def _sweep_partitions(self, storage: StorageManager, keep: set[str]) -> None:
+        """Drop every partition (open or stale on disk) not in ``keep``."""
+        for info in list(storage.partitions()):
+            if info.name not in keep:
+                storage.drop_partition(info.name)
+        if storage.directory is not None:
+            # Stale partition files from an earlier process (or a crashed
+            # replacement attempt) that this manager never opened.
+            for path in storage.directory.glob("*.part"):
+                if path.stem not in keep and not storage.has(path.stem):
+                    path.unlink()
+
+    def _persist_dataset(self, name: str) -> None:
+        """Archive the dataset's trajectories and write the manifest root.
+
+        One record per trajectory goes into a fresh, generation-suffixed
+        ``<name>__dataset_g<N>`` partition (the dataset's durable
+        ``MODFrame`` columns); the manifest records the row order
+        explicitly, because heapfile scan order can differ from insertion
+        order once records span pages.
+
+        Crash safety — stage, commit, sweep: the new archive is written
+        into a partition the old manifest does not reference, checkpointed,
+        and only then committed by the manifest write (atomic rename); the
+        predecessor's partitions (old archive + derived tree) are deleted
+        last.  A crash anywhere in between leaves a manifest that points at
+        a complete archive — the old one before the commit, the new one
+        after — never at missing records.
+        """
+        if self.storage_directory is None or name not in self._datasets:
+            return
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        old_manifest = self._read_manifest_or_none(storage)
+        old_partition = old_manifest.get("frame_partition") if old_manifest else None
+        generation = self._generations.get(name, 0)
+        while True:
+            partition = f"{name}__dataset_g{generation}"
+            stale_file = (
+                storage.directory is not None
+                and (storage.directory / f"{partition}.part").exists()
+            )
+            if partition != old_partition and not storage.has(partition) and not stale_file:
+                break
+            generation += 1
+        info = storage.create_partition(partition)
+        row_keys: list[list[str]] = []
+        for traj in self._datasets[name]:
+            info.heapfile.insert(encode_record(traj))
+            info.record_count += 1
+            row_keys.append(list(traj.key))
+        # Checkpoint BEFORE the manifest: the manifest is the commit record,
+        # so it must never reference records that have not reached disk.
+        storage.checkpoint()
+        storage.write_manifest(
+            {
+                "format_version": MANIFEST_FORMAT,
+                "dataset": name,
+                "frame_partition": partition,
+                "row_keys": row_keys,
+                "tree": None,
+            }
+        )
+        self._sweep_partitions(storage, {partition})
+
+    def _persist_tree(self, name: str, tree: ReTraTree) -> None:
+        """Serialise a freshly built ReTraTree into the dataset's manifest.
+
+        A missing or corrupt manifest degrades to skip-persist: the freshly
+        built tree keeps serving this process, and a cold successor simply
+        rebuilds — never a crash after the expensive bulk load.
+        """
+        if self.storage_directory is None or tree.params is None:
+            return
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        manifest = self._read_manifest_or_none(storage)
+        if manifest is None:
+            return
+        tree_manifest = tree.to_manifest()
+        # Flush the member/representative records first; the manifest write
+        # is the commit point (see _persist_dataset).
+        storage.checkpoint()
+        manifest["tree"] = tree_manifest
+        storage.write_manifest(manifest)
+
+    def _forget_tree(self, name: str) -> None:
+        """Discard the cached *and* persisted tree, keeping the dataset archive.
+
+        Used before a rebuild: the ReTraTree partitions (members,
+        unclustered, representatives) are dropped so the new bulk load
+        starts from empty heapfiles rather than appending to stale ones,
+        while the ``__dataset`` partition and the manifest root survive.
+        """
+        self._retratrees.pop(name, None)
+        self._tree_manifests.pop(name, None)
+        storage = self._storages.get(name)
+        if storage is None:
+            return
+        manifest = self._read_manifest_or_none(storage)
+        if manifest is None:
+            return
+        if manifest.get("tree") is not None:
+            # Commit the un-registration BEFORE deleting the partitions: a
+            # crash in between then leaves only harmless orphan files (the
+            # next sweep reclaims them), never a manifest referencing
+            # deleted heapfiles.
+            manifest["tree"] = None
+            storage.write_manifest(manifest)
+        keep = manifest.get("frame_partition")
+        self._sweep_partitions(storage, {keep} if keep else set())
+
+    def _recover_tree(self, name: str, params: QuTParams | None) -> ReTraTree | None:
+        """Reopen the persisted ReTraTree, or ``None`` when there is none.
+
+        ``params=None`` accepts whatever the tree was built with (the
+        progressive workflow: the tree in the store *is* the index); explicit
+        params must match the persisted build parameters, otherwise the
+        caller rebuilds.
+        """
+        data = self._tree_manifests.get(name)
+        if data is None:
+            return None
+        if not self._params_satisfied(params, data.get("raw_params"), data.get("params")):
+            return None
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        try:
+            tree = ReTraTree.from_manifest(data, storage=storage)
+        except Exception:
+            # Damaged tree partitions (crash windows, disk corruption) must
+            # never make queries fail permanently — a rebuild is always a
+            # correct answer, so degrade to it.
+            self._tree_manifests.pop(name, None)
+            return None
+        self._tree_manifests.pop(name, None)
+        return tree
+
+    def _recover_catalog(self) -> None:
+        """Re-register every dataset catalogued under the storage directory.
+
+        Runs at construction of an on-disk engine.  Deliberately cheap: only
+        the manifests are read here — one small JSON file per dataset — and
+        the heavy parts are parked for lazy consumption (archive records
+        decode on first :meth:`get_mod`/:meth:`frame` access, the persisted
+        tree structure reopens on the first :meth:`retratree` call).  A
+        directory whose manifest is unreadable or has the wrong format
+        version is skipped, so one damaged dataset never prevents the
+        engine from serving the healthy ones.
+        """
+        assert self.storage_directory is not None
+        if not self.storage_directory.exists():
+            return
+        for sub in sorted(p for p in self.storage_directory.iterdir() if p.is_dir()):
+            if not (sub / MANIFEST_FILENAME).exists():
+                continue
+            storage = StorageManager(sub)
+            manifest = self._read_manifest_or_none(storage)
+            if (
+                manifest is None
+                or manifest.get("format_version") != MANIFEST_FORMAT
+                or not isinstance(manifest.get("dataset"), str)
+                or not isinstance(manifest.get("frame_partition"), str)
+            ):
+                storage.close()
+                continue
+            name = manifest["dataset"]
+            self._pending_datasets[name] = manifest
+            self._storages[name] = storage
+            if manifest.get("tree") is not None:
+                self._tree_manifests[name] = manifest["tree"]
+            self._generation_counter += 1
+            self._generations[name] = self._generation_counter
+
+    def _materialise_recovered(self, name: str) -> None:
+        """Decode a catalogued dataset's archive into a live MOD + frame.
+
+        Raises :class:`RuntimeError` (not ``KeyError``) when the archive
+        does not contain every record the manifest promises — e.g. after a
+        crash before the manifest's records were flushed under an older
+        layout — so callers can tell catalog corruption apart from a simple
+        unknown-dataset typo.
+        """
+        from repro.storage.records import decode_record
+
+        manifest = self._pending_datasets[name]
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        info = storage.get_or_create(manifest["frame_partition"])
+        by_key: dict[tuple[str, str], Trajectory] = {}
+        count = 0
+        for _rid, raw in info.heapfile.scan_records():
+            rec = decode_record(raw)
+            by_key[(rec.obj_id, rec.traj_id)] = rec.to_trajectory()
+            count += 1
+        info.record_count = count
+        try:
+            ordered = [by_key[tuple(key)] for key in manifest.get("row_keys", [])]
+        except KeyError as exc:
+            # Leave the dataset pending: every retry reports the same
+            # diagnostic instead of degrading to "unknown dataset".
+            raise RuntimeError(
+                f"dataset {name!r} is catalogued but its archive is incomplete "
+                f"(missing record for trajectory {exc.args[0]!r}); the directory "
+                f"{storage.directory} needs manual inspection"
+            ) from exc
+        self._pending_datasets.pop(name)
+        self._datasets[name] = MOD(name=name, trajectories=ordered)
+        self._frames[name] = MODFrame.from_trajectories(ordered)
 
     # -- results ----------------------------------------------------------------------------------
 

@@ -146,6 +146,11 @@ def partitioned_s2t(
 
     periods = mod.period.split(n_partitions)
     piece_frames = [frame.slice_period(period) for period in periods]
+    # A temporal partition with zero trajectories (sparse datasets with
+    # gaps) is dropped here, before any fitting: it contributes no clusters
+    # and no outliers, and because merge renumbers cluster ids over the
+    # *fitted* partitions in temporal order, an empty partition never shifts
+    # the renumbering — layouts with and without the gap agree on ids.
     tasks = [(piece, params) for piece in piece_frames if len(piece)]
 
     parts: list[ClusteringResult]
@@ -182,6 +187,7 @@ def _finish_extras(
             "n_jobs": n_jobs,
             "n_partitions": len(periods),
             "partitions_fitted": len(tasks),
+            "partitions_empty": len(periods) - len(tasks),
             "partition_bounds": [(p.tmin, p.tmax) for p in periods],
         }
     )

@@ -34,6 +34,16 @@ class SessionStep:
     def num_clusters(self) -> int:
         return self.result.num_clusters
 
+    @property
+    def from_recovered_tree(self) -> bool:
+        """Whether the step was answered by a ReTraTree reopened from disk.
+
+        On a durable (``HermesEngine.on_disk``) engine a session can resume
+        in a fresh process: the first query recovers the persisted tree
+        instead of rebuilding it, and this flag records that provenance.
+        """
+        return bool(self.result.extras.get("tree_recovered", False))
+
 
 @dataclass
 class ProgressiveSession:
@@ -79,6 +89,7 @@ class ProgressiveSession:
                 "clusters": step.num_clusters,
                 "outliers": step.result.num_outliers,
                 "latency_s": round(step.latency, 6),
+                "recovered": step.from_recovered_tree,
             }
             for i, step in enumerate(self.history)
         ]

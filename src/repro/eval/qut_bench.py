@@ -1,0 +1,167 @@
+"""QuT window-restriction benchmark core.
+
+PR 3 replaced QuT's per-member Python ``slice_period`` loop with one batched
+:meth:`~repro.hermes.frame.MODFrame.slice_period_rows` call per partition
+(:meth:`repro.qut.query.QuTClustering._restrict_members`).  This benchmark
+measures both restriction paths over the member lists a real query would
+load — every partially covered sub-chunk's cluster and unclustered
+partitions — at several window widths, cross-checks that they produce
+bit-identical restricted sub-trajectories, and records end-to-end ``query``
+latencies.  Used by ``benchmarks/bench_qut.py`` (the pytest harness) and the
+``repro-bench-qut`` console script; the report lands in ``BENCH_qut.json``
+at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.datagen import aircraft_scenario, lane_scenario
+from repro.hermes.trajectory import SubTrajectory
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.query import QuTClustering
+from repro.qut.retratree import ReTraTree
+
+__all__ = ["run_qut_benchmark", "write_report", "restriction_signature"]
+
+_SCENARIOS = {
+    "aircraft": aircraft_scenario,
+    "lanes": lane_scenario,
+}
+
+
+def restriction_signature(restricted: list[SubTrajectory]) -> tuple:
+    """Hashable, bit-exact view of a restricted member list."""
+    return tuple(
+        (
+            sub.parent_key,
+            sub.start_idx,
+            sub.end_idx,
+            sub.traj.xs.tobytes(),
+            sub.traj.ys.tobytes(),
+            sub.traj.ts.tobytes(),
+        )
+        for sub in restricted
+    )
+
+
+def _member_groups(tree: ReTraTree, window: Period) -> list[list[list[SubTrajectory]]]:
+    """The per-sub-chunk member groups a query over ``window`` restricts.
+
+    One inner list per partially covered sub-chunk: its entries' archived
+    members plus the unclustered set — exactly the batch
+    :meth:`~repro.qut.query.QuTClustering._restrict_member_groups` receives
+    during a real query (fully covered sub-chunks skip restriction).
+    """
+    per_subchunk: list[list[list[SubTrajectory]]] = []
+    for subchunk in tree.subchunks_overlapping(window):
+        if window.contains_period(subchunk.period):
+            continue
+        groups = [tree.load_members(entry) for entry in subchunk.entries]
+        groups.append(tree.load_unclustered(subchunk))
+        per_subchunk.append(groups)
+    return per_subchunk
+
+
+def run_qut_benchmark(
+    scenario: str = "aircraft",
+    n_trajectories: int = 100,
+    n_samples: int = 50,
+    seed: int = 1,
+    window_fractions: tuple[float, ...] = (0.2, 0.45, 0.7),
+    repeats: int = 3,
+) -> dict:
+    """Benchmark batched vs per-member window restriction on one scenario.
+
+    The tree is built once; each window is a sliding fraction of the
+    dataset's lifespan (offset so that sub-chunks are cut mid-period, the
+    case where restriction actually runs).  For every window both
+    restriction paths process identical member lists; equality of their
+    outputs is part of the report (and asserted by the pytest harness).
+    """
+    mod, _truth = _SCENARIOS[scenario](
+        n_trajectories=n_trajectories, n_samples=n_samples, seed=seed
+    )
+    tree = ReTraTree.build(mod)
+    query = QuTClustering(tree)
+    period = mod.period
+
+    report: dict = {
+        "scenario": {
+            "name": scenario,
+            "n_trajectories": n_trajectories,
+            "n_samples": n_samples,
+            "seed": seed,
+            "repeats": repeats,
+            "subchunks": len(tree.subchunks()),
+            "cluster_entries": tree.num_clusters,
+        },
+        "windows": {},
+    }
+
+    for fraction in window_fractions:
+        start = period.tmin + 0.5 * (1.0 - fraction) * period.duration
+        window = Period(start, start + fraction * period.duration)
+        per_subchunk = _member_groups(tree, window)
+        n_members = sum(
+            len(group) for groups in per_subchunk for group in groups
+        )
+
+        batched_s = loop_s = float("inf")
+        batched_out: list[tuple] = []
+        loop_out: list[tuple] = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            batched_out = [
+                restriction_signature(restricted)
+                for groups in per_subchunk
+                for restricted in QuTClustering._restrict_member_groups(groups, window)
+            ]
+            batched_s = min(batched_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            loop_out = [
+                restriction_signature(
+                    QuTClustering._restrict_members_loop(group, window)
+                )
+                for groups in per_subchunk
+                for group in groups
+            ]
+            loop_s = min(loop_s, time.perf_counter() - t0)
+
+        query_s = float("inf")
+        result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = query.query(window)
+            query_s = min(query_s, time.perf_counter() - t0)
+        assert result is not None
+
+        report["windows"][str(fraction)] = {
+            "window": [window.tmin, window.tmax],
+            "subchunks_restricted": len(per_subchunk),
+            "members": n_members,
+            "restrict_batched_s": batched_s,
+            "restrict_loop_s": loop_s,
+            "speedup_vs_loop": (loop_s / batched_s) if batched_s > 0 else float("inf"),
+            "outputs_equal": batched_out == loop_out,
+            "query_s": query_s,
+            "clusters": result.num_clusters,
+            "outliers": result.num_outliers,
+        }
+
+    speedups = [entry["speedup_vs_loop"] for entry in report["windows"].values()]
+    report["min_speedup_vs_loop"] = min(speedups) if speedups else float("nan")
+    report["all_outputs_equal"] = all(
+        entry["outputs_equal"] for entry in report["windows"].values()
+    )
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -313,50 +313,81 @@ class MODFrame:
         keep their keys and relative order, so
         ``frame.slice_period(w).to_mod()`` equals ``mod.temporal_range(w)``.
         """
+        return self.slice_period_rows(period)[0]
+
+    def slice_period_rows(self, period: Period) -> tuple["MODFrame", np.ndarray]:
+        """:meth:`slice_period` plus the surviving rows' parent indices.
+
+        Returns ``(sliced, rows)`` where ``sliced`` is exactly what
+        :meth:`slice_period` would return and ``rows[i]`` is the index *in
+        this frame* of the trajectory that became ``sliced`` row ``i``.  The
+        mapping is what lets callers that hold per-row side data (QuT's
+        archived partition members) restrict a whole batch in one pass and
+        still attribute each restricted piece to its source — keys alone
+        cannot do that when two rows share a key.
+
+        The assembly is fully vectorised: every surviving row's output is
+        ``[interpolated start] + interior samples + [interpolated end]``
+        with the interior strictly inside ``(lo, hi)``, so per-row outputs
+        are strictly increasing by construction (the reason
+        :meth:`~repro.hermes.trajectory.Trajectory.slice_period`'s duplicate
+        guard never fires for rows with positive common lifespan) and the
+        three output columns can be scattered in one pass instead of
+        per-row concatenations.
+        """
         n = len(self)
         if n == 0:
-            return MODFrame([])
+            return MODFrame([]), np.empty(0, dtype=np.intp)
         lo, hi = self.lifespan_overlap(period.tmin, period.tmax)
         cand = np.flatnonzero(hi - lo > 0)
         if cand.size == 0:
-            return MODFrame([])
+            return MODFrame([]), np.empty(0, dtype=np.intp)
+        lo_c, hi_c = lo[cand], hi[cand]
         # Interpolated boundary positions of every candidate row, batched.
-        bounds = np.stack([lo[cand], hi[cand]], axis=1)
+        bounds = np.stack([lo_c, hi_c], axis=1)
         bx, by = self.positions_at_batch(cand, bounds)
 
-        keys: list[tuple[str, str]] = []
-        xs_parts: list[np.ndarray] = []
-        ys_parts: list[np.ndarray] = []
-        ts_parts: list[np.ndarray] = []
-        lengths: list[int] = []
-        for k, row in enumerate(cand):
-            ts = self.ts_of(row)
-            inside = (ts > lo[row]) & (ts < hi[row])
-            new_ts = np.concatenate([[lo[row]], ts[inside], [hi[row]]])
-            new_xs = np.concatenate([[bx[k, 0]], self.xs_of(row)[inside], [bx[k, 1]]])
-            new_ys = np.concatenate([[by[k, 0]], self.ys_of(row)[inside], [by[k, 1]]])
-            # Guard against duplicate boundary timestamps.
-            keep = np.concatenate([[True], np.diff(new_ts) > 0])
-            if keep.size - int(np.count_nonzero(~keep)) < 2:
-                continue
-            if not keep.all():
-                new_ts, new_xs, new_ys = new_ts[keep], new_xs[keep], new_ys[keep]
-            keys.append(self.keys[row])
-            xs_parts.append(new_xs)
-            ys_parts.append(new_ys)
-            ts_parts.append(new_ts)
-            lengths.append(len(new_ts))
-        if not keys:
-            return MODFrame([])
-        offsets = np.zeros(len(keys) + 1, dtype=np.intp)
-        np.cumsum(np.asarray(lengths, dtype=np.intp), out=offsets[1:])
-        return MODFrame._from_columns(
-            keys,
-            np.concatenate(xs_parts),
-            np.concatenate(ys_parts),
-            np.concatenate(ts_parts),
-            offsets,
+        # Flat view of the candidate rows' samples: sample_idx[j] is a column
+        # index, row_of[j] the (candidate-local) row owning it.
+        starts = self.offsets[cand]
+        counts = self.offsets[cand + 1] - starts
+        row_of = np.repeat(np.arange(cand.size, dtype=np.intp), counts)
+        first_flat = np.cumsum(counts) - counts
+        sample_idx = (
+            np.arange(int(counts.sum()), dtype=np.intp)
+            - first_flat[row_of]
+            + starts[row_of]
         )
+        ts_c = self.ts[sample_idx]
+        inside = (ts_c > lo_c[row_of]) & (ts_c < hi_c[row_of])
+
+        # Output layout: per row, 1 boundary + interior + 1 boundary.
+        interior_counts = np.bincount(row_of[inside], minlength=cand.size)
+        offsets_out = np.zeros(cand.size + 1, dtype=np.intp)
+        np.cumsum(interior_counts + 2, out=offsets_out[1:])
+        total = int(offsets_out[-1])
+        out_xs = np.empty(total)
+        out_ys = np.empty(total)
+        out_ts = np.empty(total)
+        head, tail = offsets_out[:-1], offsets_out[1:] - 1
+        out_ts[head], out_ts[tail] = lo_c, hi_c
+        out_xs[head], out_xs[tail] = bx[:, 0], bx[:, 1]
+        out_ys[head], out_ys[tail] = by[:, 0], by[:, 1]
+        keep_idx = sample_idx[inside]
+        keep_row = row_of[inside]
+        # Rank of each interior sample within its row (keep_row is sorted).
+        rank = np.arange(keep_idx.size, dtype=np.intp) - (
+            np.cumsum(interior_counts) - interior_counts
+        )[keep_row]
+        dest = head[keep_row] + 1 + rank
+        out_ts[dest] = self.ts[keep_idx]
+        out_xs[dest] = self.xs[keep_idx]
+        out_ys[dest] = self.ys[keep_idx]
+
+        sliced = MODFrame._from_columns(
+            [self.keys[row] for row in cand], out_xs, out_ys, out_ts, offsets_out
+        )
+        return sliced, cand
 
     def bbox_of(self, row: int) -> BoxST:
         """3D bounding box of row ``row``."""

@@ -14,7 +14,7 @@ gamma)``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.hermes.mod import MOD
 from repro.s2t.params import S2TParams
@@ -60,6 +60,17 @@ class QuTParams:
             temporal_tolerance=self.temporal_tolerance,
         )
         return replace(self, tau=tau, delta=delta, distance_threshold=d, s2t=s2t)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the storage-catalog manifest)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuTParams":
+        """Inverse of :meth:`to_dict` (the nested ``s2t`` dict is rebuilt)."""
+        data = dict(data)
+        s2t = data.pop("s2t", None)
+        return cls(s2t=S2TParams.from_dict(s2t) if s2t is not None else S2TParams(), **data)
 
     def __post_init__(self) -> None:
         if self.tau is not None and self.tau <= 0:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 
 from repro.hermes.distances import hausdorff_distance, spatiotemporal_distance
+from repro.hermes.frame import MODFrame
 from repro.hermes.trajectory import SubTrajectory
 from repro.hermes.types import Period
 from repro.qut.retratree import ClusterEntry, ReTraTree, SubChunk, subtrajectory_from_slice
@@ -44,29 +45,40 @@ class QuTClustering:
     # -- public API -------------------------------------------------------------
 
     def query(self, window: Period) -> ClusteringResult:
-        """Clusters and outliers whose lifespan intersects ``window``."""
+        """Clusters and outliers whose lifespan intersects ``window``.
+
+        Degenerate windows — a zero-length instant (``tmin == tmax``, whose
+        member restrictions all collapse to single points) or a window that
+        misses every materialised sub-chunk — short-circuit to an empty
+        result before the load/merge sweep, so edge queries at and beyond
+        the dataset's lifespan stay cheap and never trip over empty
+        partition batches.
+        """
         params = self.tree.params
         assert params is not None and params.distance_threshold is not None
         timings: dict[str, float] = {}
 
         t0 = time.perf_counter()
-        subchunks = self.tree.subchunks_overlapping(window)
+        subchunks = self.tree.subchunks_overlapping(window) if window.duration > 0 else []
         timings["lookup"] = time.perf_counter() - t0
+        if not subchunks:
+            return self._empty_result(window, timings)
 
         t0 = time.perf_counter()
         partial_clusters: list[tuple[SubChunk, ClusterEntry, list[SubTrajectory]]] = []
         outliers: list[SubTrajectory] = []
         for subchunk in subchunks:
             fully_covered = window.contains_period(subchunk.period)
-            for entry in subchunk.entries:
-                members = self.tree.load_members(entry)
-                if not fully_covered:
-                    members = self._restrict_members(members, window)
-                if members:
-                    partial_clusters.append((subchunk, entry, members))
+            groups = [self.tree.load_members(entry) for entry in subchunk.entries]
             pending = self.tree.load_unclustered(subchunk)
             if not fully_covered:
-                pending = self._restrict_members(pending, window)
+                # One batched frame restriction for the whole sub-chunk —
+                # every entry's members plus the unclustered set.
+                restricted = self._restrict_member_groups([*groups, pending], window)
+                groups, pending = restricted[:-1], restricted[-1]
+            for entry, members in zip(subchunk.entries, groups):
+                if members:
+                    partial_clusters.append((subchunk, entry, members))
             outliers.extend(pending)
         timings["load"] = time.perf_counter() - t0
 
@@ -98,16 +110,75 @@ class QuTClustering:
             "window": (window.tmin, window.tmax),
             "subchunks_touched": len(subchunks),
             "entries_touched": sum(len(sc.entries) for sc in subchunks),
+            "tree_recovered": self.tree.recovered,
         }
         return result
 
     # -- helpers -----------------------------------------------------------------
 
+    def _empty_result(self, window: Period, timings: dict[str, float]) -> ClusteringResult:
+        """An empty :class:`ClusteringResult` for windows that match nothing."""
+        timings.setdefault("load", 0.0)
+        timings.setdefault("merge", 0.0)
+        result = ClusteringResult(
+            method="qut", clusters=[], outliers=[], params=self.tree.params, timings=timings
+        )
+        result.extras = {
+            "window": (window.tmin, window.tmax),
+            "subchunks_touched": 0,
+            "entries_touched": 0,
+            "tree_recovered": self.tree.recovered,
+        }
+        return result
+
     @staticmethod
+    def _restrict_member_groups(
+        groups: list[list[SubTrajectory]], window: Period
+    ) -> list[list[SubTrajectory]]:
+        """Restrict several member lists to the query window in one pass.
+
+        All groups' trajectories are snapshot into a single
+        :class:`~repro.hermes.frame.MODFrame` and restricted with one
+        batched :meth:`~repro.hermes.frame.MODFrame.slice_period_rows` call
+        (one boundary-interpolation pass for the whole sub-chunk) instead of
+        a per-member Python ``slice_period`` loop; the surviving rows are
+        attributed back to their groups through the returned row indices.
+        The frame slicing is row-for-row identical to
+        :meth:`Trajectory.slice_period
+        <repro.hermes.trajectory.Trajectory.slice_period>`, so each output
+        list matches :meth:`_restrict_members_loop` on its input exactly.
+        """
+        flat = [member for group in groups for member in group]
+        out: list[list[SubTrajectory]] = [[] for _ in groups]
+        if not flat:
+            return out
+        frame = MODFrame.from_trajectories(member.traj for member in flat)
+        sliced, rows = frame.slice_period_rows(window)
+        group_of: list[int] = []
+        for g, group in enumerate(groups):
+            group_of.extend([g] * len(group))
+        for k, row in enumerate(rows):
+            row = int(row)
+            out[group_of[row]].append(
+                subtrajectory_from_slice(flat[row].traj, sliced.trajectory_of(k))
+            )
+        return out
+
+    @classmethod
     def _restrict_members(
+        cls, members: list[SubTrajectory], window: Period
+    ) -> list[SubTrajectory]:
+        """Restrict one member list to the query window (frame-native)."""
+        return cls._restrict_member_groups([members], window)[0]
+
+    @staticmethod
+    def _restrict_members_loop(
         members: list[SubTrajectory], window: Period
     ) -> list[SubTrajectory]:
-        """Restrict archived members to the query window."""
+        """Per-member reference implementation of :meth:`_restrict_members`.
+
+        Kept as the equivalence oracle for tests and ``bench_qut``.
+        """
         out: list[SubTrajectory] = []
         for member in members:
             piece = member.traj.slice_period(window)

@@ -128,6 +128,11 @@ class ReTraTreeStats:
 class ReTraTree:
     """Incrementally maintained index for time-aware sub-trajectory clustering."""
 
+    # Class-level counter of bulk :meth:`build` invocations.  The restart
+    # recovery tests assert through it (together with a fresh tree's zeroed
+    # ``stats``) that reopening a persisted tree never re-runs the bulk load.
+    build_calls: int = 0
+
     def __init__(
         self,
         params: QuTParams | None = None,
@@ -149,8 +154,20 @@ class ReTraTree:
         self._entry_frames: dict[tuple[int, int], tuple[int, MODFrame]] = {}
         self._next_cluster_id = 0
         self.stats = ReTraTreeStats()
+        # True when this instance was reopened from a manifest instead of
+        # being bulk-loaded; surfaced through QuT result extras.
+        self.recovered = False
 
     # -- parameter / layout helpers ------------------------------------------------
+
+    @property
+    def raw_params(self) -> QuTParams:
+        """The parameters the tree was constructed with, before resolution.
+
+        This is the identity the engine compares when deciding whether a
+        cached or persisted tree satisfies an explicit ``params`` request.
+        """
+        return self._raw_params
 
     def _ensure_params(self, mod_or_traj: MOD | Trajectory) -> QuTParams:
         if self.params is None:
@@ -434,6 +451,147 @@ class ReTraTree:
             if subchunk.unclustered_count >= max(2, self.params.gamma if self.params else 2):
                 self.flush_unclustered(subchunk)
 
+    # -- persistence -----------------------------------------------------------------------------
+
+    @property
+    def _reps_partition(self) -> str:
+        """Partition archiving one record per level-3 representative."""
+        return f"{self.name}__reps"
+
+    def to_manifest(self) -> dict:
+        """Serialise the tree structure for the storage-catalog manifest.
+
+        The member partitions already live in the heapfiles; what the
+        manifest adds is everything that existed only in memory: the
+        sub-chunk grid (indices and periods), the level-3 cluster entries
+        (ids, partition names, member counts, bounding boxes) and a
+        *representative reference* per entry — the RID of the
+        representative's record in the ``<name>__reps`` partition, which is
+        (re)written by this call.  ``from_manifest`` inverts the whole
+        thing; the partitions' pg3D-Rtrees are rebuilt by scanning.
+        """
+        if self.params is None:
+            raise ValueError("cannot persist an empty ReTraTree (no resolved params)")
+        if self.storage.has(self._reps_partition):
+            self.storage.drop_partition(self._reps_partition)
+        reps = self.storage.create_partition(self._reps_partition)
+
+        subchunks = []
+        for sc in self.subchunks():
+            entries = []
+            for entry in sc.entries:
+                rid = reps.heapfile.insert(encode_record(entry.representative))
+                reps.record_count += 1
+                entries.append(
+                    {
+                        "cluster_id": entry.cluster_id,
+                        "partition": entry.partition_name,
+                        "member_count": entry.member_count,
+                        "bbox": list(entry.bbox.as_tuple()) if entry.bbox is not None else None,
+                        "representative_rid": [rid.page_no, rid.slot],
+                    }
+                )
+            subchunks.append(
+                {
+                    "chunk_idx": sc.chunk_idx,
+                    "sub_idx": sc.sub_idx,
+                    "period": [sc.period.tmin, sc.period.tmax],
+                    "unclustered_partition": sc.unclustered_partition,
+                    "unclustered_count": sc.unclustered_count,
+                    "entries": entries,
+                }
+            )
+        return {
+            "name": self.name,
+            "origin": self.origin,
+            "next_cluster_id": self._next_cluster_id,
+            "params": self.params.to_dict(),
+            "raw_params": self._raw_params.to_dict(),
+            "subchunks": subchunks,
+        }
+
+    def _reopen_partition_rtree(self, partition_name: str) -> tuple[int, BoxST | None]:
+        """Open an existing partition and rebuild its pg3D-Rtree by scanning.
+
+        Returns the record count and the union bounding box of the scanned
+        records.  Both are taken from the heapfile — not the manifest —
+        because the heapfile is the ground truth: records inserted after
+        the last persist (and flushed by buffer-pool eviction) must be
+        counted, and records that never reached disk must not be.
+        ``PartitionInfo.record_count`` is caller tracked, so reopening
+        restores it too.
+        """
+        info = self.storage.get_or_create(partition_name)
+        rtree: RTree3D[RID] = RTree3D(max_entries=16)
+        count = 0
+        bbox: BoxST | None = None
+        for rid, raw in info.heapfile.scan_records():
+            sub_bbox = _record_to_subtrajectory(raw).bbox
+            rtree.insert(sub_bbox, rid)
+            bbox = sub_bbox if bbox is None else bbox.union(sub_bbox)
+            count += 1
+        info.record_count = count
+        self._rtrees[partition_name] = rtree
+        return count, bbox
+
+    @classmethod
+    def from_manifest(cls, manifest: dict, storage: StorageManager) -> "ReTraTree":
+        """Reopen a persisted tree: the inverse of :meth:`to_manifest`.
+
+        ``storage`` must be the manager over the directory the tree was
+        persisted into (its heapfiles hold the member and representative
+        records).  No S2T work runs here — the cost is one scan per
+        partition to restore the pg3D-Rtrees and record counts.
+
+        Member counts and bounding boxes are re-derived from the scanned
+        heapfiles rather than trusted from the manifest: the manifest is a
+        snapshot taken at persist time, and a tree that kept absorbing
+        insertions afterwards may have newer records on disk (flushed by
+        buffer-pool eviction).  Structure that exists *only* in memory — a
+        level-3 entry created by a post-persist overflow flush — cannot be
+        reconstructed this way; callers that mutate a persisted tree should
+        re-persist it (the engine re-persists on every build/rebuild).
+        """
+        tree = cls(
+            params=QuTParams.from_dict(manifest["raw_params"]),
+            storage=storage,
+            origin=float(manifest["origin"]),
+            name=manifest["name"],
+        )
+        tree.params = QuTParams.from_dict(manifest["params"])
+        tree._next_cluster_id = int(manifest["next_cluster_id"])
+        reps = storage.get_or_create(tree._reps_partition)
+        for sc_data in manifest["subchunks"]:
+            key = (int(sc_data["chunk_idx"]), int(sc_data["sub_idx"]))
+            subchunk = SubChunk(
+                chunk_idx=key[0],
+                sub_idx=key[1],
+                period=Period(*sc_data["period"]),
+                unclustered_partition=sc_data["unclustered_partition"],
+            )
+            subchunk.unclustered_count, _ = tree._reopen_partition_rtree(
+                subchunk.unclustered_partition
+            )
+            for entry_data in sc_data["entries"]:
+                rid = RID(*entry_data["representative_rid"])
+                representative = _record_to_subtrajectory(reps.heapfile.get(rid))
+                member_count, bbox = tree._reopen_partition_rtree(
+                    entry_data["partition"]
+                )
+                subchunk.entries.append(
+                    ClusterEntry(
+                        cluster_id=int(entry_data["cluster_id"]),
+                        representative=representative,
+                        partition_name=entry_data["partition"],
+                        member_count=member_count,
+                        bbox=bbox,
+                    )
+                )
+            subchunk.touch_entries()
+            tree._subchunks[key] = subchunk
+        tree.recovered = True
+        return tree
+
     # -- bulk construction -----------------------------------------------------------------------
 
     def _bulk_insert_from_frame(
@@ -492,6 +650,7 @@ class ReTraTree:
         parent frame rather than re-concatenating trajectory objects
         per piece.
         """
+        ReTraTree.build_calls += 1
         tree = cls(params=params, storage=storage, name=name)
         if len(mod) == 0:
             return tree

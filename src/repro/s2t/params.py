@@ -9,7 +9,7 @@ TRACLUS/co-movement parameters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.hermes.mod import MOD
 
@@ -103,6 +103,15 @@ class S2TParams:
         eps = self.eps if self.eps is not None else 0.05 * diag
         coverage = self.coverage_radius if self.coverage_radius is not None else 2.0 * eps
         return replace(self, sigma=sigma, eps=eps, coverage_radius=coverage)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the storage-catalog manifest)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "S2TParams":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
     @property
     def effective_voting_strategy(self) -> str:

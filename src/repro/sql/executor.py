@@ -84,7 +84,7 @@ class SQLExecutor:
         if isinstance(statement, DropDataset):
             return self._drop(statement)
         if isinstance(statement, ShowDatasets):
-            return [{"dataset": name} for name in self.engine.datasets()]
+            return self._show_datasets()
         if isinstance(statement, LoadDataset):
             mod = self.engine.load_csv(statement.name, statement.path)
             return [{"dataset": statement.name, "trajectories": len(mod)}]
@@ -97,6 +97,20 @@ class SQLExecutor:
         if isinstance(statement, SelectFunction):
             return call_function(self.engine, statement.function, statement.args)
         raise SQLExecutionError(f"unsupported statement {statement!r}")
+
+    def _show_datasets(self) -> list[dict[str, object]]:
+        """``SHOW DATASETS`` rows.
+
+        On a durable (``on_disk``) engine each row also reports whether the
+        dataset has a manifest on disk — i.e. whether a cold process would
+        recover it; in-memory engines keep the legacy single-column shape.
+        """
+        if self.engine.storage_directory is None:
+            return [{"dataset": name} for name in self.engine.datasets()]
+        return [
+            {"dataset": name, "persisted": self.engine.is_persisted(name)}
+            for name in self.engine.datasets()
+        ]
 
     # -- DDL / DML ------------------------------------------------------------------------
 
@@ -150,7 +164,15 @@ class SQLExecutor:
         return [{"inserted": inserted}]
 
     def _materialise(self, name: str) -> None:
-        """Rebuild the dataset's MOD from the buffered point records."""
+        """Rebuild the dataset's MOD from the buffered point records.
+
+        Goes through ``engine.load_mod``, so on a durable engine every
+        ``INSERT`` *statement* commits the whole dataset archive to disk —
+        statement-level durability, like a DBMS transaction per statement.
+        Ingestion scripts should therefore batch rows into multi-row
+        ``INSERT INTO d VALUES (...), (...), ...`` statements rather than
+        issuing one statement per point.
+        """
         pending = self._pending.get(name, {})
         mod = MOD(name=name)
         for (obj_id, traj_id), samples in pending.items():

@@ -10,7 +10,44 @@ but real storage engine:
 * :mod:`repro.storage.buffer_pool` -- LRU buffer pool with hit/miss counters,
 * :mod:`repro.storage.heapfile`    -- record files addressed by RID,
 * :mod:`repro.storage.records`     -- (sub-)trajectory record serialisation,
-* :mod:`repro.storage.catalog`     -- named partitions (create/open/drop).
+* :mod:`repro.storage.catalog`     -- named partitions (create/open/drop),
+  manifest persistence and directory reclamation.
+
+Manifest format
+---------------
+A directory-backed :class:`~repro.storage.catalog.StorageManager` owns one
+``manifest.json``, the durable root the engine recovers from.  Layout
+(``format_version`` = 1)::
+
+    {
+      "format_version": 1,
+      "dataset": "<name>",                 # dataset registered under this dir
+      "frame_partition":                   # heapfile with one whole-trajectory
+        "<name>__dataset_g<N>",            #   record per row (see records.py);
+                                           #   generation-suffixed: replacements
+                                           #   stage into a fresh partition and
+                                           #   commit via the manifest write
+      "row_keys": [[obj_id, traj_id], …],  # explicit row order: heapfile scan
+                                           #   order may differ once records
+                                           #   span pages
+      "tree": null | {                     # ReTraTree.to_manifest() output
+        "name": "<name>", "origin": float, "next_cluster_id": int,
+        "params": {…}, "raw_params": {…},  # QuTParams.to_dict()
+        "subchunks": [{
+          "chunk_idx": int, "sub_idx": int, "period": [tmin, tmax],
+          "unclustered_partition": str, "unclustered_count": int,
+          "entries": [{
+            "cluster_id": int, "partition": str, "member_count": int,
+            "bbox": [xmin, ymin, tmin, xmax, ymax, tmax] | null,
+            "representative_rid": [page_no, slot]   # in <name>__reps
+          }, …]
+        }, …]
+      }
+    }
+
+Member records stay in their partitions' heapfiles; the manifest only adds
+the structure that lived in memory.  Partition pg3D-Rtrees are not
+persisted — recovery rebuilds them with one scan per partition.
 """
 
 from repro.storage.page import Page, PAGE_SIZE

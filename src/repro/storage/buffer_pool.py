@@ -102,9 +102,15 @@ class BufferPool:
             frame.dirty = False
 
     def flush_all(self) -> None:
-        """Write back every dirty page."""
+        """Write back every dirty page and flush the pager's own buffers."""
         for page_no in list(self._frames):
             self.flush_page(page_no)
+        self._pager.flush()
+
+    def sync(self) -> None:
+        """:meth:`flush_all` plus an fsync to stable storage (durable pagers)."""
+        self.flush_all()
+        self._pager.sync()
 
     def close(self) -> None:
         """Flush everything and close the pager."""

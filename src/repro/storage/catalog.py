@@ -4,10 +4,21 @@ The :class:`StorageManager` creates and tracks named partitions — each one a
 heap file backed either by a file on disk or by memory.  ReTraTree cluster
 entries and the outlier set each own a partition, mirroring the
 "pg3D-Rtree-k" partitions of the paper's Figure 2.
+
+Alongside the partitions, a directory-backed manager owns one **manifest**
+(``manifest.json``): a JSON document describing everything the engine needs
+to reopen the directory cold — which partition archives the dataset's
+trajectories and, once a ReTraTree has been built, the serialised tree
+structure (see :meth:`repro.qut.retratree.ReTraTree.to_manifest`).  The
+manifest is the catalog's durable root: recovery starts by reading it, and
+:meth:`StorageManager.destroy` deletes it together with the partition files
+so a dropped dataset reclaims its disk space.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -15,7 +26,9 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.heapfile import HeapFile
 from repro.storage.pager import FilePager, InMemoryPager
 
-__all__ = ["StorageManager", "PartitionInfo"]
+__all__ = ["StorageManager", "PartitionInfo", "MANIFEST_FILENAME"]
+
+MANIFEST_FILENAME = "manifest.json"
 
 
 @dataclass
@@ -49,6 +62,9 @@ class StorageManager:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._buffer_pool_pages = buffer_pool_pages
         self._partitions: dict[str, PartitionInfo] = {}
+        # Manifest of an in-memory manager (a directory-backed one reads and
+        # writes manifest.json instead, so state survives the process).
+        self._memory_manifest: dict | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -97,6 +113,96 @@ class StorageManager:
         """Flush and close every partition."""
         for info in self._partitions.values():
             info.heapfile.buffer_pool.close()
+
+    def checkpoint(self) -> None:
+        """Flush and fsync every partition's dirty pages, without closing.
+
+        Called at the engine's persistence points (dataset archival, tree
+        serialisation) *before* the manifest commit, so the manifest never
+        references records that could be lost to a process or system crash.
+        """
+        for info in self._partitions.values():
+            info.heapfile.buffer_pool.sync()
+
+    def destroy(self) -> None:
+        """Close everything and reclaim the on-disk footprint.
+
+        Deletes every partition file in the directory — including ``.part``
+        files left behind by earlier processes that this manager never
+        opened — plus the manifest, then removes the directory if it is
+        empty.  This is what makes ``engine.drop`` actually release disk
+        space instead of leaving stale heapfiles for a future same-named
+        dataset to trip over.
+        """
+        self.close()
+        self._partitions.clear()
+        self._memory_manifest = None
+        if self.directory is None or not self.directory.exists():
+            return
+        # The manifest goes FIRST — it is the drop's commit point.  A crash
+        # right after leaves only orphan .part files (never a manifest
+        # referencing deleted heapfiles), and a cold process that sees no
+        # manifest treats the directory as not catalogued.
+        manifest = self.directory / MANIFEST_FILENAME
+        if manifest.exists():
+            manifest.unlink()
+        for path in self.directory.glob("*.part"):
+            path.unlink()
+        # A crash inside write_manifest can strand the staging file.
+        for path in self.directory.glob("*.json.tmp"):
+            path.unlink()
+        try:
+            self.directory.rmdir()
+        except OSError:  # pragma: no cover - foreign files left by the user
+            pass
+
+    # -- manifest ---------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path | None:
+        """Location of the manifest file (``None`` for in-memory managers)."""
+        if self.directory is None:
+            return None
+        return self.directory / MANIFEST_FILENAME
+
+    def write_manifest(self, manifest: dict) -> None:
+        """Persist the catalog manifest atomically and durably.
+
+        The temp file is fsynced before the rename and the directory entry
+        after it, so a system crash leaves either the previous manifest or
+        the complete new one — this write is the engine's commit point.
+        """
+        path = self.manifest_path
+        if path is None:
+            self._memory_manifest = manifest
+            return
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(path)
+        try:
+            # Make the rename itself durable.  Directory fds are a POSIX
+            # notion — on platforms without them (Windows) the rename is
+            # still atomic, just not crash-ordered, which is the best
+            # available there.
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX platforms
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def read_manifest(self) -> dict | None:
+        """The stored manifest, or ``None`` when nothing was persisted."""
+        path = self.manifest_path
+        if path is None:
+            return self._memory_manifest
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     # -- aggregate statistics -------------------------------------------------------
 

@@ -42,6 +42,13 @@ class Pager(ABC):
     def close(self) -> None:
         """Release any underlying resources (no-op by default)."""
 
+    def flush(self) -> None:
+        """Push buffered writes to the backing store (no-op by default)."""
+
+    def sync(self) -> None:
+        """Force buffered writes to *stable storage* (defaults to flush)."""
+        self.flush()
+
 
 class InMemoryPager(Pager):
     """Pages held in a Python list — no durability, maximal speed."""
@@ -104,10 +111,16 @@ class FilePager(Pager):
         self._file.seek(page_no * PAGE_SIZE)
         self._file.write(page.to_bytes())
 
+    def flush(self) -> None:
+        """Flush Python-level buffers so other handles see the pages."""
+        if not self._file.closed:
+            self._file.flush()
+
     def sync(self) -> None:
         """Flush and fsync the underlying file."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._file.closed:

@@ -52,6 +52,46 @@ class TestSchedulerMechanics:
         assert result.num_clusters == 0
         assert result.num_outliers == 0
 
+    def test_gap_scenario_empty_partitions(self):
+        """The sparse-dataset satellite: temporal partitions with zero
+        trajectories contribute no clusters, never shift cluster-id
+        renumbering, and leave the serial/parallel equivalence intact."""
+        import numpy as np
+
+        from repro.hermes.trajectory import Trajectory
+
+        def burst(prefix, t0, t1, n_objects=6):
+            out = []
+            for i in range(n_objects):
+                ts = np.linspace(t0, t1, 30)
+                out.append(
+                    Trajectory(
+                        f"{prefix}{i}", "0", np.linspace(0, 10, 30),
+                        np.full(30, 0.1 * i), ts,
+                    )
+                )
+            return out
+
+        # Two co-moving bursts separated by a long gap: with the default
+        # four temporal partitions, the middle two are empty.
+        mod = MOD(name="gappy")
+        mod.add_all(burst("early", 0.0, 100.0))
+        mod.add_all(burst("late", 900.0, 1000.0))
+
+        serial = partitioned_s2t(mod, n_jobs=1)
+        assert serial.extras["partitions_empty"] == 2
+        assert serial.extras["partitions_fitted"] == 2
+        # One cluster per burst, densely renumbered despite the gap.
+        assert serial.num_clusters == 2
+        assert [c.cluster_id for c in serial.clusters] == [0, 1]
+        early, late = serial.clusters
+        assert all(m.obj_id.startswith("early") for m in early.members)
+        assert all(m.obj_id.startswith("late") for m in late.members)
+
+        parallel = partitioned_s2t(mod, n_jobs=4)
+        assert membership_signature(serial) == membership_signature(parallel)
+        assert parallel.extras["partitions_empty"] == 2
+
     def test_prebuilt_frame_is_not_rebuilt(self, lanes_small):
         mod, _ = lanes_small
         frame = MODFrame.from_mod(mod)

@@ -1,0 +1,319 @@
+"""Durability tests: the on-disk engine persists and recovers across restarts.
+
+Covers the PR-3 tentpole — ``HermesEngine.on_disk`` serialises the dataset
+archive and the ReTraTree structure through the storage catalog, and a cold
+process recovers both, answering ``qut`` bit-identically to the warm engine
+without re-running S2T — plus the drop/replace disk-reclaim satellite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HermesEngine
+from repro.core.session import ProgressiveSession
+from repro.datagen import lane_scenario
+from repro.eval.pipeline_bench import membership_signature
+from repro.hermes.frame import MODFrame
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.retratree import ReTraTree
+from repro.storage.catalog import MANIFEST_FILENAME
+
+
+def query_window(mod, lo=0.2, hi=0.7):
+    period = mod.period
+    return Period(
+        period.tmin + lo * period.duration, period.tmin + hi * period.duration
+    )
+
+
+@pytest.fixture
+def warm(tmp_path, lanes_small):
+    """A warm on-disk engine with a persisted dataset and ReTraTree."""
+    mod, _ = lanes_small
+    engine = HermesEngine.on_disk(tmp_path / "engine")
+    engine.load_mod("lanes", mod)
+    engine.s2t("lanes")
+    engine.retratree("lanes")
+    return engine, mod
+
+
+class TestRestartRecovery:
+    def test_cold_engine_recovers_catalogued_datasets(self, warm, tmp_path):
+        engine, mod = warm
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        assert cold.datasets() == ["lanes"]
+        recovered = cold.get_mod("lanes")
+        assert len(recovered) == len(mod)
+        # Trajectory content and registration order round-trip exactly.
+        for original, back in zip(mod, recovered):
+            assert original.key == back.key
+            assert np.array_equal(original.xs, back.xs)
+            assert np.array_equal(original.ys, back.ys)
+            assert np.array_equal(original.ts, back.ts)
+
+    def test_cold_qut_equals_warm_without_rebuild(self, warm, tmp_path):
+        """The tentpole acceptance check: equality + no-rebuild counters."""
+        engine, mod = warm
+        window = query_window(mod)
+        warm_result = engine.qut("lanes", window)
+
+        builds_before = ReTraTree.build_calls
+        snapshots_before = MODFrame.from_mod_calls
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        cold_result = cold.qut("lanes", window)
+
+        # No bulk load and no whole-MOD snapshot happened anywhere in the
+        # recovery path.
+        assert ReTraTree.build_calls == builds_before
+        assert MODFrame.from_mod_calls == snapshots_before
+        # A recovered tree performed zero maintenance work.
+        stats = cold.retratree("lanes").stats
+        assert stats.trajectories_inserted == 0
+        assert stats.s2t_runs == 0
+        assert cold.retratree("lanes").recovered
+
+        # Cluster-for-cluster equality, including representative samples.
+        assert membership_signature(cold_result) == membership_signature(warm_result)
+        assert cold_result.num_clusters == warm_result.num_clusters
+        for mine, theirs in zip(cold_result.clusters, warm_result.clusters):
+            assert mine.representative.key == theirs.representative.key
+            assert np.array_equal(
+                mine.representative.traj.xs, theirs.representative.traj.xs
+            )
+            assert np.array_equal(
+                mine.representative.traj.ts, theirs.representative.traj.ts
+            )
+        assert cold_result.extras["tree_recovered"]
+        assert not warm_result.extras["tree_recovered"]
+
+    def test_cold_engine_answers_sql(self, warm, tmp_path):
+        engine, mod = warm
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        rows = cold.sql("SELECT SUMMARY(lanes)")
+        assert rows[0]["trajectories"] == len(mod)
+        shown = cold.sql("SHOW DATASETS")
+        assert shown == [{"dataset": "lanes", "persisted": True}]
+        period = mod.period
+        result = cold.sql(f"SELECT QUT(lanes, {period.tmin}, {period.tmax})")
+        assert result[-1]["cluster_id"] == "outliers"
+
+    def test_recovered_tree_accepts_new_insertions(self, warm, tmp_path):
+        engine, mod = warm
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        tree = cold.retratree("lanes")
+        extra = next(iter(mod))
+        tree.insert_trajectory(
+            type(extra)("newcomer", "0", extra.xs, extra.ys, extra.ts)
+        )
+        assert tree.stats.trajectories_inserted == 1
+
+    def test_params_mismatch_triggers_rebuild(self, warm, tmp_path):
+        engine, _ = warm
+        persisted = engine.retratree("lanes")
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        builds_before = ReTraTree.build_calls
+        tree = cold.retratree("lanes", params=QuTParams(gamma=3))
+        assert ReTraTree.build_calls == builds_before + 1
+        assert not tree.recovered
+        assert tree.params.gamma == 3
+        assert persisted.params.gamma == 2
+
+    def test_warm_cache_honours_explicit_params_like_cold(self, warm):
+        """Warm and cold processes answer identical retratree calls
+        identically: an explicit params mismatch rebuilds the cached tree,
+        params=None accepts it."""
+        engine, _ = warm
+        default_tree = engine.retratree("lanes")
+        assert engine.retratree("lanes") is default_tree  # None accepts
+        custom = engine.retratree("lanes", params=QuTParams(gamma=3))
+        assert custom is not default_tree
+        assert custom.params.gamma == 3
+        # Same explicit params again: cached tree satisfies the request.
+        assert engine.retratree("lanes", params=QuTParams(gamma=3)) is custom
+
+    def test_resolved_params_pin_the_same_tree(self, warm, tmp_path):
+        """Passing back ``tree.params`` (the resolved form the engine itself
+        reports) must not trigger a redundant rebuild, warm or cold."""
+        engine, _ = warm
+        tree = engine.retratree("lanes")
+        builds_before = ReTraTree.build_calls
+        assert engine.retratree("lanes", params=tree.params) is tree
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        recovered = cold.retratree("lanes", params=tree.params)
+        assert recovered.recovered
+        assert ReTraTree.build_calls == builds_before
+
+    def test_datasets_listed_without_materialising(self, warm, tmp_path):
+        """Catalog recovery is lazy: listing datasets reads manifests only;
+        the archive decodes on first access."""
+        engine, mod = warm
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        assert cold.datasets() == ["lanes"]
+        assert "lanes" in cold._pending_datasets  # not yet decoded
+        assert len(cold.get_mod("lanes")) == len(mod)
+        assert "lanes" not in cold._pending_datasets
+
+    def test_corrupt_archive_fails_lazily_with_clear_error(self, warm, tmp_path):
+        """A manifest whose archive is incomplete must not brick engine
+        construction; the damaged dataset fails on first access instead."""
+        import json
+
+        engine, _ = warm
+        manifest_path = tmp_path / "engine" / "lanes" / MANIFEST_FILENAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["row_keys"].append(["ghost", "0"])
+        manifest_path.write_text(json.dumps(manifest))
+
+        cold = HermesEngine.on_disk(tmp_path / "engine")  # must not raise
+        assert cold.datasets() == ["lanes"]
+        with pytest.raises(RuntimeError, match="incomplete"):
+            cold.get_mod("lanes")
+        # The diagnostic repeats on retry — the dataset does not silently
+        # degrade to "unknown".
+        assert cold.datasets() == ["lanes"]
+        with pytest.raises(RuntimeError, match="incomplete"):
+            cold.get_mod("lanes")
+
+    def test_damaged_tree_partition_degrades_to_rebuild(self, warm, tmp_path):
+        """A corrupt/missing tree partition must not make queries fail
+        permanently — recovery falls through to a (re-persisted) rebuild."""
+        engine, mod = warm
+        reps = tmp_path / "engine" / "lanes" / "lanes__reps.part"
+        assert reps.exists()
+        reps.unlink()
+
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        builds_before = ReTraTree.build_calls
+        tree = cold.retratree("lanes")  # must not raise
+        assert not tree.recovered
+        assert ReTraTree.build_calls == builds_before + 1
+        result = cold.qut("lanes", query_window(mod))
+        assert result.num_clusters >= 0  # query serves normally
+
+    def test_corrupt_manifest_skips_only_that_dataset(self, warm, tmp_path, flights_small):
+        """Unparseable JSON in one manifest must not brick construction or
+        hide the healthy datasets."""
+        engine, _ = warm
+        flights, _ = flights_small
+        engine.load_mod("flights", flights)
+        (tmp_path / "engine" / "flights" / MANIFEST_FILENAME).write_text("{ corrupt")
+
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        assert cold.datasets() == ["lanes"]
+        assert len(cold.get_mod("lanes")) > 0
+
+    def test_progressive_session_resumes_cold(self, warm, tmp_path):
+        engine, mod = warm
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        session = ProgressiveSession(engine=cold, dataset="lanes")
+        session.query(query_window(mod))
+        rows = session.evolution()
+        assert rows[0]["recovered"] is True
+
+
+class TestDropReclaimsDisk:
+    def test_drop_deletes_partition_files(self, warm, tmp_path):
+        engine, _ = warm
+        dataset_dir = tmp_path / "engine" / "lanes"
+        assert any(dataset_dir.glob("*.part"))
+        engine.drop("lanes")
+        assert not dataset_dir.exists()
+        # A cold process no longer sees the dataset.
+        assert HermesEngine.on_disk(tmp_path / "engine").datasets() == []
+
+    def test_drop_then_reload_same_name_sees_no_stale_state(self, warm, tmp_path):
+        """The regression of the drop-leak satellite: a same-named successor
+        must not inherit the predecessor's heapfile records."""
+        engine, _ = warm
+        engine.drop("lanes")
+        smaller, _ = lane_scenario(n_trajectories=8, n_lanes=2, n_samples=30, seed=3)
+        engine.load_mod("lanes", smaller)
+        tree = engine.retratree("lanes")
+        assert tree.stats.trajectories_inserted == len(smaller)
+        # Cold recovery of the successor sees only the successor.
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        assert len(cold.get_mod("lanes")) == len(smaller)
+        assert cold.retratree("lanes").recovered
+
+    def test_replace_via_load_mod_reclaims_previous_state(self, warm, tmp_path):
+        import json
+
+        engine, mod = warm
+        files_before = {p.name for p in (tmp_path / "engine" / "lanes").glob("*.part")}
+        assert len(files_before) > 1  # archive + tree partitions
+        smaller, _ = lane_scenario(n_trajectories=8, n_lanes=2, n_samples=30, seed=3)
+        engine.load_mod("lanes", smaller)
+        remaining = {p.name for p in (tmp_path / "engine" / "lanes").glob("*.part")}
+        # Only the fresh dataset archive survives the replacement, and it is
+        # exactly the partition the committed manifest references.
+        manifest = json.loads(
+            (tmp_path / "engine" / "lanes" / MANIFEST_FILENAME).read_text()
+        )
+        assert remaining == {f"{manifest['frame_partition']}.part"}
+        assert not remaining & files_before  # staged into a fresh partition
+
+    def test_rebuild_drops_stale_tree_partitions(self, warm, tmp_path):
+        engine, _ = warm
+        first = engine.retratree("lanes")
+        second = engine.retratree("lanes", rebuild=True)
+        assert second is not first
+        # The rebuilt tree is the persisted one now.
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        tree = cold.retratree("lanes")
+        assert tree.recovered
+        assert tree.num_clusters == second.num_clusters
+
+    def test_sql_drop_reclaims_disk(self, warm, tmp_path):
+        engine, _ = warm
+        engine.sql("DROP DATASET lanes")
+        assert not (tmp_path / "engine" / "lanes").exists()
+
+
+class TestManifestHygiene:
+    def test_manifest_written_on_load(self, tmp_path, lanes_small):
+        mod, _ = lanes_small
+        engine = HermesEngine.on_disk(tmp_path / "engine")
+        engine.load_mod("lanes", mod)
+        assert (tmp_path / "engine" / "lanes" / MANIFEST_FILENAME).exists()
+        assert engine.is_persisted("lanes")
+
+    def test_unversioned_directories_are_ignored(self, tmp_path, lanes_small):
+        mod, _ = lanes_small
+        engine = HermesEngine.on_disk(tmp_path / "engine")
+        engine.load_mod("lanes", mod)
+        rogue = tmp_path / "engine" / "rogue"
+        rogue.mkdir()
+        (rogue / MANIFEST_FILENAME).write_text('{"format_version": 999}')
+        cold = HermesEngine.on_disk(tmp_path / "engine")
+        assert cold.datasets() == ["lanes"]
+
+    def test_path_traversal_names_rejected_on_durable_engines(
+        self, tmp_path, lanes_small
+    ):
+        """A dataset name is a path component on disk; separators would let
+        persistence write — and drop delete — outside the storage root."""
+        mod, _ = lanes_small
+        engine = HermesEngine.on_disk(tmp_path / "engine")
+        for bad in ("../evil", "a/b", "..", ""):
+            with pytest.raises(ValueError, match="path separators|non-empty"):
+                engine.load_mod(bad, mod)
+            assert bad not in engine.datasets()
+            assert not engine.is_persisted(bad)
+        assert not (tmp_path / "evil").exists()
+        # drop of a never-persistable name must not touch foreign paths.
+        (tmp_path / "outside.part").write_bytes(b"")
+        engine.drop("../outside")
+        assert (tmp_path / "outside.part").exists()
+        # In-memory engines keep accepting any name (nothing touches disk).
+        memory = HermesEngine.in_memory()
+        memory.load_mod("../fine-in-memory", mod)
+        memory.drop("../fine-in-memory")
+
+    def test_in_memory_engine_persists_nothing(self, lanes_small):
+        mod, _ = lanes_small
+        engine = HermesEngine.in_memory()
+        engine.load_mod("lanes", mod)
+        engine.retratree("lanes")
+        assert not engine.is_persisted("lanes")
+        assert engine.sql("SHOW DATASETS") == [{"dataset": "lanes"}]

@@ -206,6 +206,41 @@ class TestSlicePeriod:
         frame = MODFrame.from_trajectories([])
         assert len(frame.slice_period(Period(0.0, 1.0))) == 0
 
+    def test_slice_period_rows_maps_back_to_parent(self):
+        trajs = _random_trajs(10, seed=13)
+        frame = MODFrame.from_trajectories(trajs)
+        tmin = min(t.period.tmin for t in trajs)
+        tmax = max(t.period.tmax for t in trajs)
+        window = Period(tmin + 0.3 * (tmax - tmin), tmin + 0.6 * (tmax - tmin))
+        sliced, rows = frame.slice_period_rows(window)
+        assert len(sliced) == len(rows)
+        for k, row in enumerate(rows):
+            expected = trajs[int(row)].slice_period(window)
+            assert expected is not None
+            got = sliced.trajectory_of(k)
+            assert got.key == trajs[int(row)].key
+            assert np.array_equal(got.xs, expected.xs)
+            assert np.array_equal(got.ys, expected.ys)
+            assert np.array_equal(got.ts, expected.ts)
+        # Rows that survived are exactly those whose restriction exists.
+        survivors = {int(r) for r in rows}
+        for i, traj in enumerate(trajs):
+            assert (traj.slice_period(window) is not None) == (i in survivors)
+
+    def test_slice_period_rows_disambiguates_duplicate_keys(self):
+        base = _random_trajs(1, seed=14)[0]
+        # Two frame rows with the SAME key but different geometry — the row
+        # mapping, not the keys, must attribute the slices.
+        twin = type(base)(base.obj_id, base.traj_id, base.xs + 1.0, base.ys, base.ts)
+        frame = MODFrame.from_trajectories([base, twin])
+        window = Period(
+            base.period.tmin + 0.2 * base.duration,
+            base.period.tmin + 0.8 * base.duration,
+        )
+        sliced, rows = frame.slice_period_rows(window)
+        assert list(rows) == [0, 1]
+        assert np.array_equal(sliced.xs_of(0) + 1.0, sliced.xs_of(1))
+
 
 class TestSerialization:
     def test_pickle_round_trip(self):

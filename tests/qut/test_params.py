@@ -41,3 +41,16 @@ class TestQuTParams:
         params = QuTParams(tau=50.0, delta=10.0).resolved(small_mod)
         assert params.tau == 50.0
         assert params.delta == 10.0
+
+    def test_dict_roundtrip(self, small_mod):
+        """The manifest codec: defaults, explicit values and resolved params
+        all survive ``to_dict`` → JSON → ``from_dict`` exactly."""
+        import json
+
+        for params in (
+            QuTParams(),
+            QuTParams(tau=50.0, gamma=3, s2t=S2TParams(eps=9.0, n_jobs=2)),
+            QuTParams().resolved(small_mod),
+        ):
+            data = json.loads(json.dumps(params.to_dict()))
+            assert QuTParams.from_dict(data) == params

@@ -78,6 +78,77 @@ class TestQuTQuery:
         assert [c.cluster_id for c in result.clusters] == list(range(result.num_clusters))
 
 
+class TestEdgeWindows:
+    """Degenerate windows must yield empty results, never raise."""
+
+    @pytest.mark.parametrize("bounds", [(-500.0, -100.0), (5000.0, 9000.0)])
+    def test_window_entirely_outside_lifespan(self, built_tree, bounds):
+        _mod, tree = built_tree
+        result = QuTClustering(tree).query(Period(*bounds))
+        assert result.method == "qut"
+        assert result.num_clusters == 0
+        assert result.num_outliers == 0
+        assert result.extras["subchunks_touched"] == 0
+        assert {"lookup", "load", "merge"} <= set(result.timings)
+
+    @pytest.mark.parametrize("t", [0.0, 37.5, 50.0, 100.0])
+    def test_zero_length_window(self, built_tree, t):
+        """An instant window (tmin == tmax): every member restriction
+        degenerates, so the result is empty — including at sub-chunk
+        boundaries and the dataset's endpoints."""
+        _mod, tree = built_tree
+        result = QuTClustering(tree).query(Period(t, t))
+        assert result.num_clusters == 0
+        assert result.num_outliers == 0
+        assert result.extras["window"] == (t, t)
+
+    def test_window_grazing_the_lifespan_end(self, built_tree):
+        mod, tree = built_tree
+        tmax = mod.period.tmax
+        result = QuTClustering(tree).query(Period(tmax, tmax + 100.0))
+        # Only a zero-duration overlap exists; nothing survives restriction.
+        assert result.num_clusters == 0
+        assert result.num_outliers == 0
+
+
+class TestRestrictionEquivalence:
+    """The frame-native batched restriction is bit-identical to the loop."""
+
+    @staticmethod
+    def _signature(restricted):
+        # The canonical bit-exactness definition, shared with the benchmark.
+        from repro.eval.qut_bench import restriction_signature
+
+        return restriction_signature(restricted)
+
+    @pytest.mark.parametrize("bounds", [(10.0, 40.0), (30.0, 60.0), (0.0, 95.0)])
+    def test_batched_matches_loop_on_archived_members(self, built_tree, bounds):
+        _mod, tree = built_tree
+        window = Period(*bounds)
+        for subchunk in tree.subchunks_overlapping(window):
+            groups = [tree.load_members(entry) for entry in subchunk.entries]
+            groups.append(tree.load_unclustered(subchunk))
+            batched = QuTClustering._restrict_member_groups(groups, window)
+            for group, restricted in zip(groups, batched):
+                expected = QuTClustering._restrict_members_loop(group, window)
+                assert self._signature(restricted) == self._signature(expected)
+
+    def test_single_list_helper_matches_loop(self, built_tree):
+        _mod, tree = built_tree
+        window = Period(20.0, 55.0)
+        subchunk = tree.subchunks_overlapping(window)[0]
+        members = tree.load_unclustered(subchunk)
+        assert self._signature(
+            QuTClustering._restrict_members(members, window)
+        ) == self._signature(QuTClustering._restrict_members_loop(members, window))
+
+    def test_empty_groups_pass_through(self, built_tree):
+        _mod, tree = built_tree
+        window = Period(10.0, 20.0)
+        assert QuTClustering._restrict_member_groups([[], []], window) == [[], []]
+        assert QuTClustering._restrict_members([], window) == []
+
+
 class TestQuTAgainstFromScratch:
     def test_qut_is_faster_than_reclustering_for_small_windows(self, lanes_small):
         from repro.baselines.range_then_cluster import RangeThenCluster

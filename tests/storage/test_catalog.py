@@ -82,3 +82,69 @@ class TestPartitionUsage:
         reopened = StorageManager(tmp_path / "flush")
         restored = reopened.create_partition("p")
         assert restored.heapfile.get(rid) == b"flushed"
+
+    def test_checkpoint_makes_records_visible_to_second_handle(self, tmp_path):
+        """Checkpoint flushes without closing: a concurrently opened manager
+        over the same directory reads complete heapfiles."""
+        manager = StorageManager(tmp_path / "ckpt")
+        info = manager.create_partition("p")
+        rid = info.heapfile.insert(b"durable")
+        manager.checkpoint()
+
+        other = StorageManager(tmp_path / "ckpt")
+        assert other.get_or_create("p").heapfile.get(rid) == b"durable"
+        # The original handle keeps working after the checkpoint.
+        rid2 = info.heapfile.insert(b"more")
+        assert info.heapfile.get(rid2) == b"more"
+
+
+class TestManifest:
+    def test_roundtrip(self, manager):
+        assert manager.read_manifest() is None
+        manifest = {"format_version": 1, "dataset": "d", "tree": None}
+        manager.write_manifest(manifest)
+        assert manager.read_manifest() == manifest
+
+    def test_on_disk_manifest_survives_reopen(self, tmp_path):
+        manager = StorageManager(tmp_path / "m")
+        manager.write_manifest({"dataset": "d", "row_keys": [["a", "0"]]})
+        reopened = StorageManager(tmp_path / "m")
+        assert reopened.read_manifest() == {"dataset": "d", "row_keys": [["a", "0"]]}
+
+    def test_overwrite_replaces(self, manager):
+        manager.write_manifest({"v": 1})
+        manager.write_manifest({"v": 2})
+        assert manager.read_manifest() == {"v": 2}
+
+
+class TestDestroy:
+    def test_destroy_reclaims_directory(self, tmp_path):
+        directory = tmp_path / "gone"
+        manager = StorageManager(directory)
+        info = manager.create_partition("p")
+        info.heapfile.insert(b"bytes")
+        manager.write_manifest({"dataset": "p"})
+        manager.checkpoint()
+        manager.destroy()
+        assert not directory.exists()
+        assert manager.partitions() == []
+
+    def test_destroy_removes_unopened_stale_files(self, tmp_path):
+        """Files left behind by an earlier process are reclaimed even though
+        this manager never opened them."""
+        directory = tmp_path / "stale"
+        first = StorageManager(directory)
+        first.create_partition("old").heapfile.insert(b"x")
+        first.close()
+
+        second = StorageManager(directory)  # opens nothing
+        second.destroy()
+        assert not directory.exists()
+
+    def test_destroy_in_memory_is_a_noop_reset(self):
+        manager = StorageManager()
+        manager.create_partition("p")
+        manager.write_manifest({"x": 1})
+        manager.destroy()
+        assert manager.partitions() == []
+        assert manager.read_manifest() is None
