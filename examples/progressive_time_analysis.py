@@ -14,7 +14,8 @@ Run with::
     python examples/progressive_time_analysis.py
 """
 
-from repro.core import HermesEngine, ProgressiveSession
+import repro
+from repro.core import ProgressiveSession
 from repro.datagen import aircraft_scenario
 from repro.eval import format_table
 from repro.hermes.types import Period
@@ -22,13 +23,15 @@ from repro.va import cluster_time_histogram
 
 
 def main() -> None:
-    engine = HermesEngine.in_memory()
+    conn = repro.connect()
+    engine = conn.engine
     mod, _truth = aircraft_scenario(n_trajectories=80, holding_fraction=0.3, seed=7)
     engine.load_mod("flights", mod)
     period = mod.period
 
-    # Building the ReTraTree happens once, on the first QuT query.
-    session = ProgressiveSession(engine, "flights")
+    # Sessions ride a connection (API v1); building the ReTraTree happens
+    # once, on the first QuT query.
+    session = ProgressiveSession.over(conn, "flights")
 
     # Start with the landing phase: the last 20 % of the timespan...
     window = Period(period.tmin + 0.8 * period.duration, period.tmax)

@@ -1,11 +1,14 @@
-"""Quickstart: load a MOD, run S2T-Clustering, inspect the result.
+"""Quickstart: connect, load a MOD, run S2T-Clustering, inspect the result.
+
+Uses the public API v1: ``repro.connect()`` opens a connection whose SQL and
+fluent-Python paths compile to the same logical plans.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import HermesEngine
+import repro
 from repro.datagen import aircraft_scenario
 from repro.eval import clustering_quality, format_table
 from repro.hermes.types import Period
@@ -13,15 +16,18 @@ from repro.va import cluster_time_histogram
 
 
 def main() -> None:
-    # 1. Create an engine and register a dataset.  The aircraft scenario
+    # 1. Open a connection and register a dataset.  The aircraft scenario
     #    mimics the paper's demonstration MOD: flights approaching a
     #    metropolitan area along a few corridors, some flying holding loops.
-    engine = HermesEngine.in_memory()
+    #    (repro.connect("/some/dir") would open a durable on-disk engine.)
+    conn = repro.connect()
+    engine = conn.engine
     mod, truth = aircraft_scenario(n_trajectories=80, seed=42)
     engine.load_mod("flights", mod)
-    print(format_table([engine.dataset_summary("flights")], title="Dataset"))
+    print(format_table(conn.dataset("flights").summary().run(), title="Dataset"))
 
-    # 2. Run S2T-Clustering on the whole dataset.
+    # 2. Run S2T-Clustering on the whole dataset.  The engine-level call
+    #    returns the rich ClusteringResult object...
     result = engine.s2t("flights")
     print()
     print(format_table([result.summary()], title="S2T-Clustering result"))
@@ -60,10 +66,15 @@ def main() -> None:
     print()
     print(format_table([qut_result.summary()], title=f"QuT-Clustering in W=[{window.tmin:.0f}, {window.tmax:.0f}]"))
 
-    # 6. The same analysis via the SQL API.
-    rows = engine.sql(f"SELECT QUT(flights, {window.tmin}, {window.tmax})")
+    # 6. The same analysis via SQL, with named parameters bound at execute
+    #    time — and EXPLAIN showing the plan both paths share.
+    stmt = conn.prepare("SELECT QUT(flights, :wi, :we)")
+    rows = stmt.execute({"wi": window.tmin, "we": window.tmax}).fetchall()
     print()
-    print(format_table(rows[:10], title="SELECT QUT(flights, Wi, We) — first rows"))
+    print(format_table(rows[:10], title="SELECT QUT(flights, :wi, :we) — first rows"))
+    print()
+    print("EXPLAIN SELECT QUT(flights, :wi, :we):")
+    print(stmt.explain())
 
 
 if __name__ == "__main__":

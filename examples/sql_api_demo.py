@@ -1,8 +1,10 @@
 """The SQL API: the "preparatory phase" of the paper's demonstration.
 
-Shows the datatypes and operands of the engine through plain SQL: creating
-and populating datasets, running legacy-style point queries, and invoking the
-sub-trajectory clustering table functions — most importantly the paper's own
+Shows the public API v1 (``repro.connect`` → connection → cursors) driving
+the engine through plain SQL: creating and populating datasets, running
+legacy-style point queries with bound parameters and streaming fetches,
+preparing statements, ``EXPLAIN``, and invoking the sub-trajectory
+clustering table functions — most importantly the paper's own
 
     SELECT QUT(D, Wi, We, tau, delta, t, d, gamma);
 
@@ -14,7 +16,7 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro.core import HermesEngine
+import repro
 from repro.datagen import urban_scenario
 from repro.eval import format_table
 from repro.hermes.io import write_csv
@@ -28,7 +30,7 @@ def show(title: str, rows: list[dict], limit: int = 8) -> None:
 
 
 def main() -> None:
-    engine = HermesEngine.in_memory()
+    conn = repro.connect()  # ":memory:"; pass a directory for a durable engine
 
     # -- loading data -----------------------------------------------------------
     # Either bulk-load a CSV...
@@ -36,48 +38,77 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         csv_path = Path(tmp) / "urban.csv"
         write_csv(mod, csv_path)
-        show("LOAD DATASET", engine.sql(f"LOAD DATASET traffic FROM '{csv_path}'"))
+        show(
+            "LOAD DATASET",
+            conn.execute(f"LOAD DATASET traffic FROM '{csv_path}'").fetchall(),
+        )
 
-    # ...or create a dataset and INSERT point records directly.
-    show("CREATE DATASET", engine.sql("CREATE DATASET probes"))
-    show(
-        "INSERT INTO probes",
-        engine.sql(
-            "INSERT INTO probes VALUES "
-            "('bus1', '0', 0.0, 0.0, 0.0), ('bus1', '0', 1.0, 0.5, 10.0), "
-            "('bus1', '0', 2.0, 1.0, 20.0), ('bus2', '0', 0.1, 0.0, 0.0), "
-            "('bus2', '0', 1.1, 0.6, 10.0), ('bus2', '0', 2.1, 1.1, 20.0)"
-        ),
+    # ...or create a dataset and INSERT point records — here through a
+    # prepared-once template re-bound per row batch (executemany).
+    show("CREATE DATASET", conn.execute("CREATE DATASET probes").fetchall())
+    cur = conn.executemany(
+        "INSERT INTO probes VALUES (:obj, '0', :x, :y, :t)",
+        [
+            {"obj": "bus1", "x": 0.0, "y": 0.0, "t": 0.0},
+            {"obj": "bus1", "x": 1.0, "y": 0.5, "t": 10.0},
+            {"obj": "bus1", "x": 2.0, "y": 1.0, "t": 20.0},
+            {"obj": "bus2", "x": 0.1, "y": 0.0, "t": 0.0},
+            {"obj": "bus2", "x": 1.1, "y": 0.6, "t": 10.0},
+            {"obj": "bus2", "x": 2.1, "y": 1.1, "t": 20.0},
+        ],
     )
-    show("SHOW DATASETS", engine.sql("SHOW DATASETS"))
+    show("INSERT INTO probes (executemany)", [{"inserted": cur.rowcount}])
+    show("SHOW DATASETS", conn.execute("SHOW DATASETS").fetchall())
 
     # -- legacy operands: point-level queries --------------------------------------
-    show("SELECT SUMMARY(traffic)", engine.sql("SELECT SUMMARY(traffic)"))
-    show("SELECT COUNT(*)", engine.sql("SELECT COUNT(*) FROM traffic"))
-    show(
-        "Point query with WHERE / ORDER BY / LIMIT",
-        engine.sql(
-            "SELECT obj_id, x, y, t FROM traffic WHERE t BETWEEN 0 AND 300 "
-            "ORDER BY t LIMIT 5"
-        ),
+    show("SELECT SUMMARY(traffic)", conn.execute("SELECT SUMMARY(traffic)").fetchall())
+    show("SELECT COUNT(*)", conn.execute("SELECT COUNT(*) FROM traffic").fetchall())
+
+    # Parameter binding + streaming: fetchmany pages keep memory bounded no
+    # matter how many points match.
+    cur = conn.execute(
+        "SELECT obj_id, x, y, t FROM traffic WHERE t BETWEEN :t0 AND :t1",
+        {"t0": 0, "t1": 300},
     )
+    first_page = cur.fetchmany(5)
+    show("Bound-parameter point query (first fetchmany page)", first_page)
+    rest = 0
+    while page := cur.fetchmany(200):
+        rest += len(page)
+    print(f"(streamed the remaining {rest} rows in pages of 200; "
+          f"peak cursor buffer: {cur.max_buffered} rows)\n")
 
     # -- sub-trajectory clustering via SQL --------------------------------------------
-    summary = engine.dataset_summary("traffic")
+    summary = conn.execute("SELECT SUMMARY(traffic)").fetchall()[0]
     tmin, tmax = float(summary["tmin"]), float(summary["tmax"])
     w_start = tmin + 0.25 * (tmax - tmin)
 
-    show("SELECT S2T(traffic)", engine.sql("SELECT S2T(traffic)"))
+    # EXPLAIN shows the logical plan and the engine's cached artifacts.
+    print("EXPLAIN SELECT S2T(traffic):")
+    print(conn.explain("SELECT S2T(traffic)"))
+    print()
+
+    show("SELECT S2T(traffic)", conn.execute("SELECT S2T(traffic)").fetchall())
+
+    # A prepared statement plans once; re-executions only re-bind.
+    qut = conn.prepare("SELECT QUT(traffic, :wi, :we)")
     show(
-        f"SELECT QUT(traffic, {w_start:.0f}, {tmax:.0f})",
-        engine.sql(f"SELECT QUT(traffic, {w_start}, {tmax})"),
+        f"prepared QUT, wi={w_start:.0f}",
+        qut.execute({"wi": w_start, "we": tmax}).fetchall(),
     )
+    show(
+        f"prepared QUT re-bound, wi={tmin:.0f}",
+        qut.execute({"wi": tmin, "we": tmax}).fetchall(),
+    )
+
+    # The fluent Python path compiles to the same plans as the SQL strings.
+    show("conn.dataset('traffic').s2t().run()", conn.dataset("traffic").s2t().run())
     show(
         "SELECT CLUSTER_HISTOGRAM(traffic, 12)",
-        engine.sql("SELECT CLUSTER_HISTOGRAM(traffic, 12)"),
+        conn.execute("SELECT CLUSTER_HISTOGRAM(traffic, 12)").fetchall(),
     )
-    show("SELECT TRACLUS(traffic)", engine.sql("SELECT TRACLUS(traffic)"))
-    show("SELECT CONVOY(traffic)", engine.sql("SELECT CONVOY(traffic)"))
+    show("SELECT TRACLUS(traffic)", conn.execute("SELECT TRACLUS(traffic)").fetchall())
+    show("SELECT CONVOY(traffic)", conn.execute("SELECT CONVOY(traffic)").fetchall())
 
 
 if __name__ == "__main__":

@@ -14,17 +14,33 @@ plus the substrates they need (storage engine, GiST/3D R-tree indexing,
 SQL front-end, baselines, visual-analytics data products and synthetic
 data generation).
 
-The convenience facade for end users lives in :mod:`repro.core`:
+The public API v1 is the database-style connection layer of
+:mod:`repro.api`:
 
->>> from repro.core import HermesEngine
+>>> import repro
 >>> from repro.datagen import aircraft_scenario
->>> engine = HermesEngine.in_memory()
->>> engine.load_mod("flights", aircraft_scenario(n_trajectories=40, seed=7))
->>> result = engine.s2t("flights")
->>> len(result.clusters) > 0
+>>> conn = repro.connect()                        # ":memory:"; a path = durable
+>>> mod, _ = aircraft_scenario(n_trajectories=40, seed=7)
+>>> conn.engine.load_mod("flights", mod)
+>>> rows = conn.dataset("flights").s2t().run()    # same plan as SELECT S2T(flights)
+>>> len(rows) > 1
 True
+
+The engine facade underneath lives in :mod:`repro.core`
+(:class:`~repro.core.engine.HermesEngine`).
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+
+def connect(path=":memory:"):
+    """Open a :class:`repro.api.Connection` (see :func:`repro.api.connect`).
+
+    Imported lazily so ``import repro`` stays dependency-light.
+    """
+    from repro.api import connect as _connect
+
+    return _connect(path)
+
+
+__all__ = ["__version__", "connect"]

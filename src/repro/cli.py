@@ -1,7 +1,10 @@
 """Console entry points (see ``[project.scripts]`` in ``pyproject.toml``).
 
 * ``repro-sql`` — load a dataset (CSV file or a built-in demo scenario) and
-  run SQL statements against the Hermes engine, one-shot or as a REPL.
+  run SQL statements over a public-API connection, one-shot or as a REPL.
+  Statements may use ``:name`` parameters (bound from ``--param NAME=VALUE``
+  or the REPL's ``\\set NAME VALUE``) and ``EXPLAIN <stmt>`` renders the
+  logical plan plus cached-artifact info instead of executing.
 * ``repro-bench-voting`` — run the voting-strategy benchmark and write the
   ``BENCH_voting.json`` report.
 * ``repro-bench-pipeline`` — run the end-to-end partitioned-pipeline
@@ -45,6 +48,26 @@ def _print_rows(rows: list[dict]) -> None:
         print("(no rows)")
 
 
+def _coerce_param(text: str) -> object:
+    """``--param`` values: numbers become numbers, everything else a string.
+
+    Quoting keeps a numeric-looking value a string: ``--param o="'123'"``
+    (or ``\\set o '123'`` in the REPL) binds the string ``"123"``.
+    """
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    try:
+        # int first: round-tripping through float would corrupt integers
+        # above 2**53 (large object/timestamp IDs).
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def main_sql(argv: list[str] | None = None) -> int:
     """Run SQL statements against a CSV dataset or a demo scenario."""
     parser = argparse.ArgumentParser(
@@ -63,23 +86,74 @@ def main_sql(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=40, help="demo scenario size")
     parser.add_argument("--seed", type=int, default=7, help="demo scenario seed")
     parser.add_argument(
+        "--disk",
+        metavar="DIR",
+        help="open a durable on-disk engine under DIR instead of :memory:",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help=(
+            "bind :NAME placeholders in the statements (repeatable); numeric "
+            "values coerce to numbers — quote to force a string: o=\"'123'\""
+        ),
+    )
+    parser.add_argument(
         "statements",
         nargs="*",
         help="SQL statements to execute; none starts a REPL on stdin",
     )
     args = parser.parse_args(argv)
 
-    if args.csv:
-        from repro.core.engine import HermesEngine
+    from repro.api import Connection
+    from repro.core.engine import HermesEngine
 
-        engine = HermesEngine.in_memory()
-        engine.load_csv(args.dataset, args.csv)
+    if args.disk:
+        engine = HermesEngine.on_disk(args.disk)
     else:
-        engine = _load_demo_engine(args.dataset, args.demo, args.n, args.seed)
+        engine = None
+    if args.csv:
+        engine = engine or HermesEngine.in_memory()
+        engine.load_csv(args.dataset, args.csv)
+    elif engine is not None and args.dataset in engine.datasets():
+        pass  # recovered from disk; keep it
+    else:
+        demo = _load_demo_engine(args.dataset, args.demo, args.n, args.seed)
+        if engine is None:
+            engine = demo
+        else:
+            engine.load_mod(args.dataset, demo.get_mod(args.dataset))
+    conn = Connection(engine=engine)
+
+    bound_params: dict[str, object] = {}
+    for item in args.param:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            print(f"error: --param expects NAME=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        bound_params[name] = _coerce_param(value)
 
     def run(statement: str) -> None:
+        from repro.sql.plan import ExplainPlan, bind_for_execution
+        from repro.sql.planner import plan_sql
+
         try:
-            _print_rows(engine.sql(statement))
+            plan = plan_sql(statement)
+            # Bind :NAME placeholders from the --param / \set table; the
+            # policy itself (EXPLAIN may stay unbound, everything else must
+            # bind fully) is the shared bind_for_execution.  EXPLAIN binds
+            # only when every declared name is available, so a partially
+            # populated table still renders the plan instead of erroring.
+            names = {p.name for p in plan.parameters() if p.name is not None}
+            supplied = {k: v for k, v in bound_params.items() if k in names}
+            if isinstance(plan, ExplainPlan) and not names <= set(supplied):
+                params = None
+            else:
+                params = supplied or None
+            plan = bind_for_execution(plan, params)
+            _print_rows(conn.cursor().execute_plan(plan).fetchall())
         except Exception as exc:  # surface engine/SQL errors without a stack trace
             print(f"error: {exc}", file=sys.stderr)
 
@@ -88,11 +162,21 @@ def main_sql(argv: list[str] | None = None) -> int:
             run(statement)
         return 0
 
-    print(f"dataset {args.dataset!r} loaded; enter SQL (empty line quits)")
+    print(
+        f"dataset {args.dataset!r} loaded; enter SQL (empty line quits).\n"
+        "  \\set NAME VALUE binds :NAME in later statements; EXPLAIN <stmt> shows the plan"
+    )
     for line in sys.stdin:
         line = line.strip()
         if not line:
             break
+        if line.startswith("\\set "):
+            parts = line.split(maxsplit=2)
+            if len(parts) != 3:
+                print("error: \\set expects NAME VALUE", file=sys.stderr)
+                continue
+            bound_params[parts[1]] = _coerce_param(parts[2])
+            continue
         run(line)
     return 0
 

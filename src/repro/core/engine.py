@@ -93,7 +93,8 @@ class HermesEngine:
         self._last_results: dict[str, ClusteringResult] = {}
         self._generations: dict[str, int] = {}
         self._generation_counter = 0
-        self._sql_executor = None
+        self._plan_executor = None
+        self._default_connection = None
         # Per-dataset storage managers (on-disk engines only); the ReTraTree
         # build, the dataset archive and the manifest all share one manager.
         self._storages: dict[str, StorageManager] = {}
@@ -211,8 +212,8 @@ class HermesEngine:
         self._datasets.pop(name, None)
         self._invalidate(name)
         self._reclaim_storage(name)
-        if self._sql_executor is not None:
-            self._sql_executor.forget(name)
+        if self._plan_executor is not None:
+            self._plan_executor.forget(name)
 
     def dataset_generation(self, name: str) -> int:
         """Monotonic token bumped on every mutation of dataset ``name``.
@@ -673,13 +674,76 @@ class HermesEngine:
             raise KeyError(f"no clustering has been run on dataset {name!r} yet")
         return self._last_results[name]
 
-    def sql(self, statement: str) -> list[dict[str, object]]:
+    # -- SQL / public-API integration --------------------------------------------------------
+
+    def plan_executor(self):
+        """The engine's shared :class:`~repro.sql.executor.PlanExecutor`.
+
+        One executor per engine: every connection, cursor and prepared
+        statement over this engine runs plans (and buffers ``INSERT``
+        records) through the same instance, so their view of half-built
+        datasets is consistent.
+        """
+        from repro.sql.executor import PlanExecutor
+
+        if self._plan_executor is None:
+            self._plan_executor = PlanExecutor(self)
+        return self._plan_executor
+
+    def artifact_status(self, name: str) -> dict[str, object]:
+        """Cached/persisted derived state of a dataset, for ``EXPLAIN``.
+
+        Reports whether the dataset is loaded, its generation token, whether
+        its columnar frame and ReTraTree are cached in this process, whether
+        a tree structure is persisted in the storage manifest, and how many
+        storage partitions back it on disk.
+        """
+        storage = self._storages.get(name)
+        tree_persisted = name in self._tree_manifests
+        partitions = 0
+        if storage is not None:
+            partitions = len(list(storage.partitions()))
+            if not tree_persisted:
+                manifest = self._read_manifest_or_none(storage)
+                tree_persisted = bool(manifest and manifest.get("tree") is not None)
+        return {
+            "dataset": name,
+            "loaded": name in self._datasets or name in self._pending_datasets,
+            "generation": self.dataset_generation(name),
+            "frame_cached": name in self._frames,
+            "tree_cached": name in self._retratrees,
+            "tree_persisted": tree_persisted,
+            "persisted": self.is_persisted(name),
+            "storage_partitions": partitions,
+        }
+
+    def close(self) -> None:
+        """Release the engine's storage handles (no-op on in-memory engines)."""
+        for storage in self._storages.values():
+            storage.close()
+        self._storages.clear()
+
+    def sql(
+        self, statement: str, params=None
+    ) -> list[dict[str, object]]:
         """Execute an SQL statement against this engine (see :mod:`repro.sql`).
 
-        The executor (and therefore its INSERT buffer) persists across calls.
+        .. deprecated:: public API v1
+           ``engine.sql()`` is a shim over a default
+           :class:`~repro.api.Connection`; prefer ``repro.connect()`` and
+           the connection's cursors, which add parameter binding, streaming
+           fetches and prepared statements.
         """
-        from repro.sql.executor import SQLExecutor
+        import warnings
 
-        if self._sql_executor is None:
-            self._sql_executor = SQLExecutor(self)
-        return self._sql_executor.execute(statement)
+        warnings.warn(
+            "HermesEngine.sql() is deprecated; use repro.connect() and "
+            "Connection.cursor()/execute() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api import Connection
+
+        if self._default_connection is None:
+            self._default_connection = Connection(engine=self)
+        return self._default_connection.execute(statement, params).fetchall()

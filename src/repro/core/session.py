@@ -47,12 +47,34 @@ class SessionStep:
 
 @dataclass
 class ProgressiveSession:
-    """Interactive, index-backed exploration of one dataset."""
+    """Interactive, index-backed exploration of one dataset.
+
+    A session rides a connection: construct it from a
+    :class:`repro.api.Connection` (public API v1) or — the historical form —
+    directly from a :class:`~repro.core.engine.HermesEngine`.  Either way
+    queries execute against the connection's engine, so sessions share
+    caches (frame catalog, ReTraTree) and generation tokens with every
+    cursor on the same connection.
+    """
 
     engine: HermesEngine
     dataset: str
     params: QuTParams | None = None
     history: list[SessionStep] = field(default_factory=list)
+    connection: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        # Accept a Connection in the engine slot (sessions ride connections
+        # in API v1); unwrap it but keep the handle for callers.
+        engine = self.engine
+        if hasattr(engine, "engine") and not isinstance(engine, HermesEngine):
+            self.connection = engine
+            self.engine = engine.engine
+
+    @classmethod
+    def over(cls, connection, dataset: str, params: QuTParams | None = None) -> "ProgressiveSession":
+        """A session over a :class:`repro.api.Connection`."""
+        return cls(engine=connection, dataset=dataset, params=params)
 
     def query(self, window: Period) -> ClusteringResult:
         """Run a QuT query and record it in the session history."""

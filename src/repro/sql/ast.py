@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "Statement",
+    "Parameter",
+    "Explain",
     "CreateDataset",
     "DropDataset",
     "ShowDatasets",
@@ -20,6 +22,32 @@ __all__ = [
 
 class Statement:
     """Marker base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A statement parameter placeholder: positional ``?`` or named ``:name``.
+
+    Placeholders survive parsing and planning; they are substituted by
+    :meth:`repro.sql.plan.LogicalPlan.bind` before execution.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    @property
+    def label(self) -> str:
+        """How the placeholder is written in SQL (``:sigma`` / ``?1``)."""
+        if self.name is not None:
+            return f":{self.name}"
+        return f"?{(self.index or 0) + 1}"
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN <statement>``"""
+
+    statement: Statement
 
 
 @dataclass(frozen=True)

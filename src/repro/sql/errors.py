@@ -1,8 +1,43 @@
-"""SQL front-end exceptions."""
+"""SQL front-end exceptions.
+
+Parse-time errors carry the statement source and the offending offset, and
+render a ``line L, col C`` diagnostic with a caret snippet::
+
+    line 1, col 15: expected FROM, got 'FRM'
+        SELECT obj_id FRM lanes
+                      ^
+
+Errors raised without a source (legacy call sites, execution errors) degrade
+to the bare message.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SQLError", "SQLParseError", "SQLExecutionError"]
+__all__ = [
+    "SQLError",
+    "SQLParseError",
+    "SQLExecutionError",
+    "SQLBindError",
+    "format_sql_error",
+]
+
+
+def _line_col(source: str, position: int) -> tuple[int, int]:
+    """1-based (line, column) of character offset ``position`` in ``source``."""
+    position = max(0, min(position, len(source)))
+    prefix = source[:position]
+    line = prefix.count("\n") + 1
+    col = position - (prefix.rfind("\n") + 1) + 1
+    return line, col
+
+
+def format_sql_error(message: str, source: str, position: int) -> str:
+    """Render ``message`` with a ``line L, col C`` header and a caret snippet."""
+    line, col = _line_col(source, position)
+    lines = source.splitlines() or [""]
+    snippet = lines[line - 1] if line - 1 < len(lines) else ""
+    caret = " " * (col - 1) + "^"
+    return f"line {line}, col {col}: {message}\n    {snippet}\n    {caret}"
 
 
 class SQLError(Exception):
@@ -10,8 +45,35 @@ class SQLError(Exception):
 
 
 class SQLParseError(SQLError):
-    """Raised when a statement cannot be tokenised or parsed."""
+    """Raised when a statement cannot be tokenised or parsed.
+
+    When ``source`` and ``position`` are provided the rendered message pins
+    the failure to its statement offset with a caret snippet; ``line``/
+    ``col`` expose the same location programmatically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        position: int | None = None,
+    ) -> None:
+        self.bare_message = message
+        self.source = source
+        self.position = position
+        if source is not None and position is not None:
+            self.line, self.col = _line_col(source, position)
+            rendered = format_sql_error(message, source, position)
+        else:
+            self.line = self.col = None
+            rendered = message
+        super().__init__(rendered)
 
 
 class SQLExecutionError(SQLError):
     """Raised when a well-formed statement cannot be executed."""
+
+
+class SQLBindError(SQLExecutionError):
+    """Raised when statement parameters cannot be bound (missing/unknown/unbound)."""

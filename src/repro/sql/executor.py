@@ -1,30 +1,51 @@
-"""SQL statement execution against a :class:`~repro.core.engine.HermesEngine`."""
+"""Plan execution against a :class:`~repro.core.engine.HermesEngine`.
+
+The execution layer is split in two:
+
+* :class:`PlanExecutor` — runs *logical plans* (:mod:`repro.sql.plan`) and
+  returns a streaming :class:`ResultSet`.  This is the single executor under
+  both front-ends: the SQL string path and the fluent Python path compile to
+  the same plan objects and land here.
+* :class:`SQLExecutor` — the historical string-in/rows-out facade, now a
+  thin wrapper: parse → plan → bind → execute → materialise.
+
+``INSERT INTO`` point buffering lives on the :class:`PlanExecutor` (one per
+engine, shared by every connection over that engine): records for datasets
+declared with ``CREATE DATASET`` become trajectories as soon as an object
+has at least two samples.
+"""
 
 from __future__ import annotations
 
 import operator
 from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.engine import HermesEngine
 from repro.hermes.mod import MOD
 from repro.hermes.trajectory import Trajectory
-from repro.sql.ast import (
-    Comparison,
-    CreateDataset,
-    DropDataset,
-    InsertPoints,
-    LoadDataset,
-    SelectCount,
-    SelectFunction,
-    SelectPoints,
-    ShowDatasets,
-    Statement,
-)
-from repro.sql.errors import SQLExecutionError
+from repro.sql.ast import Comparison
+from repro.sql.errors import SQLBindError, SQLExecutionError
 from repro.sql.functions import call_function
-from repro.sql.parser import parse
+from repro.sql.plan import (
+    CountPlan,
+    CreatePlan,
+    DropPlan,
+    ExplainPlan,
+    FunctionPlan,
+    InsertPlan,
+    LoadPlan,
+    LogicalPlan,
+    QuTPlan,
+    S2TPlan,
+    ScanPlan,
+    ShowPlan,
+    bind_for_execution,
+    plan_lines,
+)
+from repro.sql.planner import plan_sql, plan_sql_script
 
-__all__ = ["SQLExecutor"]
+__all__ = ["ResultSet", "PlanExecutor", "SQLExecutor", "iter_script"]
 
 _OPERATORS = {
     "=": operator.eq,
@@ -38,13 +59,43 @@ _OPERATORS = {
 _POINT_COLUMNS = ("obj_id", "traj_id", "x", "y", "t")
 
 
-class SQLExecutor:
-    """Parses and executes SQL statements, returning rows as dicts.
+class ResultSet:
+    """The rows one plan execution produces, consumed as an iterator.
 
-    The executor also buffers `INSERT INTO` point records for datasets that
-    were declared with ``CREATE DATASET`` but not yet materialised as
-    trajectories; records become trajectories as soon as an object has at
-    least two samples.
+    Statement results stream: a :class:`ResultSet` backed by a generator
+    (e.g. an unordered point scan) produces rows on demand, so a cursor
+    reading it holds only its own bounded buffer, never the full relation.
+    ``columns`` is the projection when it is known up front (scans), else
+    ``None`` until a consumer derives it from the first row.
+    """
+
+    def __init__(
+        self,
+        rows: Iterable[dict[str, object]],
+        columns: tuple[str, ...] | None = None,
+    ) -> None:
+        self._rows = iter(rows)
+        self.columns = columns
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return self._rows
+
+    def __next__(self) -> dict[str, object]:
+        return next(self._rows)
+
+    def fetchall(self) -> list[dict[str, object]]:
+        """Drain the remaining rows into a list."""
+        return list(self._rows)
+
+
+class PlanExecutor:
+    """Executes logical plans, returning streaming result sets.
+
+    Also owns the `INSERT INTO` point buffers for datasets that were
+    declared with ``CREATE DATASET`` but not yet materialised as
+    trajectories.  There is one executor per engine (see
+    :meth:`repro.core.engine.HermesEngine.plan_executor`), so every
+    connection and cursor over that engine shares the same buffered state.
     """
 
     def __init__(self, engine: HermesEngine) -> None:
@@ -61,42 +112,52 @@ class SQLExecutor:
         self._pending.pop(name, None)
         self._pending_generation.pop(name, None)
 
-    # -- public API ----------------------------------------------------------------
-
-    def execute(self, sql: str) -> list[dict[str, object]]:
-        """Execute one statement and return its result rows."""
-        statement = parse(sql)
-        return self._dispatch(statement)
-
-    def execute_script(self, sql: str) -> list[list[dict[str, object]]]:
-        """Execute a ``;``-separated script; returns one result set per statement."""
-        results = []
-        for piece in sql.split(";"):
-            if piece.strip():
-                results.append(self.execute(piece))
-        return results
-
     # -- dispatch --------------------------------------------------------------------
 
-    def _dispatch(self, statement: Statement) -> list[dict[str, object]]:
-        if isinstance(statement, CreateDataset):
-            return self._create(statement)
-        if isinstance(statement, DropDataset):
-            return self._drop(statement)
-        if isinstance(statement, ShowDatasets):
-            return self._show_datasets()
-        if isinstance(statement, LoadDataset):
-            mod = self.engine.load_csv(statement.name, statement.path)
-            return [{"dataset": statement.name, "trajectories": len(mod)}]
-        if isinstance(statement, InsertPoints):
-            return self._insert(statement)
-        if isinstance(statement, SelectCount):
-            return self._count(statement)
-        if isinstance(statement, SelectPoints):
-            return self._select_points(statement)
-        if isinstance(statement, SelectFunction):
-            return call_function(self.engine, statement.function, statement.args)
-        raise SQLExecutionError(f"unsupported statement {statement!r}")
+    def execute(self, plan: LogicalPlan) -> ResultSet:
+        """Execute one bound plan and return its (possibly streaming) rows."""
+        if isinstance(plan, ExplainPlan):
+            # EXPLAIN renders rather than runs, so unbound placeholders are
+            # fine — they show up as :name / ?N in the plan text.
+            lines = plan_lines(plan.plan, engine=self.engine)
+            return ResultSet(({"plan": line} for line in lines), columns=("plan",))
+        unbound = plan.parameters()
+        if unbound:
+            labels = ", ".join(p.label for p in unbound)
+            raise SQLBindError(f"statement has unbound parameters: {labels}")
+        if isinstance(plan, ShowPlan):
+            return ResultSet(self._show_datasets())
+        if isinstance(plan, CreatePlan):
+            return ResultSet(self._create(plan))
+        if isinstance(plan, DropPlan):
+            return ResultSet(self._drop(plan))
+        if isinstance(plan, LoadPlan):
+            mod = self.engine.load_csv(plan.dataset, str(plan.path))
+            return ResultSet([{"dataset": plan.dataset, "trajectories": len(mod)}])
+        if isinstance(plan, InsertPlan):
+            return ResultSet(self._insert(plan))
+        if isinstance(plan, CountPlan):
+            return ResultSet(self._count(plan))
+        if isinstance(plan, ScanPlan):
+            return self._scan(plan)
+        if isinstance(plan, S2TPlan):
+            args = (plan.dataset, plan.sigma, plan.eps, plan.gamma, plan.strategy, plan.jobs)
+            return ResultSet(call_function(self.engine, "S2T", args))
+        if isinstance(plan, QuTPlan):
+            args = (
+                plan.dataset,
+                plan.wi,
+                plan.we,
+                plan.tau,
+                plan.delta,
+                plan.tolerance,
+                plan.distance,
+                plan.gamma,
+            )
+            return ResultSet(call_function(self.engine, "QUT", args))
+        if isinstance(plan, FunctionPlan):
+            return ResultSet(call_function(self.engine, plan.function, plan.args))
+        raise SQLExecutionError(f"unsupported plan {plan!r}")
 
     def _show_datasets(self) -> list[dict[str, object]]:
         """``SHOW DATASETS`` rows.
@@ -114,25 +175,25 @@ class SQLExecutor:
 
     # -- DDL / DML ------------------------------------------------------------------------
 
-    def _create(self, statement: CreateDataset) -> list[dict[str, object]]:
-        if statement.name in self.engine.datasets():
-            raise SQLExecutionError(f"dataset {statement.name!r} already exists")
-        self.engine.load_mod(statement.name, MOD(name=statement.name))
-        self._pending[statement.name] = defaultdict(list)
-        self._pending_generation[statement.name] = self.engine.dataset_generation(
-            statement.name
+    def _create(self, plan: CreatePlan) -> list[dict[str, object]]:
+        if plan.dataset in self.engine.datasets():
+            raise SQLExecutionError(f"dataset {plan.dataset!r} already exists")
+        self.engine.load_mod(plan.dataset, MOD(name=plan.dataset))
+        self._pending[plan.dataset] = defaultdict(list)
+        self._pending_generation[plan.dataset] = self.engine.dataset_generation(
+            plan.dataset
         )
-        return [{"created": statement.name}]
+        return [{"created": plan.dataset}]
 
-    def _drop(self, statement: DropDataset) -> list[dict[str, object]]:
-        if statement.name not in self.engine.datasets():
-            raise SQLExecutionError(f"unknown dataset {statement.name!r}")
-        self.engine.drop(statement.name)
-        self.forget(statement.name)
-        return [{"dropped": statement.name}]
+    def _drop(self, plan: DropPlan) -> list[dict[str, object]]:
+        if plan.dataset not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {plan.dataset!r}")
+        self.engine.drop(plan.dataset)
+        self.forget(plan.dataset)
+        return [{"dropped": plan.dataset}]
 
-    def _insert(self, statement: InsertPoints) -> list[dict[str, object]]:
-        name = statement.dataset
+    def _insert(self, plan: InsertPlan) -> list[dict[str, object]]:
+        name = plan.dataset
         if name not in self.engine.datasets():
             raise SQLExecutionError(f"unknown dataset {name!r}; CREATE DATASET it first")
         generation = self.engine.dataset_generation(name)
@@ -149,19 +210,30 @@ class SQLExecutor:
                     )
             self._pending[name] = seeded
             self._pending_generation[name] = generation
-        pending = self._pending[name]
-        inserted = 0
-        for row in statement.rows:
+        # Validate and coerce EVERY row before touching the pending buffer:
+        # a bad row must fail the whole statement without leaving phantom
+        # rows behind to land on the next successful INSERT.
+        coerced: list[tuple[tuple[str, str], tuple[float, float, float]]] = []
+        for row in plan.rows:
             if len(row) != 5:
                 raise SQLExecutionError(
                     "INSERT rows must be (obj_id, traj_id, x, y, t); got "
                     f"{len(row)} values"
                 )
             obj_id, traj_id, x, y, t = row
-            pending[(str(obj_id), str(traj_id))].append((float(t), float(x), float(y)))
-            inserted += 1
+            try:
+                coerced.append(
+                    ((str(obj_id), str(traj_id)), (float(t), float(x), float(y)))
+                )
+            except (TypeError, ValueError) as exc:
+                raise SQLExecutionError(
+                    f"INSERT x/y/t values must be numeric; bad row {row!r}"
+                ) from exc
+        pending = self._pending[name]
+        for key, sample in coerced:
+            pending[key].append(sample)
         self._materialise(name)
-        return [{"inserted": inserted}]
+        return [{"inserted": len(coerced)}]
 
     def _materialise(self, name: str) -> None:
         """Rebuild the dataset's MOD from the buffered point records.
@@ -196,55 +268,167 @@ class SQLExecutor:
 
     # -- queries over point records ------------------------------------------------------------
 
-    def _point_rows(self, dataset: str) -> list[dict[str, object]]:
-        mod = self.engine.get_mod(dataset)
-        rows = []
+    def _iter_point_rows(self, mod: MOD) -> Iterator[dict[str, object]]:
         for traj in mod:
             for i in range(traj.num_points):
-                rows.append(
-                    {
-                        "obj_id": traj.obj_id,
-                        "traj_id": traj.traj_id,
-                        "x": float(traj.xs[i]),
-                        "y": float(traj.ys[i]),
-                        "t": float(traj.ts[i]),
-                    }
+                yield {
+                    "obj_id": traj.obj_id,
+                    "traj_id": traj.traj_id,
+                    "x": float(traj.xs[i]),
+                    "y": float(traj.ys[i]),
+                    "t": float(traj.ts[i]),
+                }
+
+    @staticmethod
+    def _check_predicates(predicates: tuple[Comparison, ...]) -> None:
+        """Reject unknown columns/operators before any row streams.
+
+        The SQL parser already validates these, but the fluent path builds
+        ``Comparison`` triples directly — without this check a typo would
+        surface as a bare ``KeyError`` mid-fetch instead of an SQL error at
+        execute time.
+        """
+        for pred in predicates:
+            if pred.column not in _POINT_COLUMNS:
+                raise SQLExecutionError(
+                    f"unknown predicate column {pred.column!r}; point tables "
+                    f"have columns {sorted(_POINT_COLUMNS)}"
                 )
-        return rows
+            if pred.op not in _OPERATORS:
+                raise SQLExecutionError(
+                    f"unknown operator {pred.op!r}; supported: {sorted(_OPERATORS)}"
+                )
 
     @staticmethod
     def _matches(row: dict[str, object], predicates: tuple[Comparison, ...]) -> bool:
         for pred in predicates:
             op = _OPERATORS[pred.op]
-            if not op(row[pred.column], pred.value):
-                return False
+            try:
+                if not op(row[pred.column], pred.value):
+                    return False
+            except TypeError as exc:
+                # Bound parameters can smuggle arbitrary objects into
+                # predicates; surface an SQL error, not a bare TypeError
+                # deep inside a fetch.
+                raise SQLExecutionError(
+                    f"cannot compare column {pred.column!r} with {pred.value!r}"
+                ) from exc
         return True
 
-    def _count(self, statement: SelectCount) -> list[dict[str, object]]:
-        if statement.dataset not in self.engine.datasets():
-            raise SQLExecutionError(f"unknown dataset {statement.dataset!r}")
-        rows = self._point_rows(statement.dataset)
-        count = sum(1 for row in rows if self._matches(row, statement.predicates))
+    def _count(self, plan: CountPlan) -> list[dict[str, object]]:
+        if plan.dataset not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {plan.dataset!r}")
+        self._check_predicates(plan.predicates)
+        mod = self.engine.get_mod(plan.dataset)
+        count = sum(
+            1 for row in self._iter_point_rows(mod) if self._matches(row, plan.predicates)
+        )
         return [{"count": count}]
 
-    def _select_points(self, statement: SelectPoints) -> list[dict[str, object]]:
-        if statement.dataset not in self.engine.datasets():
-            raise SQLExecutionError(f"unknown dataset {statement.dataset!r}")
-        columns = (
-            _POINT_COLUMNS if statement.columns == ("*",) else statement.columns
-        )
+    def _scan(self, plan: ScanPlan) -> ResultSet:
+        if plan.dataset not in self.engine.datasets():
+            raise SQLExecutionError(f"unknown dataset {plan.dataset!r}")
+        columns = _POINT_COLUMNS if plan.columns == ("*",) else plan.columns
         unknown = set(columns) - set(_POINT_COLUMNS)
         if unknown:
             raise SQLExecutionError(f"unknown columns {sorted(unknown)}")
-        rows = [
-            row
-            for row in self._point_rows(statement.dataset)
-            if self._matches(row, statement.predicates)
-        ]
-        if statement.order_by is not None:
-            if statement.order_by not in _POINT_COLUMNS:
-                raise SQLExecutionError(f"unknown ORDER BY column {statement.order_by!r}")
-            rows.sort(key=lambda r: r[statement.order_by], reverse=statement.descending)
-        if statement.limit is not None:
-            rows = rows[: statement.limit]
-        return [{col: row[col] for col in columns} for row in rows]
+        if plan.order_by is not None and plan.order_by not in _POINT_COLUMNS:
+            raise SQLExecutionError(f"unknown ORDER BY column {plan.order_by!r}")
+        self._check_predicates(plan.predicates)
+        if plan.limit is None:
+            limit = None
+        elif isinstance(plan.limit, (int, float)):
+            limit = int(plan.limit)
+            if limit < 0:  # only reachable via a bound :n placeholder
+                raise SQLExecutionError(f"LIMIT must be non-negative, got {limit}")
+        else:  # a bound :n placeholder may carry anything
+            raise SQLExecutionError(f"LIMIT must be numeric, got {plan.limit!r}")
+        # Capture the MOD now: a concurrently dropped/replaced dataset does
+        # not invalidate rows already flowing through an open cursor.
+        mod = self.engine.get_mod(plan.dataset)
+
+        def produce() -> Iterator[dict[str, object]]:
+            matching = (
+                row for row in self._iter_point_rows(mod) if self._matches(row, plan.predicates)
+            )
+            if plan.order_by is not None:
+                # Ordering is a pipeline breaker: materialise, sort, re-stream.
+                rows = sorted(
+                    matching, key=lambda r: r[plan.order_by], reverse=plan.descending
+                )
+                matching = iter(rows)
+            produced = 0
+            for row in matching:
+                if limit is not None and produced >= limit:
+                    return
+                produced += 1
+                yield {col: row[col] for col in columns}
+
+        return ResultSet(produce(), columns=tuple(columns))
+
+
+def iter_script(
+    executor: "PlanExecutor", sql: str
+) -> Iterator[list[dict[str, object]]]:
+    """Run a ``;``-separated script, yielding one result set at a time.
+
+    The script is parsed up front (so syntax errors surface before any
+    statement runs), but each statement only *executes* when the generator
+    is advanced, and only its own result rows are held — a multi-statement
+    script never keeps every statement's full result set alive at once.
+    Statement splitting is token-aware; ``;`` inside string literals is
+    data, not a separator.  Shared by :meth:`SQLExecutor.execute_script`
+    and :meth:`repro.api.Connection.executescript`.
+    """
+    plans = plan_sql_script(sql)
+
+    def run() -> Iterator[list[dict[str, object]]]:
+        for plan in plans:
+            yield list(executor.execute(plan))
+
+    return run()
+
+
+class SQLExecutor:
+    """Parses and executes SQL statements, returning rows as dicts.
+
+    Historical facade kept for compatibility: ``execute`` materialises the
+    full result list.  New code should prefer the connection/cursor API
+    (:mod:`repro.api`), which streams.
+    """
+
+    def __init__(self, engine: HermesEngine) -> None:
+        self.engine = engine
+        self._executor = engine.plan_executor()
+
+    def forget(self, name: str) -> None:
+        """Discard buffered state for a dataset (called by ``engine.drop``)."""
+        self._executor.forget(name)
+
+    # -- public API ----------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Mapping[str, object] | Sequence[object] | None = None,
+    ) -> list[dict[str, object]]:
+        """Execute one statement (binding ``params``) and return its rows.
+
+        ``EXPLAIN`` statements render unbound placeholders as-is.
+        """
+        plan = bind_for_execution(plan_sql(sql), params)
+        return list(self._executor.execute(plan))
+
+    def execute_script(
+        self, sql: str
+    ) -> Iterator[list[dict[str, object]]]:
+        """Execute a ``;``-separated script lazily (see :func:`iter_script`).
+
+        .. warning:: behaviour change in public API v1 — this used to run
+           every statement eagerly and return a list of result lists; it now
+           returns a generator, and statements only execute as it is
+           advanced.  Callers running a script purely for its side effects
+           must drain the generator (e.g. ``for _ in ex.execute_script(s):
+           pass``) or nothing runs.
+        """
+        return iter_script(self._executor, sql)

@@ -32,6 +32,7 @@ KEYWORDS = {
     "BY",
     "ASC",
     "DESC",
+    "EXPLAIN",
 }
 
 _SYMBOLS = {
@@ -60,7 +61,12 @@ class Token:
 
 
 def tokenize(sql: str) -> list[Token]:
-    """Tokenise a statement; raises :class:`SQLParseError` on bad input."""
+    """Tokenise a statement; raises :class:`SQLParseError` on bad input.
+
+    Besides the literal/keyword/symbol tokens, two parameter-placeholder
+    forms are recognised: ``?`` (``PARAM``, positional) and ``:name``
+    (``NAMED_PARAM``, with ``value`` holding the bare name).
+    """
     tokens: list[Token] = []
     i = 0
     n = len(sql)
@@ -78,6 +84,21 @@ def tokenize(sql: str) -> list[Token]:
             tokens.append(Token(_SYMBOLS[ch], ch, i))
             i += 1
             continue
+        if ch == "?":
+            tokens.append(Token("PARAM", "?", i))
+            i += 1
+            continue
+        if ch == ":":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SQLParseError(
+                    "expected a parameter name after ':'", source=sql, position=i
+                )
+            tokens.append(Token("NAMED_PARAM", sql[i + 1 : j], i))
+            i = j
+            continue
         if ch == "'" or ch == '"':
             quote = ch
             j = i + 1
@@ -86,7 +107,11 @@ def tokenize(sql: str) -> list[Token]:
                 buf.append(sql[j])
                 j += 1
             if j >= n:
-                raise SQLParseError(f"unterminated string literal starting at {i}")
+                raise SQLParseError(
+                    f"unterminated string literal starting at {i}",
+                    source=sql,
+                    position=i,
+                )
             tokens.append(Token("STRING", "".join(buf), i))
             i = j + 1
             continue
@@ -109,6 +134,8 @@ def tokenize(sql: str) -> list[Token]:
             tokens.append(Token(kind, word, i))
             i = j
             continue
-        raise SQLParseError(f"unexpected character {ch!r} at position {i}")
+        raise SQLParseError(
+            f"unexpected character {ch!r} at position {i}", source=sql, position=i
+        )
     tokens.append(Token("EOF", "", n))
     return tokens

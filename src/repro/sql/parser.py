@@ -14,6 +14,16 @@ Supported statement forms::
     SELECT S2T(flights);
     SELECT TRACLUS(flights, 4.0, 3);
     SELECT SUMMARY(flights);
+    EXPLAIN SELECT S2T(flights, :sigma);
+
+Every literal position also accepts a parameter placeholder — positional
+``?`` or named ``:name`` — which parses into a
+:class:`~repro.sql.ast.Parameter` and is bound later (cursor ``execute``
+params, :meth:`~repro.sql.plan.LogicalPlan.bind`).
+
+Parse failures raise :class:`~repro.sql.errors.SQLParseError` carrying the
+statement source and offset, so the message pins the failure with a
+``line L, col C`` header and a caret snippet.
 """
 
 from __future__ import annotations
@@ -22,8 +32,10 @@ from repro.sql.ast import (
     Comparison,
     CreateDataset,
     DropDataset,
+    Explain,
     InsertPoints,
     LoadDataset,
+    Parameter,
     SelectCount,
     SelectFunction,
     SelectPoints,
@@ -33,15 +45,20 @@ from repro.sql.ast import (
 from repro.sql.errors import SQLParseError
 from repro.sql.lexer import Token, tokenize
 
-__all__ = ["parse"]
+__all__ = ["parse", "parse_script"]
 
 _POINT_COLUMNS = {"obj_id", "traj_id", "x", "y", "t"}
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]) -> None:
+    def __init__(self, tokens: list[Token], source: str = "") -> None:
         self._tokens = tokens
         self._pos = 0
+        self._source = source
+        self._param_counter = 0
+
+    def _error(self, message: str, position: int) -> SQLParseError:
+        return SQLParseError(message, source=self._source, position=position)
 
     # -- token utilities ------------------------------------------------------
 
@@ -57,9 +74,8 @@ class _Parser:
         token = self._peek()
         if token.type != type_ or (value is not None and token.value.upper() != value):
             expected = value or type_
-            raise SQLParseError(
-                f"expected {expected} at position {token.position}, got {token.value!r}"
-            )
+            got = repr(token.value) if token.type != "EOF" else "end of statement"
+            raise self._error(f"expected {expected}, got {got}", token.position)
         return self._advance()
 
     def _accept_keyword(self, word: str) -> bool:
@@ -72,35 +88,63 @@ class _Parser:
     def _expect_keyword(self, word: str) -> None:
         if not self._accept_keyword(word):
             token = self._peek()
-            raise SQLParseError(
-                f"expected {word} at position {token.position}, got {token.value!r}"
-            )
+            got = repr(token.value) if token.type != "EOF" else "end of statement"
+            raise self._error(f"expected {word}, got {got}", token.position)
 
     # -- entry point ------------------------------------------------------------
 
     def parse_statement(self) -> Statement:
-        token = self._peek()
-        if token.type != "KEYWORD":
-            raise SQLParseError(f"statement must start with a keyword, got {token.value!r}")
-        word = token.value.upper()
-        if word == "CREATE":
-            statement = self._parse_create()
-        elif word == "DROP":
-            statement = self._parse_drop()
-        elif word == "SHOW":
-            statement = self._parse_show()
-        elif word == "LOAD":
-            statement = self._parse_load()
-        elif word == "INSERT":
-            statement = self._parse_insert()
-        elif word == "SELECT":
-            statement = self._parse_select()
-        else:
-            raise SQLParseError(f"unsupported statement starting with {word}")
+        statement = self._parse_one()
         if self._peek().type == "SEMI":
             self._advance()
         self._expect("EOF")
         return statement
+
+    def parse_script(self) -> list[Statement]:
+        """Parse a ``;``-separated sequence of statements."""
+        statements: list[Statement] = []
+        while True:
+            while self._peek().type == "SEMI":
+                self._advance()
+            if self._peek().type == "EOF":
+                return statements
+            # Positional '?' placeholders number per statement, not per
+            # script: each statement binds its own parameter sequence.
+            self._param_counter = 0
+            statements.append(self._parse_one())
+            token = self._peek()
+            if token.type == "SEMI":
+                self._advance()
+            elif token.type != "EOF":
+                raise self._error(
+                    f"expected ';' between statements, got {token.value!r}",
+                    token.position,
+                )
+
+    def _parse_one(self) -> Statement:
+        token = self._peek()
+        if token.type != "KEYWORD":
+            raise self._error(
+                f"statement must start with a keyword, got {token.value!r}",
+                token.position,
+            )
+        word = token.value.upper()
+        if word == "EXPLAIN":
+            self._advance()
+            return Explain(self._parse_one())
+        if word == "CREATE":
+            return self._parse_create()
+        if word == "DROP":
+            return self._parse_drop()
+        if word == "SHOW":
+            return self._parse_show()
+        if word == "LOAD":
+            return self._parse_load()
+        if word == "INSERT":
+            return self._parse_insert()
+        if word == "SELECT":
+            return self._parse_select()
+        raise self._error(f"unsupported statement starting with {word}", token.position)
 
     # -- statements -----------------------------------------------------------------
 
@@ -126,7 +170,11 @@ class _Parser:
         self._expect_keyword("DATASET")
         name = self._expect("IDENT").value
         self._expect_keyword("FROM")
-        path = self._expect("STRING").value
+        token = self._peek()
+        if token.type in ("PARAM", "NAMED_PARAM"):
+            path = self._parse_literal()
+        else:
+            path = self._expect("STRING").value
         return LoadDataset(name, path)
 
     def _parse_insert(self) -> Statement:
@@ -157,6 +205,14 @@ class _Parser:
         if token.type == "STRING":
             self._advance()
             return token.value
+        if token.type == "PARAM":
+            self._advance()
+            param = Parameter(index=self._param_counter)
+            self._param_counter += 1
+            return param
+        if token.type == "NAMED_PARAM":
+            self._advance()
+            return Parameter(name=token.value)
         if token.type == "IDENT":
             self._advance()
             # NULL skips an optional positional argument (falls back to the
@@ -164,7 +220,7 @@ class _Parser:
             if token.value.upper() == "NULL":
                 return None
             return token.value
-        raise SQLParseError(f"expected a literal at position {token.position}")
+        raise self._error("expected a literal", token.position)
 
     # -- SELECT ------------------------------------------------------------------------
 
@@ -218,9 +274,12 @@ class _Parser:
                 descending = True
             else:
                 self._accept_keyword("ASC")
-        limit: int | None = None
+        limit: object = None
         if self._accept_keyword("LIMIT"):
-            limit = int(_number(self._expect("NUMBER").value))
+            if self._peek().type in ("PARAM", "NAMED_PARAM"):
+                limit = self._parse_literal()
+            else:
+                limit = int(_number(self._expect("NUMBER").value))
         return SelectPoints(
             dataset=dataset,
             columns=tuple(columns),
@@ -239,10 +298,12 @@ class _Parser:
         return tuple(predicates)
 
     def _parse_predicate(self) -> list[Comparison]:
+        token = self._peek()
         column = self._expect("IDENT").value
         if column not in _POINT_COLUMNS:
-            raise SQLParseError(
-                f"unknown column {column!r}; point tables have columns {sorted(_POINT_COLUMNS)}"
+            raise self._error(
+                f"unknown column {column!r}; point tables have columns {sorted(_POINT_COLUMNS)}",
+                token.position,
             )
         token = self._peek()
         if token.type == "KEYWORD" and token.value.upper() == "BETWEEN":
@@ -253,7 +314,7 @@ class _Parser:
             return [Comparison(column, ">=", low), Comparison(column, "<=", high)]
         op_map = {"EQ": "=", "NE": "!=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">="}
         if token.type not in op_map:
-            raise SQLParseError(f"expected a comparison operator at position {token.position}")
+            raise self._error("expected a comparison operator", token.position)
         self._advance()
         value = self._parse_literal()
         return [Comparison(column, op_map[token.type], value)]
@@ -266,4 +327,13 @@ def _number(text: str) -> float | int:
 
 def parse(sql: str) -> Statement:
     """Parse one SQL statement into its AST."""
-    return _Parser(tokenize(sql)).parse_statement()
+    return _Parser(tokenize(sql), sql).parse_statement()
+
+
+def parse_script(sql: str) -> list[Statement]:
+    """Parse a ``;``-separated script into its statement ASTs.
+
+    Splitting is token-aware: a ``;`` inside a string literal does not end a
+    statement (the old string-``split`` behaviour did break on those).
+    """
+    return _Parser(tokenize(sql), sql).parse_script()

@@ -10,6 +10,16 @@ from repro.hermes.mod import MOD
 from repro.hermes.trajectory import Trajectory
 
 
+def run_sql(engine, sql: str, params=None) -> list[dict]:
+    """Execute one SQL statement over an engine through the public API v1.
+
+    Test helper replacing the deprecated ``engine.sql(...)`` shim.
+    """
+    from repro.api import Connection
+
+    return Connection(engine=engine).execute(sql, params).fetchall()
+
+
 def make_linear_trajectory(
     obj_id: str = "obj",
     traj_id: str = "0",

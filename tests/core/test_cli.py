@@ -1,0 +1,56 @@
+"""CLI parameter coercion and one-shot statement driving."""
+
+from repro.cli import _coerce_param, main_sql
+
+
+class TestCoerceParam:
+    def test_numbers(self):
+        assert _coerce_param("5") == 5
+        assert _coerce_param("2.5") == 2.5
+        assert _coerce_param("1e3") == 1000.0
+
+    def test_plain_strings(self):
+        assert _coerce_param("obj1") == "obj1"
+
+    def test_quoting_forces_string(self):
+        assert _coerce_param("'123'") == "123"
+        assert _coerce_param('"007"') == "007"
+
+    def test_large_integers_exact(self):
+        assert _coerce_param("9007199254740993") == 9007199254740993
+
+
+class TestMainSql:
+    def test_one_shot_with_bound_params(self, capsys):
+        rc = main_sql(
+            [
+                "--demo", "lanes", "--dataset", "lanes", "--n", "8",
+                "--param", "wi=0", "--param", "we=2000",
+                "SELECT QUT(lanes, :wi, :we)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outliers" in out
+
+    def test_explain_renders_unbound_placeholders(self, capsys):
+        rc = main_sql(
+            [
+                "--demo", "lanes", "--dataset", "lanes", "--n", "8",
+                "EXPLAIN SELECT QUT(lanes, :wi, :we)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ":wi" in out and "artifacts[lanes]" in out
+
+    def test_quoted_param_binds_string(self, capsys):
+        rc = main_sql(
+            [
+                "--demo", "lanes", "--dataset", "lanes", "--n", "8",
+                "--param", "o='123'",
+                "SELECT COUNT(*) FROM lanes WHERE obj_id = :o",
+            ]
+        )
+        assert rc == 0
+        assert "count" in capsys.readouterr().out

@@ -7,6 +7,8 @@ from repro.hermes.io import write_csv
 from repro.hermes.types import Period
 from repro.s2t.params import S2TParams
 
+from tests.conftest import run_sql
+
 
 @pytest.fixture
 def engine(lanes_small):
@@ -157,7 +159,7 @@ class TestUnifiedInvalidation:
 
         engine = HermesEngine.in_memory()
         engine.load_mod("data", lanes)
-        first = engine.sql("SELECT S2T(data)")
+        first = run_sql(engine, "SELECT S2T(data)")
         assert first[-1]["cluster_id"] == "outliers"
         engine.retratree("data")
 
@@ -165,9 +167,9 @@ class TestUnifiedInvalidation:
         assert engine.datasets() == []
 
         engine.load_mod("data", flights)
-        second = engine.sql("SELECT SUMMARY(data)")
+        second = run_sql(engine, "SELECT SUMMARY(data)")
         assert second[0]["trajectories"] == len(flights)
-        third = engine.sql("SELECT S2T(data)")
+        third = run_sql(engine, "SELECT S2T(data)")
         assert third[-1]["cluster_id"] == "outliers"
         # The frame and tree now describe the reloaded dataset.
         assert len(engine.frame("data")) == len(flights)
@@ -176,13 +178,13 @@ class TestUnifiedInvalidation:
     def test_drop_clears_sql_buffered_state(self, lanes_small):
         lanes, _ = lanes_small
         engine = HermesEngine.in_memory()
-        engine.sql("CREATE DATASET scratch")
-        engine.sql("INSERT INTO scratch VALUES ('a', '0', 0.0, 0.0, 0.0)")
+        run_sql(engine, "CREATE DATASET scratch")
+        run_sql(engine, "INSERT INTO scratch VALUES ('a', '0', 0.0, 0.0, 0.0)")
         engine.drop("scratch")
         # Recreate: the single buffered point of the dropped incarnation
         # must not leak into the new one.
-        engine.sql("CREATE DATASET scratch")
-        engine.sql("INSERT INTO scratch VALUES ('b', '0', 1.0, 1.0, 1.0)")
-        engine.sql("INSERT INTO scratch VALUES ('b', '0', 2.0, 2.0, 2.0)")
-        rows = engine.sql("SELECT obj_id FROM scratch")
+        run_sql(engine, "CREATE DATASET scratch")
+        run_sql(engine, "INSERT INTO scratch VALUES ('b', '0', 1.0, 1.0, 1.0)")
+        run_sql(engine, "INSERT INTO scratch VALUES ('b', '0', 2.0, 2.0, 2.0)")
+        rows = run_sql(engine, "SELECT obj_id FROM scratch")
         assert {row["obj_id"] for row in rows} == {"b"}

@@ -19,6 +19,8 @@ from repro.qut.params import QuTParams
 from repro.qut.retratree import ReTraTree
 from repro.storage.catalog import MANIFEST_FILENAME
 
+from tests.conftest import run_sql
+
 
 def query_window(mod, lo=0.2, hi=0.7):
     period = mod.period
@@ -90,12 +92,12 @@ class TestRestartRecovery:
     def test_cold_engine_answers_sql(self, warm, tmp_path):
         engine, mod = warm
         cold = HermesEngine.on_disk(tmp_path / "engine")
-        rows = cold.sql("SELECT SUMMARY(lanes)")
+        rows = run_sql(cold, "SELECT SUMMARY(lanes)")
         assert rows[0]["trajectories"] == len(mod)
-        shown = cold.sql("SHOW DATASETS")
+        shown = run_sql(cold, "SHOW DATASETS")
         assert shown == [{"dataset": "lanes", "persisted": True}]
         period = mod.period
-        result = cold.sql(f"SELECT QUT(lanes, {period.tmin}, {period.tmax})")
+        result = run_sql(cold, f"SELECT QUT(lanes, {period.tmin}, {period.tmax})")
         assert result[-1]["cluster_id"] == "outliers"
 
     def test_recovered_tree_accepts_new_insertions(self, warm, tmp_path):
@@ -266,7 +268,7 @@ class TestDropReclaimsDisk:
 
     def test_sql_drop_reclaims_disk(self, warm, tmp_path):
         engine, _ = warm
-        engine.sql("DROP DATASET lanes")
+        run_sql(engine, "DROP DATASET lanes")
         assert not (tmp_path / "engine" / "lanes").exists()
 
 
@@ -316,4 +318,4 @@ class TestManifestHygiene:
         engine.load_mod("lanes", mod)
         engine.retratree("lanes")
         assert not engine.is_persisted("lanes")
-        assert engine.sql("SHOW DATASETS") == [{"dataset": "lanes"}]
+        assert run_sql(engine, "SHOW DATASETS") == [{"dataset": "lanes"}]

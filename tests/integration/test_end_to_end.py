@@ -15,6 +15,8 @@ from repro.hermes.types import Period
 from repro.s2t import S2TClustering
 from repro.va import cluster_map_layers, cluster_time_histogram, compare_runs, export_geojson
 
+from tests.conftest import run_sql
+
 
 class TestScenario1Workflow:
     """The paper's 'in action phase - scenario 1'."""
@@ -95,11 +97,11 @@ class TestScenario2Workflow:
         engine = HermesEngine.in_memory()
         engine.load_mod("flights", mod)
         period = mod.period
-        rows = engine.sql(
+        rows = run_sql(engine, 
             f"SELECT QUT(flights, {period.tmin + 0.5 * period.duration}, {period.tmax})"
         )
         assert rows[-1]["cluster_id"] == "outliers"
-        histogram_rows = engine.sql("SELECT CLUSTER_HISTOGRAM(flights, 8)")
+        histogram_rows = run_sql(engine, "SELECT CLUSTER_HISTOGRAM(flights, 8)")
         assert isinstance(histogram_rows, list)
 
 

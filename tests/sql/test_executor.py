@@ -107,10 +107,51 @@ class TestInsertAndPointQueries:
             executor.execute("SELECT x FROM ghost")
 
     def test_execute_script_runs_multiple_statements(self, executor):
-        results = executor.execute_script(
-            "CREATE DATASET s; INSERT INTO s VALUES ('a','0',0,0,0),('a','0',1,1,1); SHOW DATASETS;"
+        results = list(
+            executor.execute_script(
+                "CREATE DATASET s; INSERT INTO s VALUES ('a','0',0,0,0),('a','0',1,1,1); SHOW DATASETS;"
+            )
         )
         assert len(results) == 3
+
+    def test_execute_script_is_lazy(self, executor, engine):
+        """Statements run as the generator advances, one result set at a time."""
+        script = executor.execute_script("CREATE DATASET lazy; SHOW DATASETS;")
+        assert "lazy" not in engine.datasets()  # nothing ran yet
+        assert next(script) == [{"created": "lazy"}]
+        assert "lazy" in engine.datasets()
+        assert {"dataset": "lazy"} in next(script)
+
+    def test_execute_script_semicolon_inside_string(self, executor, engine):
+        """Token-aware splitting: ';' in a string literal is data."""
+        results = list(
+            executor.execute_script(
+                "CREATE DATASET semi; "
+                "INSERT INTO semi VALUES ('a;b', '0', 0, 0, 0), ('a;b', '0', 1, 1, 1)"
+            )
+        )
+        assert results[1] == [{"inserted": 2}]
+        assert engine.get_mod("semi").get(("a;b", "0")).num_points == 2
+
+    def test_execute_with_named_params(self, executor, lanes_small):
+        mod, _ = lanes_small
+        midpoint = (mod.period.tmin + mod.period.tmax) / 2
+        direct = executor.execute(f"SELECT COUNT(*) FROM lanes WHERE t >= {midpoint}")
+        bound = executor.execute(
+            "SELECT COUNT(*) FROM lanes WHERE t >= :t0", {"t0": midpoint}
+        )
+        assert bound == direct
+
+    def test_execute_with_positional_params(self, executor):
+        rows = executor.execute(
+            "SELECT obj_id FROM lanes WHERE t BETWEEN ? AND ? LIMIT 3", [0.0, 1e9]
+        )
+        assert len(rows) == 3
+
+    def test_explain_statement_returns_plan_rows(self, executor):
+        rows = executor.execute("EXPLAIN SELECT S2T(lanes)")
+        assert rows[0]["plan"].startswith("S2TPlan(")
+        assert any(line["plan"].startswith("artifacts[lanes]") for line in rows)
 
 
 class TestClusteringFunctions:
@@ -161,8 +202,9 @@ class TestClusteringFunctions:
         with pytest.raises(SQLExecutionError):
             executor.execute("SELECT S2T(42)")
 
-    def test_engine_sql_shortcut(self, engine):
-        rows = engine.sql("SELECT SUMMARY(lanes)")
+    def test_engine_sql_shortcut_is_deprecated_shim(self, engine):
+        with pytest.deprecated_call():
+            rows = engine.sql("SELECT SUMMARY(lanes)")
         assert rows[0]["dataset"] == "lanes"
 
 

@@ -72,3 +72,46 @@ class TestTokenize:
         token = Token("IDENT", "x", 0)
         with pytest.raises(AttributeError):
             token.value = "y"  # type: ignore[misc]
+
+
+class TestParameterTokens:
+    def test_positional_placeholder(self):
+        tokens = tokenize("SELECT QUT(d, ?, ?)")
+        params = [t for t in tokens if t.type == "PARAM"]
+        assert len(params) == 2
+        assert all(t.value == "?" for t in params)
+
+    def test_named_placeholder(self):
+        tokens = tokenize("WHERE t >= :t0 AND x < :x_max")
+        named = [t for t in tokens if t.type == "NAMED_PARAM"]
+        assert [t.value for t in named] == ["t0", "x_max"]
+
+    def test_named_placeholder_position_points_at_colon(self):
+        tokens = tokenize("SELECT :sigma")
+        named = next(t for t in tokens if t.type == "NAMED_PARAM")
+        assert named.position == 7
+
+    def test_bare_colon_rejected_with_position(self):
+        with pytest.raises(SQLParseError, match="parameter name") as excinfo:
+            tokenize("SELECT : FROM d")
+        assert "line 1, col 8" in str(excinfo.value)
+
+    def test_colon_inside_string_is_data(self):
+        tokens = tokenize("SELECT ':notaparam'")
+        assert tokens[1].type == "STRING"
+        assert tokens[1].value == ":notaparam"
+
+
+class TestErrorPositions:
+    def test_unexpected_character_renders_caret(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            tokenize("SELECT @ FROM d")
+        err = excinfo.value
+        assert (err.line, err.col) == (1, 8)
+        snippet_line, caret_line = str(err).splitlines()[1:3]
+        assert caret_line.index("^") == snippet_line.index("@")
+
+    def test_unterminated_string_points_at_opening_quote(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            tokenize("SELECT 'oops")
+        assert "line 1, col 8" in str(excinfo.value)

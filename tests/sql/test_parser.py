@@ -128,6 +128,85 @@ class TestSelectPoints:
             parse("SELECT x FROM d WHERE altitude > 3")
 
 
+class TestExplain:
+    def test_explain_wraps_statement(self):
+        from repro.sql.ast import Explain
+
+        statement = parse("EXPLAIN SELECT S2T(flights)")
+        assert statement == Explain(SelectFunction("S2T", ("flights",)))
+
+    def test_explain_any_statement_form(self):
+        from repro.sql.ast import Explain
+
+        assert parse("EXPLAIN SHOW DATASETS") == Explain(ShowDatasets())
+        assert parse("explain drop dataset d;") == Explain(DropDataset("d"))
+
+
+class TestParameters:
+    def test_named_parameters_in_function_args(self):
+        from repro.sql.ast import Parameter
+
+        statement = parse("SELECT QUT(flights, :wi, :we)")
+        assert statement.args == ("flights", Parameter(name="wi"), Parameter(name="we"))
+
+    def test_positional_parameters_numbered_in_order(self):
+        from repro.sql.ast import Parameter
+
+        statement = parse("SELECT QUT(flights, ?, ?, ?)")
+        assert statement.args == (
+            "flights",
+            Parameter(index=0),
+            Parameter(index=1),
+            Parameter(index=2),
+        )
+
+    def test_parameter_in_predicate_and_insert(self):
+        from repro.sql.ast import Parameter
+
+        statement = parse("SELECT x FROM d WHERE t >= :t0")
+        assert statement.predicates == (Comparison("t", ">=", Parameter(name="t0")),)
+        statement = parse("INSERT INTO d VALUES (:o, '0', ?, ?, ?)")
+        assert statement.rows[0][0] == Parameter(name="o")
+
+    def test_parameter_as_load_path(self):
+        from repro.sql.ast import Parameter
+
+        assert parse("LOAD DATASET d FROM :path") == LoadDataset("d", Parameter(name="path"))
+
+
+class TestParseScript:
+    def test_splits_statements(self):
+        from repro.sql.parser import parse_script
+
+        statements = parse_script("SHOW DATASETS; CREATE DATASET d;")
+        assert statements == [ShowDatasets(), CreateDataset("d")]
+
+    def test_semicolon_inside_string_is_data(self):
+        from repro.sql.parser import parse_script
+
+        statements = parse_script("INSERT INTO d VALUES ('a;b', '0', 1, 2, 3)")
+        assert statements == [InsertPoints("d", (("a;b", "0", 1, 2, 3),))]
+
+    def test_positional_params_number_per_statement(self):
+        from repro.sql.ast import Parameter
+        from repro.sql.parser import parse_script
+
+        first, second = parse_script("SELECT QUT(d, ?, ?); SELECT QUT(e, ?, ?)")
+        assert first.args[1:] == (Parameter(index=0), Parameter(index=1))
+        assert second.args[1:] == (Parameter(index=0), Parameter(index=1))
+
+    def test_empty_script(self):
+        from repro.sql.parser import parse_script
+
+        assert parse_script("  ;;  ") == []
+
+    def test_missing_separator_rejected(self):
+        from repro.sql.parser import parse_script
+
+        with pytest.raises(SQLParseError, match="between statements"):
+            parse_script("SHOW DATASETS CREATE DATASET d")
+
+
 class TestParseErrors:
     def test_garbage_statement(self):
         with pytest.raises(SQLParseError):
@@ -144,3 +223,31 @@ class TestParseErrors:
     def test_statement_must_start_with_keyword(self):
         with pytest.raises(SQLParseError):
             parse("flights SELECT")
+
+    def test_error_carries_line_and_col(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            parse("SELECT obj_id FRM lanes")
+        err = excinfo.value
+        assert (err.line, err.col) == (1, 15)
+        assert "line 1, col 15" in str(err)
+
+    def test_error_renders_caret_snippet(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            parse("SELECT obj_id FRM lanes")
+        message = str(excinfo.value)
+        snippet_line, caret_line = message.splitlines()[1:3]
+        assert snippet_line.strip() == "SELECT obj_id FRM lanes"
+        assert caret_line.index("^") == snippet_line.index("FRM")
+
+    def test_error_position_on_later_line(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            parse("SELECT obj_id\nFROM lanes\nWHERE altitude > 3")
+        err = excinfo.value
+        assert err.line == 3
+        assert "unknown column" in str(err)
+        snippet_line, caret_line = str(err).splitlines()[1:3]
+        assert caret_line.index("^") == snippet_line.index("altitude")
+
+    def test_eof_error_names_end_of_statement(self):
+        with pytest.raises(SQLParseError, match="end of statement"):
+            parse("CREATE DATASET")
