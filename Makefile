@@ -1,0 +1,20 @@
+PYTHON ?= python
+
+.PHONY: test docs docs-strict bench-ingest clean-docs
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Build the documentation site (strict: warnings are errors).
+docs:
+	$(PYTHON) docs/build_docs.py
+
+# Lenient variant for drafting.
+docs-draft:
+	$(PYTHON) docs/build_docs.py --no-strict
+
+bench-ingest:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_ingest.py -q -s
+
+clean-docs:
+	rm -rf docs/_site docs/_mkdocs_site

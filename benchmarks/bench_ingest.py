@@ -1,0 +1,77 @@
+"""Incremental ingestion vs full rebuild (the append-path tentpole).
+
+The full run feeds a medium lanes scenario through ``engine.append`` in
+batches and compares the cost of serving QuT after every batch against a
+build-once world that reloads and bulk-builds from scratch each time.  The
+report lands in ``BENCH_ingest.json``; acceptance floors: exactly one bulk
+load on the incremental side, final answers within the assignment tolerance
+(ARI), and append+query strictly beating full rebuild in total.  The smoke
+variant (the CI gate) asserts only structure and equivalence, so
+shared-runner timing noise cannot fail CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import format_table
+from repro.eval.ingest_bench import run_ingest_benchmark, write_report
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+
+def _print_report(report: dict, title: str) -> None:
+    rows = []
+    for i, (inc, reb) in enumerate(
+        zip(report["incremental"]["steps"], report["rebuild"]["steps"])
+    ):
+        rows.append(
+            {
+                "batch": i,
+                "trajs": inc["trajectories"],
+                "append_s": round(inc["append_s"], 4),
+                "query_s": round(inc["query_s"], 4),
+                "rebuild_s": round(reb["build_s"], 4),
+                "rebuild_query_s": round(reb["query_s"], 4),
+            }
+        )
+    print()
+    print(format_table(rows, title=title))
+    print(
+        f"totals: incremental {report['incremental']['total_s']:.3f}s vs "
+        f"rebuild {report['rebuild']['total_s']:.3f}s "
+        f"(speedup {report['speedup_vs_rebuild']:.2f}x, "
+        f"ARI {report['final_similarity_ari']:.3f})"
+    )
+
+
+@pytest.mark.repro("E8")
+def test_ingest_append_vs_rebuild_medium():
+    report = run_ingest_benchmark(
+        scenario="lanes", n_trajectories=80, n_samples=50, seed=1, n_batches=4
+    )
+    _print_report(report, "Incremental ingestion: medium lanes scenario")
+    write_report(report, REPORT_PATH)
+    print(f"report written to {REPORT_PATH}")
+
+    # The incremental side bulk-loads exactly once; every batch after that
+    # is absorbed, never rebuilt.
+    assert report["incremental"]["build_calls"] == 1
+    assert report["rebuild"]["build_calls"] == len(report["rebuild"]["steps"])
+    # The answers agree within the paper's assignment tolerance.
+    assert report["final_similarity_ari"] >= 0.6
+    # Acceptance floor: append+query beats the rebuild world in total.
+    assert report["speedup_vs_rebuild"] > 1.0
+
+
+@pytest.mark.repro("E8")
+def test_ingest_smoke_small():
+    """Small-scenario smoke run (the CI gate): structure + equivalence only."""
+    report = run_ingest_benchmark(
+        scenario="lanes", n_trajectories=20, n_samples=30, seed=2, n_batches=2
+    )
+    assert report["incremental"]["build_calls"] == 1
+    assert report["final_similarity_ari"] >= 0.0
+    for step in report["incremental"]["steps"]:
+        assert step["append_s"] >= 0.0 and step["query_s"] >= 0.0
+    write_report(report, REPORT_PATH.with_name("BENCH_ingest_smoke.json"))

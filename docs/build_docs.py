@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Build the documentation site: thin wrapper over :mod:`repro.docsgen`.
+
+Kept next to the sources so ``python docs/build_docs.py`` works from a
+checkout without installing the package; the installed console script
+``repro-docs`` and ``make docs`` run the same builder.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Build ``docs/`` into ``docs/_site`` (strict by default)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.docsgen import main as docsgen_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if not any(arg.startswith("--source") for arg in argv):
+        argv = ["--source", str(REPO_ROOT / "docs"), *argv]
+    return docsgen_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,30 @@ def main() -> None:
     print("EXPLAIN SELECT QUT(flights, :wi, :we):")
     print(stmt.explain())
 
+    # 7. Continuous ingestion: newly arriving flights are APPENDED — the
+    #    cached frame grows in place and the ReTraTree absorbs the batch
+    #    (voting against existing representatives); no rebuild happens.
+    late_arrivals, _ = aircraft_scenario(n_trajectories=6, seed=7)
+    batch = [
+        type(t)(f"late-{t.obj_id}", t.traj_id, t.xs, t.ys, t.ts)
+        for t in late_arrivals.trajectories()
+    ]
+    report = conn.dataset("flights").append(batch)
+    print()
+    print(
+        f"appended {report.trajectories} trajectories "
+        f"({report.points} points) in {report.seconds:.3f}s — "
+        f"tree maintained: {report.tree_maintained}, "
+        f"pieces absorbed: {report.tree_counters['pieces']}"
+    )
+    qut_after = engine.qut("flights", window)
+    print(
+        format_table(
+            [qut_after.summary()],
+            title="QuT after the append (same tree, no bulk rebuild)",
+        )
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -44,9 +44,12 @@ from __future__ import annotations
 
 from collections import deque
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.engine import HermesEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ingest import AppendReport
 from repro.sql.ast import Comparison
 from repro.sql.errors import SQLError
 from repro.sql.executor import iter_script
@@ -135,6 +138,7 @@ class Connection:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this connection."""
         return self._closed
 
     def close(self) -> None:
@@ -622,6 +626,39 @@ class Dataset:
     def load(self, path: str | Path) -> "Query":
         """``LOAD DATASET D FROM 'path'``."""
         return Query(self.connection, LoadPlan(self.name, str(path)))
+
+    def append(self, trajectories) -> "AppendReport":
+        """Append new trajectories through the ingestion fast path.
+
+        Unlike the other builders this executes immediately (trajectory
+        objects are not plan-serialisable): the batch goes straight to
+        :meth:`repro.core.engine.HermesEngine.append`, which extends the
+        dataset, maintains the cached frame and ReTraTree incrementally,
+        bumps the generation token (so memoised prepared-statement results
+        over this dataset recompute) and, on a durable engine, commits a
+        delta partition.
+
+        Parameters
+        ----------
+        trajectories:
+            An iterable of new :class:`~repro.hermes.trajectory.Trajectory`
+            objects, or a delta :class:`~repro.hermes.frame.MODFrame`.
+
+        Returns
+        -------
+        The engine's :class:`~repro.core.ingest.AppendReport`.
+
+        Raises
+        ------
+        KeyError
+            If the dataset is not registered.
+        ValueError
+            If a key already exists in the dataset (append SQL point
+            records through ``INSERT`` instead, which falls back to a
+            rebuild for existing keys).
+        """
+        self.connection._check_open()
+        return self.connection.engine.append(self.name, trajectories)
 
 
 class Query:

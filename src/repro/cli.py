@@ -13,6 +13,11 @@
 * ``repro-bench-qut`` — run the QuT window-restriction benchmark (batched
   frame slicing vs the per-member loop) and write the ``BENCH_qut.json``
   report.
+* ``repro-bench-ingest`` — run the incremental-ingestion benchmark (append
+  path vs full rebuild) and write the ``BENCH_ingest.json`` report.
+* ``repro-docs`` — build the documentation site from ``docs/`` (strict: any
+  warning — missing docstring, undocumented SQL statement, broken link —
+  fails the build).
 """
 
 from __future__ import annotations
@@ -21,7 +26,14 @@ import argparse
 import json
 import sys
 
-__all__ = ["main_sql", "main_bench_voting", "main_bench_pipeline", "main_bench_qut"]
+__all__ = [
+    "main_sql",
+    "main_bench_voting",
+    "main_bench_pipeline",
+    "main_bench_qut",
+    "main_bench_ingest",
+    "main_docs",
+]
 
 
 def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
@@ -285,6 +297,52 @@ def main_bench_qut(argv: list[str] | None = None) -> int:
     path = write_report(report, args.out)
     print(f"report written to {path}", file=sys.stderr)
     return 0
+
+
+def main_bench_ingest(argv: list[str] | None = None) -> int:
+    """Run the ingestion benchmark and write BENCH_ingest.json."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-ingest",
+        description=(
+            "Benchmark incremental append-path ingestion (ReTraTree "
+            "maintenance) against load-everything-and-rebuild."
+        ),
+    )
+    parser.add_argument("--scenario", choices=("aircraft", "lanes"), default="lanes")
+    parser.add_argument("--trajectories", type=int, default=80)
+    parser.add_argument("--samples", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--base-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of trajectories loaded up front (the rest is appended)",
+    )
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_ingest.json")
+    args = parser.parse_args(argv)
+
+    from repro.eval.ingest_bench import run_ingest_benchmark, write_report
+
+    report = run_ingest_benchmark(
+        scenario=args.scenario,
+        n_trajectories=args.trajectories,
+        n_samples=args.samples,
+        seed=args.seed,
+        base_fraction=args.base_fraction,
+        n_batches=args.batches,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    path = write_report(report, args.out)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+def main_docs(argv: list[str] | None = None) -> int:
+    """Build the documentation site (see :mod:`repro.docsgen`)."""
+    from repro.docsgen import main as docsgen_main
+
+    return docsgen_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - direct execution helper

@@ -10,10 +10,21 @@ only as a deprecated shim over a default connection.
 time-aware analysis workflow of the paper's scenario 2.
 :func:`~repro.core.parallel.partitioned_s2t` is the partition-parallel S2T
 scheduler behind ``HermesEngine.s2t(name, n_jobs=...)``.
+:class:`~repro.core.ingest.IngestPipeline` (behind ``HermesEngine.append``)
+is the append-path ingestion subsystem: batches of new trajectories extend
+the cached frame and ReTraTree incrementally instead of invalidating them.
 """
 
 from repro.core.engine import HermesEngine
+from repro.core.ingest import AppendBuffer, AppendReport, IngestPipeline
 from repro.core.parallel import partitioned_s2t
 from repro.core.session import ProgressiveSession
 
-__all__ = ["HermesEngine", "ProgressiveSession", "partitioned_s2t"]
+__all__ = [
+    "AppendBuffer",
+    "AppendReport",
+    "HermesEngine",
+    "IngestPipeline",
+    "ProgressiveSession",
+    "partitioned_s2t",
+]

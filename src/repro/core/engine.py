@@ -13,10 +13,15 @@ dataset name, and the per-dataset derived state is cached:
 
 Both caches — plus the SQL executor's INSERT buffers — are invalidated
 together whenever a dataset is replaced (``load_mod``) or removed
-(``drop``); SQL ``INSERT`` re-materialisation goes through ``load_mod`` and
-therefore invalidates too.  Each mutation bumps the dataset's *generation*
-token, which is how the SQL executor detects externally replaced datasets.
-The SQL front-end (:mod:`repro.sql`) executes against an engine instance.
+(``drop``).  Each mutation bumps the dataset's *generation* token, which is
+how the SQL executor detects externally replaced datasets.  The SQL
+front-end (:mod:`repro.sql`) executes against an engine instance.
+
+Appending (:meth:`HermesEngine.append`, the path SQL ``INSERT`` for *new*
+trajectories takes) is different: nothing is invalidated.  The cached frame
+grows in place, a cached ReTraTree absorbs the batch incrementally
+(:mod:`repro.core.ingest`), and only the generation token moves — so
+memoised results recompute while the expensive derived state survives.
 
 Durability
 ----------
@@ -44,6 +49,7 @@ In-memory engines skip all of this; their partitions die with the process.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
 from repro.baselines.range_then_cluster import RangeThenCluster
@@ -64,11 +70,20 @@ from repro.s2t.result import ClusteringResult
 from repro.storage.catalog import MANIFEST_FILENAME, StorageManager
 from repro.storage.records import encode_record
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ingest import AppendReport
+
 __all__ = ["HermesEngine"]
 
-# Manifest layout version; bump on incompatible changes so stale directories
-# fail loudly instead of recovering garbage.
-MANIFEST_FORMAT = 1
+# Manifest layout version written by this engine.  Version 2 added
+# append-path delta partitions (``deltas``), the tree's ``dataset_state``
+# snapshot and staged representatives partitions.  Version-1 manifests are
+# still *read* — every v2 field degrades to a sensible default (no deltas; a
+# tree without ``dataset_state`` counts as stale and rebuilds) — so existing
+# stores stay reachable after an upgrade; anything else is skipped at
+# recovery so a future incompatible layout never recovers garbage.
+MANIFEST_FORMAT = 2
+READABLE_MANIFEST_FORMATS = (1, 2)
 
 
 class HermesEngine:
@@ -93,6 +108,13 @@ class HermesEngine:
         self._last_results: dict[str, ClusteringResult] = {}
         self._generations: dict[str, int] = {}
         self._generation_counter = 0
+        # Append batches applied per dataset since its last (re)load; purely
+        # observability (EXPLAIN's artifact lines), reset on replacement.
+        self._append_batches: dict[str, int] = {}
+        # Generation at the last *replacement* (load_mod/drop) per dataset;
+        # appends bump _generations but not this (see
+        # dataset_replacement_generation).
+        self._replacements: dict[str, int] = {}
         self._plan_executor = None
         self._default_connection = None
         # Per-dataset storage managers (on-disk engines only); the ReTraTree
@@ -173,8 +195,70 @@ class HermesEngine:
             # on-disk manager stays open for the successor's persist.
             tree.storage.close()
         self._last_results.pop(name, None)
+        self._append_batches.pop(name, None)
         self._generation_counter += 1
         self._generations[name] = self._generation_counter
+        self._replacements[name] = self._generation_counter
+
+    def dataset_replacement_generation(self, name: str) -> int:
+        """Token bumped only when dataset ``name`` is *replaced* or dropped.
+
+        Appends do not move it: consumers whose buffered state survives an
+        append but not a replacement (the SQL executor's incomplete-point
+        buffers) key on this instead of :meth:`dataset_generation`, which
+        moves on every mutation including appends.
+        """
+        return self._replacements.get(name, 0)
+
+    def _note_append(self, name: str) -> None:
+        """Record an append: bump the generation *without* evicting caches.
+
+        The generation move is what makes consumers that memoise by
+        generation (prepared-statement result caches, the SQL executor's
+        point buffers) recompute against the extended dataset; the frame
+        and tree caches were maintained in place by the ingestion pipeline
+        and stay.
+        """
+        self._append_batches[name] = self._append_batches.get(name, 0) + 1
+        self._generation_counter += 1
+        self._generations[name] = self._generation_counter
+
+    def append(self, name: str, trajectories) -> "AppendReport":
+        """Append new trajectories to a dataset without invalidating caches.
+
+        This is the ingestion fast path (see :mod:`repro.core.ingest`): the
+        registered MOD is replaced by an extended snapshot, the cached
+        columnar frame grows through the delta-concat path, a cached
+        ReTraTree absorbs the batch incrementally (voting against existing
+        representatives; no bulk rebuild), and on a durable engine the batch
+        is committed as a delta heapfile partition.  Open cursors streaming
+        the dataset keep their pre-append view.
+
+        Parameters
+        ----------
+        name:
+            A registered dataset name.
+        trajectories:
+            An iterable of new :class:`~repro.hermes.trajectory.Trajectory`
+            objects (or a delta :class:`~repro.hermes.frame.MODFrame`).
+            Keys must not already exist in the dataset.
+
+        Returns
+        -------
+        An :class:`~repro.core.ingest.AppendReport` describing what the
+        batch did.  An empty batch is a complete no-op.
+
+        Raises
+        ------
+        KeyError
+            If ``name`` is not registered.
+        ValueError
+            If a batch key collides with an existing trajectory or repeats
+            within the batch.
+        """
+        from repro.core.ingest import IngestPipeline
+
+        return IngestPipeline(self).append(name, trajectories)
 
     def load_csv(self, name: str, path: str | Path) -> MOD:
         """Load a point-record CSV and register it under ``name``."""
@@ -456,6 +540,97 @@ class HermesEngine:
             return None
         return manifest if isinstance(manifest, dict) else None
 
+    @staticmethod
+    def _dataset_partitions(manifest: dict) -> list[str]:
+        """The partitions archiving a dataset: the base plus every delta.
+
+        This list doubles as the *dataset state* identity the persisted
+        tree records (see :meth:`_persist_tree`): a tree serialised against
+        one state is stale for any other.
+        """
+        partitions = []
+        base = manifest.get("frame_partition")
+        if isinstance(base, str):
+            partitions.append(base)
+        for delta in manifest.get("deltas") or []:
+            if isinstance(delta, dict) and isinstance(delta.get("partition"), str):
+                partitions.append(delta["partition"])
+        return partitions
+
+    @staticmethod
+    def _fresh_suffixed_partition(
+        storage: StorageManager, stem: str, start: int, taken: set[str]
+    ) -> str:
+        """``<stem><N>`` for the first ``N >= start`` nothing else uses.
+
+        Skips names in ``taken`` (referenced by the committed manifest),
+        open in the manager, or present as stale ``.part`` files from a
+        crashed earlier attempt — staging must never write into a file a
+        committed manifest still points at.
+        """
+        counter = start
+        while True:
+            partition = f"{stem}{counter}"
+            stale_file = (
+                storage.directory is not None
+                and (storage.directory / f"{partition}.part").exists()
+            )
+            if partition not in taken and not storage.has(partition) and not stale_file:
+                return partition
+            counter += 1
+
+    def _fresh_dataset_partition(
+        self, storage: StorageManager, name: str, taken: set[str]
+    ) -> str:
+        """A generation-suffixed dataset partition name nothing else uses.
+
+        Skips names referenced by the current manifest (``taken``), open in
+        the manager, or present as stale ``.part`` files from a crashed
+        earlier attempt.
+        """
+        return self._fresh_suffixed_partition(
+            storage, f"{name}__dataset_g", self._generations.get(name, 0), taken
+        )
+
+    def _stage_tree_manifest(
+        self, storage: StorageManager, name: str, manifest: dict, tree
+    ) -> None:
+        """Serialise ``tree`` into ``manifest`` via a *fresh* reps partition.
+
+        The representatives partition a committed manifest references is
+        never rewritten in place: the new records stage into a
+        generation-suffixed ``<name>__reps_g<N>`` partition, so a crash
+        before the manifest commit leaves the old manifest's representative
+        RIDs resolving against untouched records.  The superseded reps
+        partition is reclaimed by :meth:`_sweep_stale_reps` after the
+        commit.
+        """
+        old_tree = manifest.get("tree")
+        taken = set()
+        if isinstance(old_tree, dict) and isinstance(old_tree.get("reps_partition"), str):
+            taken.add(old_tree["reps_partition"])
+        taken.add(f"{name}__reps")  # the historical fixed name
+        reps_partition = self._fresh_suffixed_partition(
+            storage, f"{name}__reps_g", self._generations.get(name, 0), taken
+        )
+        tree_manifest = tree.to_manifest(reps_partition=reps_partition)
+        tree_manifest["dataset_state"] = self._dataset_partitions(manifest)
+        manifest["tree"] = tree_manifest
+
+    def _sweep_stale_reps(self, storage: StorageManager, name: str, manifest: dict) -> None:
+        """Drop representatives partitions the committed manifest no longer uses."""
+        tree = manifest.get("tree")
+        keep = tree.get("reps_partition") if isinstance(tree, dict) else None
+        for info in list(storage.partitions()):
+            if info.name != keep and (
+                info.name == f"{name}__reps" or info.name.startswith(f"{name}__reps_g")
+            ):
+                storage.drop_partition(info.name)
+        if storage.directory is not None:
+            for path in storage.directory.glob(f"{name}__reps*.part"):
+                if path.stem != keep and not storage.has(path.stem):
+                    path.unlink()
+
     def _sweep_partitions(self, storage: StorageManager, keep: set[str]) -> None:
         """Drop every partition (open or stale on disk) not in ``keep``."""
         for info in list(storage.partitions()):
@@ -490,17 +665,8 @@ class HermesEngine:
         storage = self._dataset_storage(name)
         assert storage is not None
         old_manifest = self._read_manifest_or_none(storage)
-        old_partition = old_manifest.get("frame_partition") if old_manifest else None
-        generation = self._generations.get(name, 0)
-        while True:
-            partition = f"{name}__dataset_g{generation}"
-            stale_file = (
-                storage.directory is not None
-                and (storage.directory / f"{partition}.part").exists()
-            )
-            if partition != old_partition and not storage.has(partition) and not stale_file:
-                break
-            generation += 1
+        taken = set(self._dataset_partitions(old_manifest)) if old_manifest else set()
+        partition = self._fresh_dataset_partition(storage, name, taken)
         info = storage.create_partition(partition)
         row_keys: list[list[str]] = []
         for traj in self._datasets[name]:
@@ -516,10 +682,72 @@ class HermesEngine:
                 "dataset": name,
                 "frame_partition": partition,
                 "row_keys": row_keys,
+                "deltas": [],
                 "tree": None,
             }
         )
         self._sweep_partitions(storage, {partition})
+
+    def _persist_append(self, name: str, trajectories, tree) -> bool:
+        """Stage an append batch as a delta partition and commit it.
+
+        The same stage → checkpoint → manifest-commit → sweep ordering as
+        :meth:`_persist_dataset`, scoped to the batch: the new records go
+        into a fresh generation-suffixed ``<name>__dataset_g<N>`` partition
+        the current manifest does not reference, the (maintained) tree is
+        re-serialised, everything is checkpointed, and one manifest write
+        commits dataset *and* tree atomically.  A crash anywhere before
+        that write leaves the old manifest pointing at the pre-append
+        state — the delta file is an orphan the next sweep reclaims — so a
+        cold engine recovers the pre-append generation.
+
+        Returns ``True`` when the batch was committed; ``False`` on
+        in-memory engines or when the manifest is missing/corrupt (the
+        append keeps serving warm; a cold successor recovers the last good
+        state — same skip-persist degradation as :meth:`_persist_tree`).
+        """
+        if self.storage_directory is None:
+            return False
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        manifest = self._read_manifest_or_none(storage)
+        if manifest is None or not isinstance(manifest.get("frame_partition"), str):
+            return False
+        referenced = set(self._dataset_partitions(manifest))
+        partition = self._fresh_dataset_partition(storage, name, referenced)
+        info = storage.create_partition(partition)
+        row_keys: list[list[str]] = []
+        for traj in trajectories:
+            info.heapfile.insert(encode_record(traj))
+            info.record_count += 1
+            row_keys.append(list(traj.key))
+        deltas = list(manifest.get("deltas") or [])
+        deltas.append({"partition": partition, "row_keys": row_keys})
+        manifest["deltas"] = deltas
+        if tree is not None and tree.params is not None:
+            # The maintained tree's new members/representatives must commit
+            # with the dataset they index — one manifest write, one state;
+            # the representatives stage into a fresh partition so the
+            # committed manifest's RIDs stay valid until the commit.
+            self._stage_tree_manifest(storage, name, manifest, tree)
+        # A tree that exists only in the manifest (not cached, so not
+        # maintained) keeps its old dataset_state — which no longer matches,
+        # making the staleness explicit (artifact_status / _recover_tree).
+        # Re-stamp the format: this write adds v2 fields (deltas), so a
+        # recovered v1-era manifest must not keep claiming the old layout.
+        manifest["format_version"] = MANIFEST_FORMAT
+        storage.checkpoint()
+        storage.write_manifest(manifest)
+        # Reclaim staging files from crashed earlier appends (dataset deltas
+        # and superseded reps); member partitions are never touched here.
+        keep = set(self._dataset_partitions(manifest))
+        if storage.directory is not None:
+            for path in storage.directory.glob(f"{name}__dataset_g*.part"):
+                if path.stem not in keep and not storage.has(path.stem):
+                    path.unlink()
+        if tree is not None and tree.params is not None:
+            self._sweep_stale_reps(storage, name, manifest)
+        return True
 
     def _persist_tree(self, name: str, tree: ReTraTree) -> None:
         """Serialise a freshly built ReTraTree into the dataset's manifest.
@@ -535,12 +763,17 @@ class HermesEngine:
         manifest = self._read_manifest_or_none(storage)
         if manifest is None:
             return
-        tree_manifest = tree.to_manifest()
+        # Stage the representatives into a fresh partition and record which
+        # dataset state (base + delta partitions) the tree indexes; a
+        # mismatch later marks the persisted tree stale.
+        self._stage_tree_manifest(storage, name, manifest, tree)
         # Flush the member/representative records first; the manifest write
-        # is the commit point (see _persist_dataset).
+        # is the commit point (see _persist_dataset).  Re-stamp the format:
+        # the tree entry carries v2 fields (dataset_state, reps_partition).
+        manifest["format_version"] = MANIFEST_FORMAT
         storage.checkpoint()
-        manifest["tree"] = tree_manifest
         storage.write_manifest(manifest)
+        self._sweep_stale_reps(storage, name, manifest)
 
     def _forget_tree(self, name: str) -> None:
         """Discard the cached *and* persisted tree, keeping the dataset archive.
@@ -565,8 +798,7 @@ class HermesEngine:
             # deleted heapfiles.
             manifest["tree"] = None
             storage.write_manifest(manifest)
-        keep = manifest.get("frame_partition")
-        self._sweep_partitions(storage, {keep} if keep else set())
+        self._sweep_partitions(storage, set(self._dataset_partitions(manifest)))
 
     def _recover_tree(self, name: str, params: QuTParams | None) -> ReTraTree | None:
         """Reopen the persisted ReTraTree, or ``None`` when there is none.
@@ -574,7 +806,11 @@ class HermesEngine:
         ``params=None`` accepts whatever the tree was built with (the
         progressive workflow: the tree in the store *is* the index); explicit
         params must match the persisted build parameters, otherwise the
-        caller rebuilds.
+        caller rebuilds.  A persisted tree whose recorded ``dataset_state``
+        no longer matches the manifest's base + delta partitions is *stale*
+        (the dataset moved on without the tree being maintained — e.g. an
+        append in a process that never loaded it) and is likewise rejected,
+        so the caller rebuilds against the current data.
         """
         data = self._tree_manifests.get(name)
         if data is None:
@@ -583,6 +819,12 @@ class HermesEngine:
             return None
         storage = self._dataset_storage(name)
         assert storage is not None
+        manifest = self._read_manifest_or_none(storage)
+        if manifest is not None and data.get("dataset_state") != self._dataset_partitions(
+            manifest
+        ):
+            self._tree_manifests.pop(name, None)
+            return None
         try:
             tree = ReTraTree.from_manifest(data, storage=storage)
         except Exception:
@@ -616,7 +858,7 @@ class HermesEngine:
             manifest = self._read_manifest_or_none(storage)
             if (
                 manifest is None
-                or manifest.get("format_version") != MANIFEST_FORMAT
+                or manifest.get("format_version") not in READABLE_MANIFEST_FORMATS
                 or not isinstance(manifest.get("dataset"), str)
                 or not isinstance(manifest.get("frame_partition"), str)
             ):
@@ -644,24 +886,37 @@ class HermesEngine:
         manifest = self._pending_datasets[name]
         storage = self._dataset_storage(name)
         assert storage is not None
-        info = storage.get_or_create(manifest["frame_partition"])
-        by_key: dict[tuple[str, str], Trajectory] = {}
-        count = 0
-        for _rid, raw in info.heapfile.scan_records():
-            rec = decode_record(raw)
-            by_key[(rec.obj_id, rec.traj_id)] = rec.to_trajectory()
-            count += 1
-        info.record_count = count
-        try:
-            ordered = [by_key[tuple(key)] for key in manifest.get("row_keys", [])]
-        except KeyError as exc:
-            # Leave the dataset pending: every retry reports the same
-            # diagnostic instead of degrading to "unknown dataset".
-            raise RuntimeError(
-                f"dataset {name!r} is catalogued but its archive is incomplete "
-                f"(missing record for trajectory {exc.args[0]!r}); the directory "
-                f"{storage.directory} needs manual inspection"
-            ) from exc
+
+        def decode_partition(partition: str, row_keys: list) -> list[Trajectory]:
+            info = storage.get_or_create(partition)
+            by_key: dict[tuple[str, str], Trajectory] = {}
+            count = 0
+            for _rid, raw in info.heapfile.scan_records():
+                rec = decode_record(raw)
+                by_key[(rec.obj_id, rec.traj_id)] = rec.to_trajectory()
+                count += 1
+            info.record_count = count
+            try:
+                return [by_key[tuple(key)] for key in row_keys]
+            except KeyError as exc:
+                # Leave the dataset pending: every retry reports the same
+                # diagnostic instead of degrading to "unknown dataset".
+                raise RuntimeError(
+                    f"dataset {name!r} is catalogued but its archive is incomplete "
+                    f"(missing record for trajectory {exc.args[0]!r} in partition "
+                    f"{partition!r}); the directory {storage.directory} needs "
+                    "manual inspection"
+                ) from exc
+
+        # Base archive first, then every committed delta in append order —
+        # reconstructing the exact row order the warm process ended with.
+        ordered = decode_partition(
+            manifest["frame_partition"], manifest.get("row_keys", [])
+        )
+        for delta in manifest.get("deltas") or []:
+            ordered.extend(
+                decode_partition(delta["partition"], delta.get("row_keys", []))
+            )
         self._pending_datasets.pop(name)
         self._datasets[name] = MOD(name=name, trajectories=ordered)
         self._frames[name] = MODFrame.from_trajectories(ordered)
@@ -695,17 +950,33 @@ class HermesEngine:
 
         Reports whether the dataset is loaded, its generation token, whether
         its columnar frame and ReTraTree are cached in this process, whether
-        a tree structure is persisted in the storage manifest, and how many
-        storage partitions back it on disk.
+        a tree structure is persisted in the storage manifest, how many
+        storage partitions back it on disk, and the append-path state: how
+        many append batches this process applied since the last (re)load
+        (``append_batches``), how many durable delta partitions the
+        manifest has committed (``delta_partitions``), and whether the
+        persisted tree is *stale* — serialised against a dataset state the
+        deltas have since outgrown, so the next ``retratree`` call will
+        rebuild instead of recovering it (``tree_stale``).
         """
         storage = self._storages.get(name)
         tree_persisted = name in self._tree_manifests
+        tree_data: dict | None = self._tree_manifests.get(name)
         partitions = 0
+        delta_partitions = 0
+        tree_stale = False
         if storage is not None:
             partitions = len(list(storage.partitions()))
-            if not tree_persisted:
-                manifest = self._read_manifest_or_none(storage)
-                tree_persisted = bool(manifest and manifest.get("tree") is not None)
+            manifest = self._read_manifest_or_none(storage)
+            if manifest is not None:
+                delta_partitions = len(manifest.get("deltas") or [])
+                if tree_data is None and isinstance(manifest.get("tree"), dict):
+                    tree_data = manifest["tree"]
+                tree_persisted = tree_persisted or tree_data is not None
+                if tree_data is not None:
+                    tree_stale = tree_data.get("dataset_state") != self._dataset_partitions(
+                        manifest
+                    )
         return {
             "dataset": name,
             "loaded": name in self._datasets or name in self._pending_datasets,
@@ -713,8 +984,11 @@ class HermesEngine:
             "frame_cached": name in self._frames,
             "tree_cached": name in self._retratrees,
             "tree_persisted": tree_persisted,
+            "tree_stale": tree_stale,
             "persisted": self.is_persisted(name),
             "storage_partitions": partitions,
+            "append_batches": self._append_batches.get(name, 0),
+            "delta_partitions": delta_partitions,
         }
 
     def close(self) -> None:

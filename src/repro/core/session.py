@@ -28,10 +28,12 @@ class SessionStep:
 
     @property
     def latency(self) -> float:
+        """Wall-clock seconds the step's query took."""
         return self.result.total_runtime
 
     @property
     def num_clusters(self) -> int:
+        """Number of clusters the step's result reported."""
         return self.result.num_clusters
 
     @property
@@ -99,6 +101,17 @@ class ProgressiveSession:
             raise ValueError("no previous window; call query() first")
         last = self.history[-1].window
         return self.query(Period(last.tmin + amount, last.tmax + amount))
+
+    def append(self, trajectories) -> "object":
+        """Feed newly arrived trajectories into the session's dataset.
+
+        The continuously-fed MOD workflow: the batch takes the engine's
+        append path (cached frame and ReTraTree maintained incrementally,
+        delta partition committed on durable engines), so the next
+        :meth:`query`/:meth:`widen` sees the new data without any index
+        rebuild.  Returns the :class:`~repro.core.ingest.AppendReport`.
+        """
+        return self.engine.append(self.dataset, trajectories)
 
     def evolution(self) -> list[dict[str, object]]:
         """Per-step summary rows: window bounds, cluster count, latency."""

@@ -1,0 +1,175 @@
+"""Ingestion benchmark core: incremental append vs full rebuild.
+
+The paper's viability argument for an in-DBMS MOD is that newly arriving
+data is *absorbed* — the ReTraTree is maintained incrementally — rather
+than paid for with an index rebuild.  This benchmark makes that claim
+measurable on the reproduction engine:
+
+* **incremental** — load a base dataset, build the tree once (the only
+  bulk load), then feed the remaining trajectories through
+  ``engine.append`` in batches and run a QuT query after every batch;
+* **rebuild** — after each batch, load the concatenated dataset into a
+  fresh engine, bulk-build the tree from scratch and run the same query
+  (the build-once world's only way to serve the new data).
+
+Reported per strategy: total ingestion seconds, per-batch append/build
+seconds, query-after-append latency, and append throughput
+(points/second).  Used by ``benchmarks/bench_ingest.py`` (the pytest
+harness) and the ``repro-bench-ingest`` console script; the full report
+lands in ``BENCH_ingest.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.engine import HermesEngine
+from repro.datagen import aircraft_scenario, lane_scenario
+from repro.eval.metrics import adjusted_rand_index, point_level_labels
+from repro.hermes.mod import MOD
+from repro.hermes.types import Period
+from repro.qut.params import QuTParams
+from repro.qut.retratree import ReTraTree
+
+__all__ = ["run_ingest_benchmark", "write_report"]
+
+_SCENARIOS = {
+    "aircraft": aircraft_scenario,
+    "lanes": lane_scenario,
+}
+
+
+def _qut_similarity(result_a, result_b) -> float:
+    """Adjusted Rand index over the two results' shared point assignments."""
+    la, lb = point_level_labels(result_a), point_level_labels(result_b)
+    common = sorted(set(la) & set(lb))
+    if not common:
+        return 1.0 if not la and not lb else 0.0
+    return adjusted_rand_index([la[k] for k in common], [lb[k] for k in common])
+
+
+def run_ingest_benchmark(
+    scenario: str = "lanes",
+    n_trajectories: int = 80,
+    n_samples: int = 50,
+    seed: int = 1,
+    base_fraction: float = 0.5,
+    n_batches: int = 4,
+    window_fraction: float = 0.6,
+) -> dict:
+    """Benchmark incremental append against full rebuild on one scenario.
+
+    The dataset is split into a base (``base_fraction``) plus ``n_batches``
+    equal append batches.  Both strategies answer the same QuT window after
+    every batch; the report records their per-batch and total costs, the
+    final answers' similarity (ARI over shared point assignments) and the
+    bulk-load counts (the incremental side must stay at exactly one).
+    """
+    mod, _truth = _SCENARIOS[scenario](
+        n_trajectories=n_trajectories, n_samples=n_samples, seed=seed
+    )
+    trajs = mod.trajectories()
+    period = mod.period
+    params = QuTParams(tau=period.duration / 4, delta=period.duration / 16)
+    start = period.tmin + 0.5 * (1.0 - window_fraction) * period.duration
+    window = Period(start, start + window_fraction * period.duration)
+
+    base_n = max(2, int(n_trajectories * base_fraction))
+    base = trajs[:base_n]
+    rest = trajs[base_n:]
+    per_batch = max(1, len(rest) // n_batches)
+    batches = [rest[i : i + per_batch] for i in range(0, len(rest), per_batch)]
+
+    report: dict = {
+        "scenario": {
+            "name": scenario,
+            "n_trajectories": n_trajectories,
+            "n_samples": n_samples,
+            "seed": seed,
+            "base_trajectories": base_n,
+            "batches": [len(b) for b in batches],
+            "window": [window.tmin, window.tmax],
+        },
+        "incremental": {"steps": []},
+        "rebuild": {"steps": []},
+    }
+
+    # -- incremental: one bulk load, then append + query per batch ------------
+    builds_before = ReTraTree.build_calls
+    engine = HermesEngine.in_memory()
+    engine.load_mod("bench", MOD(name="bench", trajectories=base))
+    t0 = time.perf_counter()
+    engine.qut("bench", window, params=params)
+    base_build_s = time.perf_counter() - t0
+    inc_result = None
+    for batch in batches:
+        t0 = time.perf_counter()
+        append_report = engine.append("bench", batch)
+        append_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        inc_result = engine.qut("bench", window)
+        query_s = time.perf_counter() - t0
+        points = append_report.points
+        report["incremental"]["steps"].append(
+            {
+                "trajectories": append_report.trajectories,
+                "points": points,
+                "append_s": append_s,
+                "query_s": query_s,
+                "points_per_second": points / append_s if append_s > 0 else float("inf"),
+                "s2t_runs": (append_report.tree_counters or {}).get("s2t_runs", 0),
+            }
+        )
+    inc = report["incremental"]
+    inc["base_build_s"] = base_build_s
+    inc["build_calls"] = ReTraTree.build_calls - builds_before
+    inc["total_ingest_s"] = sum(s["append_s"] for s in inc["steps"])
+    inc["total_query_s"] = sum(s["query_s"] for s in inc["steps"])
+    inc["total_s"] = inc["total_ingest_s"] + inc["total_query_s"]
+
+    # -- rebuild: load-everything + bulk build + query, per batch -------------
+    builds_before = ReTraTree.build_calls
+    reb_result = None
+    upto = base_n
+    for batch in batches:
+        upto += len(batch)
+        fresh = HermesEngine.in_memory()
+        t0 = time.perf_counter()
+        fresh.load_mod("bench", MOD(name="bench", trajectories=trajs[:upto]))
+        reb_result = fresh.qut("bench", window, params=params)
+        build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        reb_result = fresh.qut("bench", window)
+        query_s = time.perf_counter() - t0
+        report["rebuild"]["steps"].append(
+            {
+                "trajectories": len(batch),
+                "build_s": build_s,
+                "query_s": query_s,
+            }
+        )
+    reb = report["rebuild"]
+    reb["build_calls"] = ReTraTree.build_calls - builds_before
+    reb["total_build_s"] = sum(s["build_s"] for s in reb["steps"])
+    reb["total_query_s"] = sum(s["query_s"] for s in reb["steps"])
+    reb["total_s"] = reb["total_build_s"] + reb["total_query_s"]
+
+    assert inc_result is not None and reb_result is not None
+    report["final_similarity_ari"] = _qut_similarity(inc_result, reb_result)
+    report["final_clusters"] = {
+        "incremental": inc_result.num_clusters,
+        "rebuild": reb_result.num_clusters,
+    }
+    report["speedup_vs_rebuild"] = (
+        reb["total_s"] / inc["total_s"] if inc["total_s"] > 0 else float("inf")
+    )
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -53,6 +53,13 @@ rebuilding their own columnar snapshots:
 * **Serialization** — frames pickle as their raw columns plus keys
   (:meth:`MODFrame.to_payload`); derived state is rebuilt on load.  This is
   the cheap path that ships partition frames to worker processes.
+* **Appending** — :meth:`MODFrame.extend` grows a frame *in place* with a
+  batch of new trajectories (the ingestion delta-concat path): the new
+  rows' columns are concatenated after the existing ones in one vectorised
+  pass, so the engine's cached catalog entry absorbs an append without the
+  per-trajectory Python loop of a full :meth:`from_mod` rebuild.  This is
+  the only mutation a frame ever undergoes; rows are append-only and
+  existing row indices never move.
 """
 
 from __future__ import annotations
@@ -75,7 +82,10 @@ MAX_BATCH_CELLS = 1 << 21
 
 
 class MODFrame:
-    """Immutable columnar snapshot of a trajectory collection.
+    """Append-only columnar snapshot of a trajectory collection.
+
+    Existing rows never change; :meth:`extend` is the one mutation and only
+    appends rows at the end (see the module docstring's lifecycle notes).
 
     Attributes
     ----------
@@ -167,10 +177,12 @@ class MODFrame:
 
         # Disjoint time bands for the single-searchsorted trick (see module
         # docstring).  The band step must exceed the global time span so that
-        # row i's shifted timestamps all precede row i+1's.
+        # row i's shifted timestamps all precede row i+1's.  The 2x headroom
+        # lets :meth:`extend` absorb forward-growing appends with an O(delta)
+        # banded-column update until the span outgrows it.
         self._t0 = float(self.tmins.min()) if n else 0.0
         span = float(self.tmaxs.max()) - self._t0 if n else 0.0
-        self._band_step = span + 1.0
+        self._band_step = 2.0 * span + 1.0
         row_of_sample = np.repeat(np.arange(n, dtype=np.intp), np.diff(self.offsets))
         self._banded_ts = (self.ts - self._t0) + row_of_sample * self._band_step
 
@@ -220,6 +232,96 @@ class MODFrame:
 
     def __reduce__(self) -> tuple:
         return (MODFrame.from_payload, (self.to_payload(),))
+
+    # -- appending ------------------------------------------------------------
+
+    def extend(self, trajectories: Iterable[Trajectory] | "MODFrame") -> int:
+        """Append a batch of new trajectories to this frame, in place.
+
+        This is the ingestion delta-concat path: the batch (an iterable of
+        trajectories, or an already-built delta :class:`MODFrame`) is
+        snapshot into delta columns and concatenated after the existing
+        ones in one vectorised pass.  Derived state is updated in
+        ``O(delta)`` in the common case — the delta's lifespan/bbox tables
+        concatenate onto the existing ones, the key map gains only the new
+        rows, and the banded timestamp column extends in place as long as
+        the delta starts at or after the frame's time origin and the grown
+        span still fits under the band step (which is built with 2x
+        headroom); a batch that breaks either condition falls back to one
+        full derived-state recompute that re-establishes the headroom.
+        Existing rows keep their indices — consumers holding views into the
+        pre-extend columns keep valid (pre-append) snapshots, because the
+        old arrays are replaced, never mutated.
+
+        Parameters
+        ----------
+        trajectories:
+            The new rows, in append order.  Keys must not collide with
+            existing rows (or repeat within the batch).
+
+        Returns
+        -------
+        The number of rows appended (0 for an empty batch, which leaves the
+        frame untouched).
+
+        Raises
+        ------
+        ValueError
+            If a batch key duplicates an existing row's key or another
+            batch key.
+        """
+        delta = (
+            trajectories
+            if isinstance(trajectories, MODFrame)
+            else MODFrame.from_trajectories(trajectories)
+        )
+        if len(delta) == 0:
+            return 0
+        batch_seen: set[tuple[str, str]] = set()
+        for key in delta.keys:
+            if key in self._key_to_row or key in batch_seen:
+                raise ValueError(f"cannot extend frame: duplicate trajectory key {key!r}")
+            batch_seen.add(key)
+        n_old = len(self.keys)
+        keys = self.keys + list(delta.keys)
+        xs = np.concatenate([self.xs, delta.xs])
+        ys = np.concatenate([self.ys, delta.ys])
+        ts = np.concatenate([self.ts, delta.ts])
+        offsets = np.concatenate([self.offsets, delta.offsets[1:] + self.offsets[-1]])
+        new_span = (
+            max(float(self.tmaxs.max()), float(delta.tmaxs.max())) - self._t0
+            if n_old
+            else 0.0
+        )
+        if (
+            n_old == 0
+            or float(delta.tmins.min()) < self._t0
+            or new_span >= self._band_step - 0.5
+        ):
+            # Banding invalidated (new origin, or span outgrew the band
+            # headroom): one full recompute re-establishes the invariants.
+            self._init_columns(keys, xs, ys, ts, offsets)
+            return len(delta)
+        # O(delta) path: extend the derived tables instead of recomputing
+        # them over every row.
+        for i, key in enumerate(delta.keys):
+            self._key_to_row[key] = n_old + i
+        self.keys = keys
+        self.xs, self.ys, self.ts, self.offsets = xs, ys, ts, offsets
+        self.tmins = np.concatenate([self.tmins, delta.tmins])
+        self.tmaxs = np.concatenate([self.tmaxs, delta.tmaxs])
+        self.xmins = np.concatenate([self.xmins, delta.xmins])
+        self.xmaxs = np.concatenate([self.xmaxs, delta.xmaxs])
+        self.ymins = np.concatenate([self.ymins, delta.ymins])
+        self.ymaxs = np.concatenate([self.ymaxs, delta.ymaxs])
+        delta_rows = np.repeat(
+            np.arange(n_old, n_old + len(delta), dtype=np.intp),
+            np.diff(delta.offsets),
+        )
+        self._banded_ts = np.concatenate(
+            [self._banded_ts, (delta.ts - self._t0) + delta_rows * self._band_step]
+        )
+        return len(delta)
 
     # -- row access ----------------------------------------------------------
 

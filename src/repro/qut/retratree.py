@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -85,6 +86,7 @@ class ClusterEntry:
     bbox: BoxST | None = None
 
     def expand_bbox(self, box: BoxST) -> None:
+        """Grow the entry's bounding box to cover a newly archived member."""
         self.bbox = box if self.bbox is None else self.bbox.union(box)
 
 
@@ -105,11 +107,53 @@ class SubChunk:
 
     @property
     def key(self) -> tuple[int, int]:
+        """``(chunk_idx, sub_idx)`` — the sub-chunk's grid coordinates."""
         return (self.chunk_idx, self.sub_idx)
 
     def touch_entries(self) -> None:
         """Record an entry mutation (invalidates the representative frame)."""
         self.entries_version += 1
+
+    def absorb(self, sub: SubTrajectory, tree: "ReTraTree") -> bool:
+        """Absorb one sub-trajectory piece into this sub-chunk.
+
+        The piece is voted against the sub-chunk's level-3 representatives
+        (one batched :func:`~repro.s2t.clustering.assign_to_representatives_batch`
+        call over the cached representative frame): within the distance
+        threshold it joins the closest entry's member partition; otherwise
+        it lands in the *unclustered* (outlier) buffer, and an overflowing
+        buffer triggers a localised re-clustering of this sub-chunk only
+        (:meth:`ReTraTree.flush_unclustered`).  This is the single
+        absorption step shared by the bulk load and the incremental append
+        path (:meth:`ReTraTree.append`).
+
+        Parameters
+        ----------
+        sub:
+            The piece, already cut to (mostly) this sub-chunk's period.
+        tree:
+            The owning tree — provides storage, kernels and stats.
+
+        Returns
+        -------
+        ``True`` when the piece was assigned to an existing cluster entry,
+        ``False`` when it was buffered as unclustered.
+        """
+        params = tree.params
+        assert params is not None and params.overflow_threshold is not None
+        entry = tree._best_entry(self, sub)
+        if entry is not None:
+            tree._archive(entry.partition_name, sub)
+            entry.member_count += 1
+            entry.expand_bbox(sub.bbox)
+            tree.stats.pieces_assigned += 1
+            return True
+        tree._archive(self.unclustered_partition, sub)
+        self.unclustered_count += 1
+        tree.stats.pieces_unclustered += 1
+        if self.unclustered_count >= params.overflow_threshold:
+            tree.flush_unclustered(self)
+        return False
 
 
 @dataclass
@@ -268,12 +312,16 @@ class ReTraTree:
 
     # -- insertion ----------------------------------------------------------------------
 
-    def insert_trajectory(self, traj: Trajectory) -> None:
-        """Insert a whole trajectory: cut at sub-chunk boundaries and insert each piece."""
+    def insert_trajectory(self, traj: Trajectory) -> set[tuple[int, int]]:
+        """Insert a whole trajectory: cut at sub-chunk boundaries and insert each piece.
+
+        Returns the keys of the sub-chunks that received a piece.
+        """
         params = self._ensure_params(traj)
         assert params.delta is not None
         self.stats.trajectories_inserted += 1
         end_chunk = self._locate(traj.period.tmax)
+        touched: set[tuple[int, int]] = set()
         # Enumerate sub-chunks from the first to the last the trajectory touches.
         cursor = traj.period.tmin
         seen: set[tuple[int, int]] = set()
@@ -284,30 +332,28 @@ class ReTraTree:
                 period = self._subchunk_period(*key)
                 piece = traj.slice_period(period)
                 if piece is not None:
-                    self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+                    touched.add(
+                        self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+                    )
             if key == end_chunk or cursor >= traj.period.tmax:
                 break
             cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9
+        return touched
 
-    def insert_subtrajectory(self, sub: SubTrajectory) -> None:
-        """Insert one sub-trajectory piece lying (mostly) within one sub-chunk."""
-        params = self._ensure_params(sub.traj)
+    def insert_subtrajectory(self, sub: SubTrajectory) -> tuple[int, int]:
+        """Insert one sub-trajectory piece lying (mostly) within one sub-chunk.
+
+        Locates the owning sub-chunk by the piece's temporal midpoint and
+        delegates the assign-or-buffer step to :meth:`SubChunk.absorb`.
+        Returns the sub-chunk's key, so batch callers (:meth:`append`) can
+        track which sub-chunks a batch touched.
+        """
+        self._ensure_params(sub.traj)
         t_mid = (sub.period.tmin + sub.period.tmax) / 2.0
         subchunk = self._get_subchunk(*self._locate(t_mid))
         self.stats.pieces_inserted += 1
-
-        entry = self._best_entry(subchunk, sub)
-        if entry is not None:
-            self._archive(entry.partition_name, sub)
-            entry.member_count += 1
-            entry.expand_bbox(sub.bbox)
-            self.stats.pieces_assigned += 1
-        else:
-            self._archive(subchunk.unclustered_partition, sub)
-            subchunk.unclustered_count += 1
-            self.stats.pieces_unclustered += 1
-            if subchunk.unclustered_count >= params.overflow_threshold:
-                self.flush_unclustered(subchunk)
+        subchunk.absorb(sub, self)
+        return subchunk.key
 
     def _rep_frame(self, subchunk: SubChunk) -> MODFrame:
         """Columnar snapshot of the sub-chunk's representatives (cached).
@@ -445,20 +491,107 @@ class ReTraTree:
         subchunk.unclustered_count = len(leftovers)
         self.stats.maintenance_seconds += time.perf_counter() - start
 
+    def _flush_threshold(self) -> int:
+        """Minimum unclustered-buffer size worth an S2T re-clustering run."""
+        return max(2, self.params.gamma if self.params else 2)
+
     def finalize(self) -> None:
         """Flush every sub-chunk's unclustered partition (end of bulk load)."""
         for subchunk in self.subchunks():
-            if subchunk.unclustered_count >= max(2, self.params.gamma if self.params else 2):
+            if subchunk.unclustered_count >= self._flush_threshold():
                 self.flush_unclustered(subchunk)
+
+    # -- incremental maintenance (the append path) ------------------------------------------
+
+    def append(
+        self,
+        trajectories: Sequence[Trajectory],
+        frame: MODFrame | None = None,
+    ) -> dict[str, int]:
+        """Absorb a batch of newly arrived trajectories without rebuilding.
+
+        This is the paper's incremental-maintenance claim made concrete:
+        each trajectory is cut at the existing temporal grid, every piece is
+        voted against the touched sub-chunk's representatives
+        (:meth:`SubChunk.absorb`, reusing the batched S2T kernels), pieces
+        in time ranges the tree has never seen open fresh sub-chunks (which
+        extends the grid in either direction — leading chunks get negative
+        chunk indices), and after the batch only the *touched* sub-chunks
+        whose outlier buffers grew past the flush threshold are re-clustered
+        locally.  :attr:`build_calls` is untouched — no bulk load runs.
+
+        Parameters
+        ----------
+        trajectories:
+            The new trajectories, in arrival order.
+        frame:
+            Optional columnar snapshot of exactly ``trajectories`` (the
+            ingestion pipeline's delta frame); built here when omitted.
+            Pieces are derived by slicing it per sub-chunk, the same
+            partition-frame path the bulk load uses.
+
+        Returns
+        -------
+        A counter dict: ``trajectories`` / ``pieces`` absorbed, ``assigned``
+        vs ``unclustered`` pieces, ``subchunks_touched``, ``subchunks_new``
+        and ``s2t_runs`` (localised re-clusterings triggered).
+
+        A tree with no resolved parameters yet (built over an empty MOD)
+        adopts the first non-empty batch as its parameter probe and grid
+        origin, exactly as a bulk load over that batch would.
+        """
+        trajs = list(trajectories)
+        counters = {
+            "trajectories": 0,
+            "pieces": 0,
+            "assigned": 0,
+            "unclustered": 0,
+            "subchunks_touched": 0,
+            "subchunks_new": 0,
+            "s2t_runs": 0,
+        }
+        if not trajs:
+            return counters
+        if self.params is None:
+            self.origin = min(float(t.period.tmin) for t in trajs)
+            probe = MOD(name=f"{self.name}_append_probe", trajectories=trajs)
+            self.params = self._raw_params.resolved(probe)
+        pieces0 = self.stats.pieces_inserted
+        assigned0 = self.stats.pieces_assigned
+        unclustered0 = self.stats.pieces_unclustered
+        s2t0 = self.stats.s2t_runs
+        subchunks0 = len(self._subchunks)
+        if frame is None:
+            frame = MODFrame.from_trajectories(trajs)
+        partition_frames: dict[tuple[int, int], MODFrame] = {}
+        touched: set[tuple[int, int]] = set()
+        for traj in trajs:
+            self._bulk_insert_from_frame(traj, partition_frames, frame, touched=touched)
+        # Localised finalize: only sub-chunks this batch touched are
+        # candidates for an S2T re-clustering of their outlier buffers.
+        for key in sorted(touched):
+            subchunk = self._subchunks[key]
+            if subchunk.unclustered_count >= self._flush_threshold():
+                self.flush_unclustered(subchunk)
+        counters.update(
+            trajectories=len(trajs),
+            pieces=self.stats.pieces_inserted - pieces0,
+            assigned=self.stats.pieces_assigned - assigned0,
+            unclustered=self.stats.pieces_unclustered - unclustered0,
+            subchunks_touched=len(touched),
+            subchunks_new=len(self._subchunks) - subchunks0,
+            s2t_runs=self.stats.s2t_runs - s2t0,
+        )
+        return counters
 
     # -- persistence -----------------------------------------------------------------------------
 
     @property
     def _reps_partition(self) -> str:
-        """Partition archiving one record per level-3 representative."""
+        """Default partition archiving one record per level-3 representative."""
         return f"{self.name}__reps"
 
-    def to_manifest(self) -> dict:
+    def to_manifest(self, reps_partition: str | None = None) -> dict:
         """Serialise the tree structure for the storage-catalog manifest.
 
         The member partitions already live in the heapfiles; what the
@@ -466,15 +599,21 @@ class ReTraTree:
         sub-chunk grid (indices and periods), the level-3 cluster entries
         (ids, partition names, member counts, bounding boxes) and a
         *representative reference* per entry — the RID of the
-        representative's record in the ``<name>__reps`` partition, which is
-        (re)written by this call.  ``from_manifest`` inverts the whole
-        thing; the partitions' pg3D-Rtrees are rebuilt by scanning.
+        representative's record in the representatives partition, which is
+        written by this call.  ``reps_partition`` names that partition
+        (default ``<name>__reps``); the engine passes a **fresh,
+        generation-suffixed name** on re-persists so the partition a
+        committed manifest references is never rewritten in place — a crash
+        before the next manifest commit must leave the old manifest's RIDs
+        resolving against untouched records.  ``from_manifest`` inverts the
+        whole thing; the partitions' pg3D-Rtrees are rebuilt by scanning.
         """
         if self.params is None:
             raise ValueError("cannot persist an empty ReTraTree (no resolved params)")
-        if self.storage.has(self._reps_partition):
-            self.storage.drop_partition(self._reps_partition)
-        reps = self.storage.create_partition(self._reps_partition)
+        reps_partition = reps_partition or self._reps_partition
+        if self.storage.has(reps_partition):
+            self.storage.drop_partition(reps_partition)
+        reps = self.storage.create_partition(reps_partition)
 
         subchunks = []
         for sc in self.subchunks():
@@ -507,6 +646,8 @@ class ReTraTree:
             "next_cluster_id": self._next_cluster_id,
             "params": self.params.to_dict(),
             "raw_params": self._raw_params.to_dict(),
+            "reps_partition": reps_partition,
+            "reps_count": reps.record_count,
             "subchunks": subchunks,
         }
 
@@ -543,14 +684,17 @@ class ReTraTree:
         records).  No S2T work runs here — the cost is one scan per
         partition to restore the pg3D-Rtrees and record counts.
 
-        Member counts and bounding boxes are re-derived from the scanned
-        heapfiles rather than trusted from the manifest: the manifest is a
-        snapshot taken at persist time, and a tree that kept absorbing
-        insertions afterwards may have newer records on disk (flushed by
-        buffer-pool eviction).  Structure that exists *only* in memory — a
-        level-3 entry created by a post-persist overflow flush — cannot be
-        reconstructed this way; callers that mutate a persisted tree should
-        re-persist it (the engine re-persists on every build/rebuild).
+        Bounding boxes are re-derived from the scanned heapfiles, and the
+        scanned record counts are *checked* against the counts the manifest
+        recorded at persist time: a mismatch means the heapfiles and the
+        manifest describe different tree states — typically a crash in the
+        middle of an append whose buffered member records were partially
+        flushed by buffer-pool eviction before the manifest commit — and
+        raises :class:`ValueError` so the engine degrades to a rebuild
+        instead of recovering a tree referencing phantom trajectories.
+        Every mutation path (bulk build, rebuild, :meth:`append` through
+        the ingestion pipeline) re-persists the manifest, so a committed
+        state always passes this check.
         """
         tree = cls(
             params=QuTParams.from_dict(manifest["raw_params"]),
@@ -560,7 +704,18 @@ class ReTraTree:
         )
         tree.params = QuTParams.from_dict(manifest["params"])
         tree._next_cluster_id = int(manifest["next_cluster_id"])
-        reps = storage.get_or_create(tree._reps_partition)
+        reps_name = manifest.get("reps_partition") or tree._reps_partition
+        reps = storage.get_or_create(reps_name)
+        expected_reps = manifest.get("reps_count")
+        if expected_reps is not None:
+            scanned = sum(1 for _ in reps.heapfile.scan_records())
+            reps.record_count = scanned
+            if scanned != int(expected_reps):
+                raise ValueError(
+                    f"representatives partition {reps_name!r} holds {scanned} "
+                    f"records but the manifest recorded {expected_reps}; the "
+                    "tree state is torn"
+                )
         for sc_data in manifest["subchunks"]:
             key = (int(sc_data["chunk_idx"]), int(sc_data["sub_idx"]))
             subchunk = SubChunk(
@@ -572,12 +727,24 @@ class ReTraTree:
             subchunk.unclustered_count, _ = tree._reopen_partition_rtree(
                 subchunk.unclustered_partition
             )
+            if subchunk.unclustered_count != int(sc_data["unclustered_count"]):
+                raise ValueError(
+                    f"unclustered partition {subchunk.unclustered_partition!r} holds "
+                    f"{subchunk.unclustered_count} records but the manifest recorded "
+                    f"{sc_data['unclustered_count']}; the tree state is torn"
+                )
             for entry_data in sc_data["entries"]:
                 rid = RID(*entry_data["representative_rid"])
                 representative = _record_to_subtrajectory(reps.heapfile.get(rid))
                 member_count, bbox = tree._reopen_partition_rtree(
                     entry_data["partition"]
                 )
+                if member_count != int(entry_data["member_count"]):
+                    raise ValueError(
+                        f"member partition {entry_data['partition']!r} holds "
+                        f"{member_count} records but the manifest recorded "
+                        f"{entry_data['member_count']}; the tree state is torn"
+                    )
                 subchunk.entries.append(
                     ClusterEntry(
                         cluster_id=int(entry_data["cluster_id"]),
@@ -599,6 +766,7 @@ class ReTraTree:
         traj: Trajectory,
         partition_frames: dict[tuple[int, int], MODFrame],
         parent_frame: MODFrame,
+        touched: set[tuple[int, int]] | None = None,
     ) -> None:
         """Frame-native :meth:`insert_trajectory` used by the bulk load.
 
@@ -609,7 +777,8 @@ class ReTraTree:
         ``traj.slice_period`` concatenation per (trajectory, sub-chunk) pair.
         The slicing algorithms are row-for-row identical, so the inserted
         pieces (and therefore the resulting tree) match the incremental path
-        exactly.
+        exactly.  ``touched``, when given, collects the keys of the
+        sub-chunks that received a piece (the append path's bookkeeping).
         """
         params = self._ensure_params(traj)
         assert params.delta is not None
@@ -628,7 +797,9 @@ class ReTraTree:
                 row = partition.maybe_row_of(traj.key)
                 if row is not None:
                     piece = partition.trajectory_of(row)
-                    self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+                    hit = self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
+                    if touched is not None:
+                        touched.add(hit)
             if key == end_chunk or cursor >= traj.period.tmax:
                 break
             cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9

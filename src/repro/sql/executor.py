@@ -12,7 +12,14 @@ The execution layer is split in two:
 ``INSERT INTO`` point buffering lives on the :class:`PlanExecutor` (one per
 engine, shared by every connection over that engine): records for datasets
 declared with ``CREATE DATASET`` become trajectories as soon as an object
-has at least two samples.
+has at least two samples.  Completed trajectories whose keys are *new* take
+the **append path** (:meth:`repro.core.engine.HermesEngine.append`):
+the dataset's cached frame and ReTraTree are maintained incrementally and,
+on a durable engine, the batch commits as a delta partition — nothing is
+invalidated or rebuilt.  A statement that adds points to an *existing*
+trajectory falls back to the historical full re-materialisation (a
+replacement, which invalidates caches), since changing a trajectory's
+samples cannot be expressed as an append.
 """
 
 from __future__ import annotations
@@ -22,8 +29,8 @@ from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.engine import HermesEngine
+from repro.core.ingest import AppendBuffer
 from repro.hermes.mod import MOD
-from repro.hermes.trajectory import Trajectory
 from repro.sql.ast import Comparison
 from repro.sql.errors import SQLBindError, SQLExecutionError
 from repro.sql.functions import call_function
@@ -100,17 +107,21 @@ class PlanExecutor:
 
     def __init__(self, engine: HermesEngine) -> None:
         self.engine = engine
-        # Pending point records per (dataset, obj_id, traj_id).
-        self._pending: dict[str, dict[tuple[str, str], list[tuple[float, float, float]]]] = {}
-        # Engine dataset generation each pending buffer was seeded from; a
-        # mismatch means the dataset was replaced outside this executor
-        # (engine.load_mod / drop+reload) and the buffer must be re-seeded.
-        self._pending_generation: dict[str, int] = {}
+        # Not-yet-complete point records per dataset (keys with fewer than
+        # two distinct instants, waiting for more INSERTs).
+        self._buffers: dict[str, AppendBuffer] = {}
+        # Engine *replacement* generation each buffer was last synchronised
+        # at; a mismatch means the dataset was replaced (engine.load_mod /
+        # drop+reload) and the buffered points belong to the previous
+        # incarnation.  Appends — this executor's own or external ones —
+        # do not move the replacement generation, so buffered points
+        # survive them.
+        self._buffer_generation: dict[str, int] = {}
 
     def forget(self, name: str) -> None:
         """Discard buffered state for a dataset (called by ``engine.drop``)."""
-        self._pending.pop(name, None)
-        self._pending_generation.pop(name, None)
+        self._buffers.pop(name, None)
+        self._buffer_generation.pop(name, None)
 
     # -- dispatch --------------------------------------------------------------------
 
@@ -179,8 +190,8 @@ class PlanExecutor:
         if plan.dataset in self.engine.datasets():
             raise SQLExecutionError(f"dataset {plan.dataset!r} already exists")
         self.engine.load_mod(plan.dataset, MOD(name=plan.dataset))
-        self._pending[plan.dataset] = defaultdict(list)
-        self._pending_generation[plan.dataset] = self.engine.dataset_generation(
+        self._buffers[plan.dataset] = AppendBuffer()
+        self._buffer_generation[plan.dataset] = self.engine.dataset_replacement_generation(
             plan.dataset
         )
         return [{"created": plan.dataset}]
@@ -192,27 +203,40 @@ class PlanExecutor:
         self.forget(plan.dataset)
         return [{"dropped": plan.dataset}]
 
+    def _buffer_for(self, name: str) -> AppendBuffer:
+        """The dataset's point buffer, discarding it when the dataset was replaced.
+
+        A *replacement*-generation mismatch means the dataset was swapped
+        out underneath this executor (``engine.load_mod``, drop +
+        recreate); whatever points were buffered belong to the previous
+        incarnation and are dropped, exactly as the historical re-seeding
+        path dropped them.  Appends deliberately do not trip this check —
+        they only add state, so points buffered before an interleaved
+        append are still valid and must survive to complete later.
+        """
+        generation = self.engine.dataset_replacement_generation(name)
+        if name not in self._buffers or self._buffer_generation.get(name) != generation:
+            self._buffers[name] = AppendBuffer()
+            self._buffer_generation[name] = generation
+        return self._buffers[name]
+
     def _insert(self, plan: InsertPlan) -> list[dict[str, object]]:
+        """``INSERT INTO``: append-path for new trajectories, rebuild otherwise.
+
+        Every row is validated before any state changes (a bad row fails
+        the whole statement).  Rows targeting keys *not yet in the dataset*
+        are buffered until a key has two distinct instants and then
+        **appended** (:meth:`repro.core.engine.HermesEngine.append`) —
+        caches are maintained, not invalidated, and a durable engine
+        commits one delta partition per statement.  Rows that add points to
+        an existing trajectory force the fallback full re-materialisation
+        (:meth:`_insert_rebuild`).  Ingestion scripts should batch rows into
+        multi-row ``INSERT INTO d VALUES (...), (...), ...`` statements:
+        each *statement* is one append commit, like a DBMS transaction.
+        """
         name = plan.dataset
         if name not in self.engine.datasets():
             raise SQLExecutionError(f"unknown dataset {name!r}; CREATE DATASET it first")
-        generation = self.engine.dataset_generation(name)
-        if name not in self._pending or self._pending_generation.get(name) != generation:
-            # Seed the buffer from the already-materialised trajectories so
-            # that INSERTs extend, rather than replace, an existing dataset.
-            # Also taken when the dataset's generation moved, i.e. it was
-            # replaced outside this executor and the old buffer is stale.
-            seeded: dict[tuple[str, str], list[tuple[float, float, float]]] = defaultdict(list)
-            for traj in self.engine.get_mod(name):
-                for i in range(traj.num_points):
-                    seeded[(traj.obj_id, traj.traj_id)].append(
-                        (float(traj.ts[i]), float(traj.xs[i]), float(traj.ys[i]))
-                    )
-            self._pending[name] = seeded
-            self._pending_generation[name] = generation
-        # Validate and coerce EVERY row before touching the pending buffer:
-        # a bad row must fail the whole statement without leaving phantom
-        # rows behind to land on the next successful INSERT.
         coerced: list[tuple[tuple[str, str], tuple[float, float, float]]] = []
         for row in plan.rows:
             if len(row) != 5:
@@ -229,42 +253,57 @@ class PlanExecutor:
                 raise SQLExecutionError(
                     f"INSERT x/y/t values must be numeric; bad row {row!r}"
                 ) from exc
-        pending = self._pending[name]
-        for key, sample in coerced:
-            pending[key].append(sample)
-        self._materialise(name)
+        mod = self.engine.get_mod(name)
+        if any(key in mod for key, _ in coerced):
+            return self._insert_rebuild(name, coerced)
+        buffer = self._buffer_for(name)
+        for (obj_id, traj_id), (t, x, y) in coerced:
+            buffer.add_point(obj_id, traj_id, x, y, t)
+        completed = buffer.drain_complete()
+        if completed:
+            # Appends do not move the replacement generation the buffer is
+            # keyed on, so the remaining incomplete points survive as-is.
+            self.engine.append(name, completed)
         return [{"inserted": len(coerced)}]
 
-    def _materialise(self, name: str) -> None:
-        """Rebuild the dataset's MOD from the buffered point records.
+    def _insert_rebuild(
+        self,
+        name: str,
+        coerced: list[tuple[tuple[str, str], tuple[float, float, float]]],
+    ) -> list[dict[str, object]]:
+        """Fallback for inserts that modify existing trajectories.
 
-        Goes through ``engine.load_mod``, so on a durable engine every
-        ``INSERT`` *statement* commits the whole dataset archive to disk —
-        statement-level durability, like a DBMS transaction per statement.
-        Ingestion scripts should therefore batch rows into multi-row
-        ``INSERT INTO d VALUES (...), (...), ...`` statements rather than
-        issuing one statement per point.
+        Merges the materialised dataset, the buffered incomplete points and
+        the statement's rows into one point set and re-materialises it
+        through ``engine.load_mod`` — a *replacement* that invalidates the
+        frame/tree caches, because existing trajectories changed shape.
+        Keys still short of two distinct instants stay buffered.
         """
-        pending = self._pending.get(name, {})
+        buffer = self._buffer_for(name)
+        merged: dict[tuple[str, str], list[tuple[float, float, float]]] = defaultdict(list)
+        for traj in self.engine.get_mod(name):
+            for i in range(traj.num_points):
+                merged[(traj.obj_id, traj.traj_id)].append(
+                    (float(traj.ts[i]), float(traj.xs[i]), float(traj.ys[i]))
+                )
+        for key, samples in buffer.pending.items():
+            merged[key].extend(samples)
+        for key, sample in coerced:
+            merged[key].append(sample)
         mod = MOD(name=name)
-        for (obj_id, traj_id), samples in pending.items():
-            ordered = sorted(samples)
-            ts, xs, ys = [], [], []
-            last_t = None
-            for t, x, y in ordered:
-                if last_t is not None and t <= last_t:
-                    continue
-                ts.append(t)
-                xs.append(x)
-                ys.append(y)
-                last_t = t
-            if len(ts) >= 2:
-                mod.add(Trajectory(obj_id, traj_id, xs, ys, ts))
+        leftovers: dict[tuple[str, str], list[tuple[float, float, float]]] = {}
+        for key, samples in merged.items():
+            traj = AppendBuffer._assemble(key, samples)
+            if traj is None:
+                leftovers[key] = samples
+            else:
+                mod.add(traj)
         self.engine.load_mod(name, mod)
-        # load_mod bumped the generation for the dataset we just wrote; the
-        # buffer is the source of that state, not stale — record the new
-        # token so the next INSERT keeps extending it.
-        self._pending_generation[name] = self.engine.dataset_generation(name)
+        buffer.pending = leftovers
+        # Our own replacement: re-key the buffer at the new replacement
+        # generation so the leftovers survive it.
+        self._buffer_generation[name] = self.engine.dataset_replacement_generation(name)
+        return [{"inserted": len(coerced)}]
 
     # -- queries over point records ------------------------------------------------------------
 

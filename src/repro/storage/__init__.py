@@ -17,10 +17,13 @@ Manifest format
 ---------------
 A directory-backed :class:`~repro.storage.catalog.StorageManager` owns one
 ``manifest.json``, the durable root the engine recovers from.  Layout
-(``format_version`` = 1)::
+(``format_version`` = 2; version-1 manifests — which lack ``deltas`` and
+the tree's ``dataset_state``/``reps_partition``/``reps_count`` fields —
+are still readable: missing deltas default to none and a tree without
+``dataset_state`` counts as stale and rebuilds)::
 
     {
-      "format_version": 1,
+      "format_version": 2,
       "dataset": "<name>",                 # dataset registered under this dir
       "frame_partition":                   # heapfile with one whole-trajectory
         "<name>__dataset_g<N>",            #   record per row (see records.py);
@@ -30,16 +33,28 @@ A directory-backed :class:`~repro.storage.catalog.StorageManager` owns one
       "row_keys": [[obj_id, traj_id], …],  # explicit row order: heapfile scan
                                            #   order may differ once records
                                            #   span pages
+      "deltas": [{                         # committed append batches, in order;
+        "partition":                       #   recovery decodes the base archive
+          "<name>__dataset_g<M>",          #   then every delta, reconstructing
+        "row_keys": [[obj, traj], …]       #   the warm process's row order
+      }, …],
       "tree": null | {                     # ReTraTree.to_manifest() output
         "name": "<name>", "origin": float, "next_cluster_id": int,
         "params": {…}, "raw_params": {…},  # QuTParams.to_dict()
+        "reps_partition":                  # representatives partition; staged
+          "<name>__reps_g<K>",             #   fresh per persist, never rewritten
+                                           #   in place under a committed manifest
+        "reps_count": int,                 # torn-state check on reopen
+        "dataset_state": [str, …],         # base+delta partitions the tree
+                                           #   indexes; mismatch => tree stale,
+                                           #   next retratree() rebuilds
         "subchunks": [{
           "chunk_idx": int, "sub_idx": int, "period": [tmin, tmax],
           "unclustered_partition": str, "unclustered_count": int,
           "entries": [{
             "cluster_id": int, "partition": str, "member_count": int,
             "bbox": [xmin, ymin, tmin, xmax, ymax, tmax] | null,
-            "representative_rid": [page_no, slot]   # in <name>__reps
+            "representative_rid": [page_no, slot]   # in reps_partition
           }, …]
         }, …]
       }
@@ -47,7 +62,9 @@ A directory-backed :class:`~repro.storage.catalog.StorageManager` owns one
 
 Member records stay in their partitions' heapfiles; the manifest only adds
 the structure that lived in memory.  Partition pg3D-Rtrees are not
-persisted — recovery rebuilds them with one scan per partition.
+persisted — recovery rebuilds them with one scan per partition, checking
+the scanned record counts against the manifest's (a mismatch is the
+signature of a torn append and degrades to a rebuild).
 """
 
 from repro.storage.page import Page, PAGE_SIZE

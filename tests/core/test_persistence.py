@@ -181,9 +181,10 @@ class TestRestartRecovery:
         """A corrupt/missing tree partition must not make queries fail
         permanently — recovery falls through to a (re-persisted) rebuild."""
         engine, mod = warm
-        reps = tmp_path / "engine" / "lanes" / "lanes__reps.part"
-        assert reps.exists()
-        reps.unlink()
+        reps_files = sorted((tmp_path / "engine" / "lanes").glob("lanes__reps*.part"))
+        assert reps_files, "no representatives partition was persisted"
+        for reps in reps_files:
+            reps.unlink()
 
         cold = HermesEngine.on_disk(tmp_path / "engine")
         builds_before = ReTraTree.build_calls

@@ -269,3 +269,73 @@ class TestSerialization:
         before = MODFrame.from_mod_calls
         MODFrame.from_mod(mod)
         assert MODFrame.from_mod_calls == before + 1
+
+
+class TestExtend:
+    """The delta-concat append path (`MODFrame.extend`)."""
+
+    def test_extend_matches_full_rebuild(self):
+        trajs = _random_trajs(8, seed=21)
+        frame = MODFrame.from_trajectories(trajs[:5])
+        added = frame.extend(trajs[5:])
+        assert added == 3
+        reference = MODFrame.from_trajectories(trajs)
+        assert _frames_equal(frame, reference)
+        np.testing.assert_array_equal(frame.tmins, reference.tmins)
+        np.testing.assert_array_equal(frame.xmaxs, reference.xmaxs)
+        assert frame.row_of(trajs[6].key) == 6
+
+    def test_extend_accepts_delta_frame(self):
+        trajs = _random_trajs(6, seed=22)
+        frame = MODFrame.from_trajectories(trajs[:4])
+        frame.extend(MODFrame.from_trajectories(trajs[4:]))
+        assert _frames_equal(frame, MODFrame.from_trajectories(trajs))
+
+    def test_extend_empty_batch_is_noop(self):
+        trajs = _random_trajs(3, seed=23)
+        frame = MODFrame.from_trajectories(trajs)
+        ts_before = frame.ts
+        assert frame.extend([]) == 0
+        assert frame.ts is ts_before  # untouched, not even recomputed
+
+    def test_extend_from_empty_frame(self):
+        trajs = _random_trajs(4, seed=24)
+        frame = MODFrame.from_trajectories([])
+        frame.extend(trajs)
+        assert _frames_equal(frame, MODFrame.from_trajectories(trajs))
+
+    def test_extend_rejects_duplicate_keys(self):
+        trajs = _random_trajs(4, seed=25)
+        frame = MODFrame.from_trajectories(trajs)
+        with pytest.raises(ValueError, match="duplicate"):
+            frame.extend([trajs[1]])
+        dupe = _random_trajs(2, seed=26)
+        with pytest.raises(ValueError, match="duplicate"):
+            frame.extend([dupe[0], dupe[0]])
+
+    def test_kernels_after_extend_with_grown_span(self):
+        """Extending with rows beyond the old time span must rebuild the
+        banded-timestamp column, keeping positions_at_batch exact."""
+        trajs = _random_trajs(5, seed=27)
+        frame = MODFrame.from_trajectories(trajs[:3])
+        late = Trajectory(
+            "late", "0", [0.0, 4.0, 8.0], [1.0, 5.0, 9.0], [500.0, 600.0, 700.0]
+        )
+        frame.extend([*trajs[3:], late])
+        reference = MODFrame.from_trajectories([*trajs, late])
+        grid = np.linspace(float(frame.tmins.min()), float(frame.tmaxs.max()), 9)
+        rows = np.arange(len(frame))
+        x0, y0 = frame.positions_at_batch(rows, grid)
+        x1, y1 = reference.positions_at_batch(rows, grid)
+        np.testing.assert_array_equal(x0, x1)
+        np.testing.assert_array_equal(y0, y1)
+
+    def test_pre_extend_views_stay_valid(self):
+        """Consumers holding column views from before an extend keep their
+        snapshot: old arrays are replaced wholesale, never mutated."""
+        trajs = _random_trajs(4, seed=28)
+        frame = MODFrame.from_trajectories(trajs[:2])
+        xs_view = frame.xs_of(0)
+        snapshot = xs_view.copy()
+        frame.extend(trajs[2:])
+        np.testing.assert_array_equal(xs_view, snapshot)

@@ -258,10 +258,11 @@ class TestManifestRoundtrip:
         reopened = ReTraTree.from_manifest(roundtripped, storage=tree.storage)
         assert reopened.num_clusters == tree.num_clusters
 
-    def test_reopen_counts_come_from_the_heapfiles(self, tmp_path):
-        """Records archived AFTER the manifest snapshot (and flushed to
-        disk) are still counted on reopen: the heapfile, not the manifest,
-        is the ground truth for member/unclustered counts."""
+    def test_reopen_detects_torn_state_and_accepts_repersist(self, tmp_path):
+        """Records archived AFTER the manifest snapshot make the stale
+        manifest unusable: reopening against it raises (the engine then
+        degrades to a rebuild), while re-persisting after the mutation
+        reopens cleanly with the heapfile counts."""
         mod = flow_mod(n_per_flow=6, n_flows=1, duration=100.0)
         storage = StorageManager(tmp_path / "tree")
         tree = ReTraTree.build(
@@ -270,16 +271,25 @@ class TestManifestRoundtrip:
             storage=storage,
             name="flows",
         )
-        manifest = tree.to_manifest()
-        # Post-persist insertion: lands in some partition's heapfile.
+        stale_manifest = tree.to_manifest()
+        # Post-persist insertion: lands in some partition's heapfile, which
+        # now disagrees with the stale manifest snapshot.
         latecomer = make_linear_trajectory(
             "late", "0", (0, 0.15), (10, 0.15), 0.0, 100.0, 21
         )
         tree.insert_trajectory(latecomer)
         storage.checkpoint()
 
+        with pytest.raises(ValueError, match="torn"):
+            ReTraTree.from_manifest(
+                stale_manifest, storage=StorageManager(tmp_path / "tree")
+            )
+
+        # Re-persisting commits the mutation; reopen succeeds and counts match.
+        fresh_manifest = tree.to_manifest()
+        storage.checkpoint()
         reopened = ReTraTree.from_manifest(
-            manifest, storage=StorageManager(tmp_path / "tree")
+            fresh_manifest, storage=StorageManager(tmp_path / "tree")
         )
 
         def archived_total(t: ReTraTree) -> int:
@@ -288,7 +298,6 @@ class TestManifestRoundtrip:
                 for sc in t.subchunks()
             )
 
-        # Includes the latecomer's pieces, not the stale manifest counts.
         assert archived_total(reopened) == archived_total(tree)
 
     def test_empty_tree_rejects_persistence(self):
