@@ -210,6 +210,24 @@ class Connection:
         plan = plan_sql(sql)
         return "\n".join(plan_lines(plan, engine=self._engine))
 
+    # -- integrity ---------------------------------------------------------------
+
+    def verify(self, repair: bool = False):
+        """Check the connected engine's durable store for corruption.
+
+        A thin front over :meth:`~repro.core.engine.HermesEngine.verify`
+        (the ``repro-fsck`` machinery): scans every dataset's manifest,
+        partition checksums and record counts, reporting orphaned files and
+        torn or corrupt partitions.  ``repair=True`` additionally
+        quarantines what cannot be trusted and reopens the catalog, so the
+        connection afterwards serves only verified state.
+
+        Returns the :class:`~repro.storage.fsck.FsckReport`; on an
+        in-memory engine the report is trivially clean.
+        """
+        self._check_open()
+        return self._engine.verify(repair=repair)
+
     # -- fluent Python front-end ---------------------------------------------------
 
     def dataset(self, name: str) -> "Dataset":

@@ -18,6 +18,10 @@
 * ``repro-docs`` — build the documentation site from ``docs/`` (strict: any
   warning — missing docstring, undocumented SQL statement, broken link —
   fails the build).
+* ``repro-fsck`` — verify (and with ``--repair`` recover) a durable engine's
+  storage directory: manifest CRCs, per-page partition checksums, record
+  counts, orphaned crash debris.  Exits nonzero while unrepaired errors
+  remain.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import sys
 
 __all__ = [
     "main_sql",
+    "main_fsck",
     "main_bench_voting",
     "main_bench_pipeline",
     "main_bench_qut",
@@ -147,10 +152,14 @@ def main_sql(argv: list[str] | None = None) -> int:
             return 2
         bound_params[name] = _coerce_param(value)
 
+    corruption_seen = False
+
     def run(statement: str) -> None:
         from repro.sql.plan import ExplainPlan, bind_for_execution
         from repro.sql.planner import plan_sql
+        from repro.storage.errors import StorageCorruptionError
 
+        nonlocal corruption_seen
         try:
             plan = plan_sql(statement)
             # Bind :NAME placeholders from the --param / \set table; the
@@ -166,13 +175,18 @@ def main_sql(argv: list[str] | None = None) -> int:
                 params = supplied or None
             plan = bind_for_execution(plan, params)
             _print_rows(conn.cursor().execute_plan(plan).fetchall())
+        except StorageCorruptionError as exc:
+            # Corruption must not exit 0: scripts piping repro-sql need to
+            # notice that the store itself — not the statement — is bad.
+            corruption_seen = True
+            print(f"error: {exc}", file=sys.stderr)
         except Exception as exc:  # surface engine/SQL errors without a stack trace
             print(f"error: {exc}", file=sys.stderr)
 
     if args.statements:
         for statement in args.statements:
             run(statement)
-        return 0
+        return 1 if corruption_seen else 0
 
     print(
         f"dataset {args.dataset!r} loaded; enter SQL (empty line quits).\n"
@@ -190,7 +204,59 @@ def main_sql(argv: list[str] | None = None) -> int:
             bound_params[parts[1]] = _coerce_param(parts[2])
             continue
         run(line)
-    return 0
+    return 1 if corruption_seen else 0
+
+
+def main_fsck(argv: list[str] | None = None) -> int:
+    """Verify (and optionally repair) a durable engine's storage directory."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fsck",
+        description=(
+            "Check an on-disk S2T/QuT engine store for corruption: manifest "
+            "CRCs, per-page partition checksums, committed record counts and "
+            "orphaned crash debris.  --repair quarantines what cannot be "
+            "trusted (under <DIR>/_quarantine/) and degrades datasets "
+            "instead of letting them answer wrong."
+        ),
+    )
+    parser.add_argument("directory", help="the engine storage directory to check")
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="act on the findings instead of only reporting them",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full report as JSON on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.storage.fsck import fsck_store
+
+    report = fsck_store(args.directory, repair=args.repair)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "root": report.root,
+                    "datasets": report.datasets,
+                    "clean": report.clean,
+                    "issues": report.as_rows(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for issue in report.issues:
+            line = f"{issue.severity}: [{issue.kind}] {issue.path}: {issue.detail}"
+            if issue.repaired:
+                line += f" (repaired: {issue.action})"
+            print(line)
+        print(report.summary())
+    return 0 if report.clean else 1
 
 
 def main_bench_voting(argv: list[str] | None = None) -> int:

@@ -67,23 +67,31 @@ from repro.qut.retratree import ReTraTree
 from repro.s2t.params import S2TParams
 from repro.s2t.pipeline import S2TClustering
 from repro.s2t.result import ClusteringResult
-from repro.storage.catalog import MANIFEST_FILENAME, StorageManager
+from repro.storage.catalog import MANIFEST_FILENAME, StorageManager, manifest_checksum
+from repro.storage.errors import CorruptManifestError, CorruptPartitionError
+from repro.storage.faults import IOShim
 from repro.storage.records import encode_record
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.ingest import AppendReport
+    from repro.storage.fsck import FsckReport
 
 __all__ = ["HermesEngine"]
 
 # Manifest layout version written by this engine.  Version 2 added
 # append-path delta partitions (``deltas``), the tree's ``dataset_state``
-# snapshot and staged representatives partitions.  Version-1 manifests are
-# still *read* — every v2 field degrades to a sensible default (no deltas; a
-# tree without ``dataset_state`` counts as stale and rebuilds) — so existing
-# stores stay reachable after an upgrade; anything else is skipped at
-# recovery so a future incompatible layout never recovers garbage.
-MANIFEST_FORMAT = 2
-READABLE_MANIFEST_FORMATS = (1, 2)
+# snapshot and staged representatives partitions.  Version 3 added
+# integrity stamps: per-page CRC32 ``checksums`` for every referenced
+# partition and a ``manifest_crc`` over the manifest itself, verified on
+# cold open and by ``repro-fsck``.  Older formats are still *read* — every
+# newer field degrades to a sensible default (no deltas; a tree without
+# ``dataset_state`` counts as stale and rebuilds; a manifest without
+# checksums simply skips page verification until the next commit upgrades
+# it in place) — so existing stores stay reachable after an upgrade;
+# anything else is skipped at recovery so a future incompatible layout
+# never recovers garbage.
+MANIFEST_FORMAT = 3
+READABLE_MANIFEST_FORMATS = (1, 2, 3)
 
 
 class HermesEngine:
@@ -100,8 +108,19 @@ class HermesEngine:
     True
     """
 
-    def __init__(self, storage_directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        storage_directory: str | Path | None = None,
+        io: IOShim | None = None,
+    ) -> None:
         self.storage_directory = Path(storage_directory) if storage_directory else None
+        # Optional OS-call shim threaded through every storage manager this
+        # engine opens; fault-injection tests pass a FaultInjector here.
+        self.io = io
+        # Datasets whose manifest failed to parse at recovery, keyed by
+        # directory name → diagnostic.  They are withheld from datasets()
+        # rather than recovered wrong; repro-fsck quarantines them.
+        self._damaged_datasets: dict[str, str] = {}
         self._datasets: dict[str, MOD] = {}
         self._frames: dict[str, MODFrame] = {}
         self._retratrees: dict[str, ReTraTree] = {}
@@ -139,9 +158,15 @@ class HermesEngine:
         return cls(storage_directory=None)
 
     @classmethod
-    def on_disk(cls, directory: str | Path) -> "HermesEngine":
-        """An engine whose ReTraTree partitions are stored under ``directory``."""
-        return cls(storage_directory=directory)
+    def on_disk(cls, directory: str | Path, io: IOShim | None = None) -> "HermesEngine":
+        """An engine whose ReTraTree partitions are stored under ``directory``.
+
+        ``io`` optionally substitutes the OS-call shim every storage manager
+        uses (:class:`~repro.storage.faults.IOShim`); fault-injection tests
+        pass a :class:`~repro.storage.faults.FaultInjector` to simulate
+        crashes and transient I/O errors on a deterministic schedule.
+        """
+        return cls(storage_directory=directory, io=io)
 
     # -- dataset management ----------------------------------------------------------
 
@@ -274,13 +299,31 @@ class HermesEngine:
         """The MOD registered under ``name``; raises :class:`KeyError` if unknown.
 
         A dataset recovered from disk is materialised (archive records
-        decoded) on first access here.
+        decoded) on first access here.  A dataset whose on-disk manifest
+        was found damaged at recovery raises
+        :class:`~repro.storage.errors.CorruptManifestError` instead of
+        ``KeyError`` — the data may well still be there, it just cannot be
+        trusted until ``repro-fsck`` has looked at it.
         """
         if name in self._pending_datasets:
             self._materialise_recovered(name)
         if name not in self._datasets:
+            self._check_not_damaged(name)
             raise KeyError(f"unknown dataset {name!r}; loaded: {self.datasets()}")
         return self._datasets[name]
+
+    def _check_not_damaged(self, name: str) -> None:
+        """Raise the recorded diagnostic for a damaged on-disk dataset."""
+        if name in self._damaged_datasets:
+            raise CorruptManifestError(
+                f"dataset {name!r} exists on disk but its manifest is damaged "
+                f"({self._damaged_datasets[name]})",
+                path=(
+                    self.storage_directory / name / MANIFEST_FILENAME
+                    if self.storage_directory is not None
+                    else None
+                ),
+            )
 
     def datasets(self) -> list[str]:
         """Names of the registered datasets (including recovered ones)."""
@@ -474,7 +517,9 @@ class HermesEngine:
             return None
         self._check_durable_name(name)
         if name not in self._storages:
-            self._storages[name] = StorageManager(self.storage_directory / name)
+            self._storages[name] = StorageManager(
+                self.storage_directory / name, io=self.io
+            )
         return self._storages[name]
 
     def is_persisted(self, name: str) -> bool:
@@ -510,7 +555,7 @@ class HermesEngine:
                 and not any(directory.glob("*.json.tmp"))
             ):
                 return
-            storage = StorageManager(directory)
+            storage = StorageManager(directory, io=self.io)
         storage.destroy()
 
     @staticmethod
@@ -533,9 +578,16 @@ class HermesEngine:
         return data == raw_params or data == resolved_params
 
     def _read_manifest_or_none(self, storage: StorageManager) -> dict | None:
-        """The storage's manifest, or ``None`` if absent or unparseable."""
+        """The storage's manifest, or ``None`` if absent or unparseable.
+
+        Read *without* CRC verification: a hand-edited but parseable
+        manifest still commits the partition inventory, and its content is
+        re-verified downstream against the partition checksums and record
+        counts it references; the CRC status itself is surfaced through
+        :meth:`artifact_status` (``degraded``) and ``repro-fsck``.
+        """
         try:
-            manifest = storage.read_manifest()
+            manifest = storage.read_manifest(verify=False)
         except (ValueError, OSError):  # truncated / hand-edited / unreadable
             return None
         return manifest if isinstance(manifest, dict) else None
@@ -556,6 +608,55 @@ class HermesEngine:
             if isinstance(delta, dict) and isinstance(delta.get("partition"), str):
                 partitions.append(delta["partition"])
         return partitions
+
+    @staticmethod
+    def _tree_partitions(manifest: dict) -> list[str]:
+        """Every partition the manifest's serialised tree references."""
+        tree = manifest.get("tree")
+        if not isinstance(tree, dict):
+            return []
+        partitions = []
+        if isinstance(tree.get("reps_partition"), str):
+            partitions.append(tree["reps_partition"])
+        for sc in tree.get("subchunks") or []:
+            if not isinstance(sc, dict):
+                continue
+            if isinstance(sc.get("unclustered_partition"), str):
+                partitions.append(sc["unclustered_partition"])
+            for entry in sc.get("entries") or []:
+                if isinstance(entry, dict) and isinstance(entry.get("partition"), str):
+                    partitions.append(entry["partition"])
+        return partitions
+
+    @classmethod
+    def _manifest_partitions(cls, manifest: dict) -> list[str]:
+        """Every partition a committed manifest references (dataset + tree)."""
+        return cls._dataset_partitions(manifest) + cls._tree_partitions(manifest)
+
+    def _stamp_manifest_integrity(
+        self, storage: StorageManager, manifest: dict, fresh: set[str]
+    ) -> None:
+        """Stamp ``checksums`` and ``manifest_crc`` onto a manifest (format 3).
+
+        Called after the checkpoint and immediately before the manifest
+        write, so the per-page CRC32s reflect exactly the bytes the commit
+        publishes.  ``fresh`` names the partitions this commit staged or
+        mutated — their checksums are recomputed from disk; checksums of
+        untouched partitions are carried over from the previous manifest,
+        keeping commit cost proportional to what changed.
+        """
+        manifest["format_version"] = MANIFEST_FORMAT
+        referenced = self._manifest_partitions(manifest)
+        old = manifest.get("checksums")
+        old = old if isinstance(old, dict) else {}
+        to_compute = [name for name in referenced if name in fresh or name not in old]
+        computed = storage.partition_checksums(to_compute)
+        manifest["checksums"] = {
+            name: computed[name] if name in computed else old[name]
+            for name in referenced
+            if name in computed or name in old
+        }
+        manifest["manifest_crc"] = manifest_checksum(manifest)
 
     @staticmethod
     def _fresh_suffixed_partition(
@@ -629,7 +730,7 @@ class HermesEngine:
         if storage.directory is not None:
             for path in storage.directory.glob(f"{name}__reps*.part"):
                 if path.stem != keep and not storage.has(path.stem):
-                    path.unlink()
+                    storage.unlink_path(path)
 
     def _sweep_partitions(self, storage: StorageManager, keep: set[str]) -> None:
         """Drop every partition (open or stale on disk) not in ``keep``."""
@@ -641,7 +742,7 @@ class HermesEngine:
             # replacement attempt) that this manager never opened.
             for path in storage.directory.glob("*.part"):
                 if path.stem not in keep and not storage.has(path.stem):
-                    path.unlink()
+                    storage.unlink_path(path)
 
     def _persist_dataset(self, name: str) -> None:
         """Archive the dataset's trajectories and write the manifest root.
@@ -676,16 +777,17 @@ class HermesEngine:
         # Checkpoint BEFORE the manifest: the manifest is the commit record,
         # so it must never reference records that have not reached disk.
         storage.checkpoint()
-        storage.write_manifest(
-            {
-                "format_version": MANIFEST_FORMAT,
-                "dataset": name,
-                "frame_partition": partition,
-                "row_keys": row_keys,
-                "deltas": [],
-                "tree": None,
-            }
-        )
+        manifest = {
+            "format_version": MANIFEST_FORMAT,
+            "dataset": name,
+            "frame_partition": partition,
+            "row_keys": row_keys,
+            "deltas": [],
+            "tree": None,
+        }
+        self._stamp_manifest_integrity(storage, manifest, fresh={partition})
+        storage.write_manifest(manifest)
+        self._damaged_datasets.pop(name, None)
         self._sweep_partitions(storage, {partition})
 
     def _persist_append(self, name: str, trajectories, tree) -> bool:
@@ -733,10 +835,14 @@ class HermesEngine:
         # A tree that exists only in the manifest (not cached, so not
         # maintained) keeps its old dataset_state — which no longer matches,
         # making the staleness explicit (artifact_status / _recover_tree).
-        # Re-stamp the format: this write adds v2 fields (deltas), so a
-        # recovered v1-era manifest must not keep claiming the old layout.
-        manifest["format_version"] = MANIFEST_FORMAT
         storage.checkpoint()
+        # The fresh set: the staged delta, plus — when the maintained tree
+        # was re-serialised — every tree partition (incremental maintenance
+        # mutates member/unclustered heapfiles in place).
+        fresh = {partition}
+        if tree is not None and tree.params is not None:
+            fresh.update(self._tree_partitions(manifest))
+        self._stamp_manifest_integrity(storage, manifest, fresh=fresh)
         storage.write_manifest(manifest)
         # Reclaim staging files from crashed earlier appends (dataset deltas
         # and superseded reps); member partitions are never touched here.
@@ -744,7 +850,7 @@ class HermesEngine:
         if storage.directory is not None:
             for path in storage.directory.glob(f"{name}__dataset_g*.part"):
                 if path.stem not in keep and not storage.has(path.stem):
-                    path.unlink()
+                    storage.unlink_path(path)
         if tree is not None and tree.params is not None:
             self._sweep_stale_reps(storage, name, manifest)
         return True
@@ -768,10 +874,11 @@ class HermesEngine:
         # mismatch later marks the persisted tree stale.
         self._stage_tree_manifest(storage, name, manifest, tree)
         # Flush the member/representative records first; the manifest write
-        # is the commit point (see _persist_dataset).  Re-stamp the format:
-        # the tree entry carries v2 fields (dataset_state, reps_partition).
-        manifest["format_version"] = MANIFEST_FORMAT
+        # is the commit point (see _persist_dataset).
         storage.checkpoint()
+        self._stamp_manifest_integrity(
+            storage, manifest, fresh=set(self._tree_partitions(manifest))
+        )
         storage.write_manifest(manifest)
         self._sweep_stale_reps(storage, name, manifest)
 
@@ -797,6 +904,7 @@ class HermesEngine:
             # next sweep reclaims them), never a manifest referencing
             # deleted heapfiles.
             manifest["tree"] = None
+            self._stamp_manifest_integrity(storage, manifest, fresh=set())
             storage.write_manifest(manifest)
         self._sweep_partitions(storage, set(self._dataset_partitions(manifest)))
 
@@ -845,26 +953,53 @@ class HermesEngine:
         decode on first :meth:`get_mod`/:meth:`frame` access, the persisted
         tree structure reopens on the first :meth:`retratree` call).  A
         directory whose manifest is unreadable or has the wrong format
-        version is skipped, so one damaged dataset never prevents the
-        engine from serving the healthy ones.
+        version is recorded in ``_damaged_datasets`` and withheld from
+        :meth:`datasets` — one damaged dataset never prevents the engine
+        from serving the healthy ones, and asking for it by name raises
+        :class:`~repro.storage.errors.CorruptManifestError` pointing at
+        ``repro-fsck`` instead of a misleading ``KeyError``.
+
+        Two extra recovery duties ride along per healthy dataset: the
+        manifest's recorded partition checksums are handed to the storage
+        manager (verified lazily, on each partition's first open), and
+        partition/staging files the manifest does not reference — debris a
+        crash left in the window between a commit and its sweep — are
+        reclaimed immediately.
         """
+        from repro.storage.fsck import QUARANTINE_DIRNAME
+
         assert self.storage_directory is not None
         if not self.storage_directory.exists():
             return
         for sub in sorted(p for p in self.storage_directory.iterdir() if p.is_dir()):
+            if sub.name == QUARANTINE_DIRNAME:
+                continue
             if not (sub / MANIFEST_FILENAME).exists():
                 continue
-            storage = StorageManager(sub)
-            manifest = self._read_manifest_or_none(storage)
+            storage = StorageManager(sub, io=self.io)
+            try:
+                manifest = storage.read_manifest(verify=False)
+            except (OSError, ValueError) as exc:
+                self._damaged_datasets[sub.name] = str(exc)
+                storage.close()
+                continue
             if (
-                manifest is None
+                not isinstance(manifest, dict)
                 or manifest.get("format_version") not in READABLE_MANIFEST_FORMATS
                 or not isinstance(manifest.get("dataset"), str)
                 or not isinstance(manifest.get("frame_partition"), str)
             ):
+                self._damaged_datasets[sub.name] = (
+                    "manifest is structurally invalid or has an unsupported "
+                    f"format version {manifest.get('format_version')!r}"
+                    if isinstance(manifest, dict)
+                    else "manifest is not a JSON object"
+                )
                 storage.close()
                 continue
             name = manifest["dataset"]
+            storage.set_expected_checksums(manifest.get("checksums"))
+            self._sweep_recovered_orphans(storage, manifest)
             self._pending_datasets[name] = manifest
             self._storages[name] = storage
             if manifest.get("tree") is not None:
@@ -872,14 +1007,33 @@ class HermesEngine:
             self._generation_counter += 1
             self._generations[name] = self._generation_counter
 
+    def _sweep_recovered_orphans(self, storage: StorageManager, manifest: dict) -> None:
+        """Reclaim crash debris at cold start: unreferenced partitions, tmp files.
+
+        A crash between a manifest commit and its stale-file sweep leaves
+        partition files nothing references (a half-staged replacement, a
+        superseded reps generation) and manifest staging files.  They are
+        invisible to queries but cost disk forever — recovery deletes them
+        so ``repro-fsck`` on a store that merely crashed reports clean.
+        """
+        if storage.directory is None:
+            return
+        referenced = set(self._manifest_partitions(manifest))
+        for path in storage.directory.glob("*.part"):
+            if path.stem not in referenced:
+                storage.unlink_path(path)
+        for path in storage.directory.glob("*.json.tmp"):
+            storage.unlink_path(path)
+
     def _materialise_recovered(self, name: str) -> None:
         """Decode a catalogued dataset's archive into a live MOD + frame.
 
-        Raises :class:`RuntimeError` (not ``KeyError``) when the archive
-        does not contain every record the manifest promises — e.g. after a
-        crash before the manifest's records were flushed under an older
-        layout — so callers can tell catalog corruption apart from a simple
-        unknown-dataset typo.
+        Raises :class:`~repro.storage.errors.CorruptPartitionError` (a
+        ``RuntimeError``, not ``KeyError``) when the archive does not
+        contain every record the manifest promises, or when its pages fail
+        their recorded checksums or decode — so callers can tell catalog
+        corruption apart from a simple unknown-dataset typo, and corrupt
+        bytes never materialise into query answers.
         """
         from repro.storage.records import decode_record
 
@@ -887,25 +1041,40 @@ class HermesEngine:
         storage = self._dataset_storage(name)
         assert storage is not None
 
+        def partition_path(partition: str) -> Path | None:
+            if storage.directory is None:
+                return None
+            return storage.directory / f"{partition}.part"
+
         def decode_partition(partition: str, row_keys: list) -> list[Trajectory]:
             info = storage.get_or_create(partition)
             by_key: dict[tuple[str, str], Trajectory] = {}
             count = 0
-            for _rid, raw in info.heapfile.scan_records():
-                rec = decode_record(raw)
-                by_key[(rec.obj_id, rec.traj_id)] = rec.to_trajectory()
-                count += 1
+            try:
+                for _rid, raw in info.heapfile.scan_records():
+                    rec = decode_record(raw)
+                    by_key[(rec.obj_id, rec.traj_id)] = rec.to_trajectory()
+                    count += 1
+            except CorruptPartitionError:
+                raise
+            except (ValueError, KeyError) as exc:
+                raise CorruptPartitionError(
+                    f"dataset {name!r} is catalogued but partition {partition!r} "
+                    f"does not decode: {exc}",
+                    path=partition_path(partition),
+                ) from exc
             info.record_count = count
             try:
                 return [by_key[tuple(key)] for key in row_keys]
             except KeyError as exc:
                 # Leave the dataset pending: every retry reports the same
                 # diagnostic instead of degrading to "unknown dataset".
-                raise RuntimeError(
+                raise CorruptPartitionError(
                     f"dataset {name!r} is catalogued but its archive is incomplete "
                     f"(missing record for trajectory {exc.args[0]!r} in partition "
                     f"{partition!r}); the directory {storage.directory} needs "
-                    "manual inspection"
+                    "manual inspection",
+                    path=partition_path(partition),
                 ) from exc
 
         # Base archive first, then every committed delta in append order —
@@ -920,6 +1089,50 @@ class HermesEngine:
         self._pending_datasets.pop(name)
         self._datasets[name] = MOD(name=name, trajectories=ordered)
         self._frames[name] = MODFrame.from_trajectories(ordered)
+
+    def verify(self, repair: bool = False) -> "FsckReport":
+        """Check the engine's storage directory for corruption (``repro-fsck``).
+
+        Scans every dataset directory: manifest readability and CRC,
+        per-page partition checksums, record counts against the committed
+        manifests, and orphaned partition/staging files.  With
+        ``repair=True`` the findings are acted on (orphans deleted, corrupt
+        files quarantined under ``_quarantine/``, datasets degraded or
+        withdrawn — see :mod:`repro.storage.fsck` for the policy) and the
+        engine then *reopens* its catalog so the in-process view matches
+        the repaired store.
+
+        Returns the :class:`~repro.storage.fsck.FsckReport`;
+        ``report.clean`` means the store can be trusted.  On an in-memory
+        engine the report is trivially clean.
+        """
+        from repro.storage.fsck import FsckReport, fsck_store
+
+        if self.storage_directory is None:
+            return FsckReport(root=None)
+        if not repair:
+            for storage in self._storages.values():
+                storage.checkpoint()
+            return fsck_store(self.storage_directory, repair=False, io=self.io)
+        self.close()
+        report = fsck_store(self.storage_directory, repair=True, io=self.io)
+        # Reopen the catalog: repairs may have quarantined datasets, dropped
+        # deltas or reset trees, and the caches must not outlive the state
+        # they were derived from.  The generation counter keeps running so
+        # generation-keyed consumers notice the world changed.
+        for cache in (
+            self._datasets,
+            self._frames,
+            self._retratrees,
+            self._last_results,
+            self._pending_datasets,
+            self._tree_manifests,
+            self._damaged_datasets,
+        ):
+            cache.clear()
+        self._append_batches.clear()
+        self._recover_catalog()
+        return report
 
     # -- results ----------------------------------------------------------------------------------
 
@@ -958,6 +1171,11 @@ class HermesEngine:
         persisted tree is *stale* — serialised against a dataset state the
         deltas have since outgrown, so the next ``retratree`` call will
         rebuild instead of recovering it (``tree_stale``).
+
+        ``degraded`` reports whether the dataset's durable state is less
+        than what was once committed: its manifest is damaged or fails its
+        CRC stamp, or a ``repro-fsck --repair`` had to drop corrupt append
+        batches (the manifest's ``degraded`` list records what was lost).
         """
         storage = self._storages.get(name)
         tree_persisted = name in self._tree_manifests
@@ -965,6 +1183,7 @@ class HermesEngine:
         partitions = 0
         delta_partitions = 0
         tree_stale = False
+        degraded = name in self._damaged_datasets
         if storage is not None:
             partitions = len(list(storage.partitions()))
             manifest = self._read_manifest_or_none(storage)
@@ -977,6 +1196,11 @@ class HermesEngine:
                     tree_stale = tree_data.get("dataset_state") != self._dataset_partitions(
                         manifest
                     )
+                degraded = (
+                    degraded
+                    or bool(manifest.get("degraded"))
+                    or not StorageManager.manifest_crc_ok(manifest)
+                )
         return {
             "dataset": name,
             "loaded": name in self._datasets or name in self._pending_datasets,
@@ -989,6 +1213,7 @@ class HermesEngine:
             "storage_partitions": partitions,
             "append_batches": self._append_batches.get(name, 0),
             "delta_partitions": delta_partitions,
+            "degraded": degraded,
         }
 
     def close(self) -> None:

@@ -77,6 +77,11 @@ class AppendReport:
     persisted:
         Whether the batch was committed to disk as a delta partition
         (always ``False`` on in-memory engines).
+    io_retries:
+        Transient I/O failures the storage layer absorbed (retried with
+        backoff) while committing this batch — 0 on a healthy disk; a
+        nonzero value is an early warning the operator should see before
+        the disk fails outright.
     seconds:
         Wall-clock duration of the whole append.
     """
@@ -89,6 +94,7 @@ class AppendReport:
     tree_maintained: bool = False
     tree_counters: dict[str, int] | None = None
     persisted: bool = False
+    io_retries: int = 0
     seconds: float = 0.0
 
     def as_dict(self) -> dict[str, object]:
@@ -106,6 +112,7 @@ class AppendReport:
             "frame_extended": self.frame_extended,
             "tree_maintained": self.tree_maintained,
             "persisted": self.persisted,
+            "io_retries": self.io_retries,
             "seconds": self.seconds,
         }
         for key, value in (self.tree_counters or {}).items():
@@ -294,8 +301,16 @@ class IngestPipeline:
             engine._note_append(name)
 
         # 5. Durability: stage the batch as a delta partition; the manifest
-        #    write commits dataset + maintained tree atomically.
+        #    write commits dataset + maintained tree atomically.  The retry
+        #    delta around the commit surfaces absorbed transient I/O errors.
+        storage = engine._storages.get(name)
+        retries_before = storage.io_stats().get("io_retries", 0) if storage else 0
         report.persisted = engine._persist_append(name, trajs, tree)
+        storage = engine._storages.get(name)
+        if storage is not None:
+            report.io_retries = (
+                storage.io_stats().get("io_retries", 0) - retries_before
+            )
 
         report.trajectories = len(trajs)
         report.points = int(delta_frame.total_points)

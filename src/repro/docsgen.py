@@ -50,6 +50,9 @@ API_TARGETS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
     ("repro.qut.params", ("QuTParams",)),
     ("repro.s2t.params", ("S2TParams",)),
     ("repro.sql.errors", None),
+    ("repro.storage.errors", None),
+    ("repro.storage.faults", None),
+    ("repro.storage.fsck", None),
 )
 
 # Markdown pages, in navigation order, with their nav titles.

@@ -39,6 +39,7 @@ from repro.qut.params import QuTParams
 from repro.s2t.clustering import assign_to_representatives_batch
 from repro.s2t.pipeline import S2TClustering
 from repro.storage.catalog import StorageManager
+from repro.storage.errors import CorruptPartitionError
 from repro.storage.heapfile import RID
 from repro.storage.records import decode_record, encode_record
 
@@ -64,6 +65,13 @@ def subtrajectory_from_slice(parent: Trajectory, piece: Trajectory) -> SubTrajec
         piece.ts,
     )
     return SubTrajectory(parent.key, start_idx, end_idx, sub_traj)
+
+
+def _partition_path(storage: StorageManager, name: str):
+    """The partition's on-disk file, or ``None`` for in-memory storage."""
+    if storage.directory is None:
+        return None
+    return storage.directory / f"{name}.part"
 
 
 def _record_to_subtrajectory(raw: bytes) -> SubTrajectory:
@@ -711,10 +719,11 @@ class ReTraTree:
             scanned = sum(1 for _ in reps.heapfile.scan_records())
             reps.record_count = scanned
             if scanned != int(expected_reps):
-                raise ValueError(
+                raise CorruptPartitionError(
                     f"representatives partition {reps_name!r} holds {scanned} "
                     f"records but the manifest recorded {expected_reps}; the "
-                    "tree state is torn"
+                    "tree state is torn",
+                    path=_partition_path(storage, reps_name),
                 )
         for sc_data in manifest["subchunks"]:
             key = (int(sc_data["chunk_idx"]), int(sc_data["sub_idx"]))
@@ -728,10 +737,11 @@ class ReTraTree:
                 subchunk.unclustered_partition
             )
             if subchunk.unclustered_count != int(sc_data["unclustered_count"]):
-                raise ValueError(
+                raise CorruptPartitionError(
                     f"unclustered partition {subchunk.unclustered_partition!r} holds "
                     f"{subchunk.unclustered_count} records but the manifest recorded "
-                    f"{sc_data['unclustered_count']}; the tree state is torn"
+                    f"{sc_data['unclustered_count']}; the tree state is torn",
+                    path=_partition_path(storage, subchunk.unclustered_partition),
                 )
             for entry_data in sc_data["entries"]:
                 rid = RID(*entry_data["representative_rid"])
@@ -740,10 +750,11 @@ class ReTraTree:
                     entry_data["partition"]
                 )
                 if member_count != int(entry_data["member_count"]):
-                    raise ValueError(
+                    raise CorruptPartitionError(
                         f"member partition {entry_data['partition']!r} holds "
                         f"{member_count} records but the manifest recorded "
-                        f"{entry_data['member_count']}; the tree state is torn"
+                        f"{entry_data['member_count']}; the tree state is torn",
+                        path=_partition_path(storage, entry_data["partition"]),
                     )
                 subchunk.entries.append(
                     ClusterEntry(

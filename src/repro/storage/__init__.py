@@ -11,19 +11,27 @@ but real storage engine:
 * :mod:`repro.storage.heapfile`    -- record files addressed by RID,
 * :mod:`repro.storage.records`     -- (sub-)trajectory record serialisation,
 * :mod:`repro.storage.catalog`     -- named partitions (create/open/drop),
-  manifest persistence and directory reclamation.
+  manifest persistence and directory reclamation,
+* :mod:`repro.storage.errors`      -- structured corruption diagnostics,
+* :mod:`repro.storage.faults`      -- the OS-call shim every component does
+  its I/O through, and its fault-injecting test double,
+* :mod:`repro.storage.fsck`        -- offline verification and repair (the
+  ``repro-fsck`` engine).
 
 Manifest format
 ---------------
 A directory-backed :class:`~repro.storage.catalog.StorageManager` owns one
 ``manifest.json``, the durable root the engine recovers from.  Layout
-(``format_version`` = 2; version-1 manifests — which lack ``deltas`` and
-the tree's ``dataset_state``/``reps_partition``/``reps_count`` fields —
-are still readable: missing deltas default to none and a tree without
-``dataset_state`` counts as stale and rebuilds)::
+(``format_version`` = 3).  Older formats are still readable: version-1
+manifests lack ``deltas`` and the tree's
+``dataset_state``/``reps_partition``/``reps_count`` fields (missing deltas
+default to none and a tree without ``dataset_state`` counts as stale and
+rebuilds); version-2 manifests lack the integrity stamps ``checksums`` and
+``manifest_crc`` (page verification is skipped until the next commit
+upgrades the manifest in place)::
 
     {
-      "format_version": 2,
+      "format_version": 3,
       "dataset": "<name>",                 # dataset registered under this dir
       "frame_partition":                   # heapfile with one whole-trajectory
         "<name>__dataset_g<N>",            #   record per row (see records.py);
@@ -57,7 +65,18 @@ are still readable: missing deltas default to none and a tree without
             "representative_rid": [page_no, slot]   # in reps_partition
           }, …]
         }, …]
-      }
+      },
+      "checksums": {                       # v3: per-page CRC32s of every
+        "<partition>": [int, …], …         #   referenced partition, computed
+      },                                   #   at commit, verified on first
+                                           #   cold open and by repro-fsck
+      "manifest_crc": int,                 # v3: CRC32 over the manifest's
+                                           #   canonical JSON (excluding this
+                                           #   key) — detects tampering and
+                                           #   torn manifest writes
+      "degraded": [str, …]                 # optional: what a repro-fsck
+                                           #   --repair had to give up
+                                           #   (quarantined append batches)
     }
 
 Member records stay in their partitions' heapfiles; the manifest only adds
@@ -65,6 +84,17 @@ the structure that lived in memory.  Partition pg3D-Rtrees are not
 persisted — recovery rebuilds them with one scan per partition, checking
 the scanned record counts against the manifest's (a mismatch is the
 signature of a torn append and degrades to a rebuild).
+
+Failure model
+-------------
+Every file mutation goes through an :class:`~repro.storage.faults.IOShim`
+(write, fsync, rename, unlink), so the fault-injection harness can crash
+the engine at any single operation or fail operations transiently; the
+crash-sweep tests drive every such point and assert recovery lands on
+exactly the pre- or post-commit state.  Corruption detected anywhere
+raises :class:`~repro.storage.errors.StorageCorruptionError` subclasses
+naming the file, offset and partition generation — never a wrong answer —
+and ``repro-fsck`` (:mod:`repro.storage.fsck`) diagnoses and repairs.
 """
 
 from repro.storage.page import Page, PAGE_SIZE
@@ -72,7 +102,26 @@ from repro.storage.pager import FilePager, InMemoryPager, Pager
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.heapfile import HeapFile, RID
 from repro.storage.records import TrajectoryRecord, decode_record, encode_record
-from repro.storage.catalog import StorageManager, PartitionInfo
+from repro.storage.catalog import (
+    StorageManager,
+    PartitionInfo,
+    manifest_checksum,
+    page_checksums,
+)
+from repro.storage.errors import (
+    CorruptManifestError,
+    CorruptPartitionError,
+    StorageCorruptionError,
+    partition_generation,
+)
+from repro.storage.faults import (
+    DEFAULT_IO,
+    FaultInjector,
+    InjectedCrash,
+    IOShim,
+    with_retries,
+)
+from repro.storage.fsck import FsckIssue, FsckReport, fsck_store
 
 __all__ = [
     "Page",
@@ -89,4 +138,18 @@ __all__ = [
     "decode_record",
     "StorageManager",
     "PartitionInfo",
+    "manifest_checksum",
+    "page_checksums",
+    "StorageCorruptionError",
+    "CorruptPartitionError",
+    "CorruptManifestError",
+    "partition_generation",
+    "IOShim",
+    "DEFAULT_IO",
+    "FaultInjector",
+    "InjectedCrash",
+    "with_retries",
+    "FsckIssue",
+    "FsckReport",
+    "fsck_store",
 ]

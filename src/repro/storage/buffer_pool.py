@@ -61,6 +61,16 @@ class BufferPool:
 
     # -- page access -----------------------------------------------------------
 
+    @property
+    def io_retries(self) -> int:
+        """Transient I/O failures the underlying pager absorbed via retries.
+
+        Zero for pagers without retry support (the in-memory pager).
+        Surfaced through :meth:`repro.storage.catalog.StorageManager.io_stats`
+        so operators can spot a flaky disk before it turns into downtime.
+        """
+        return getattr(self._pager, "io_retries", 0)
+
     def num_pages(self) -> int:
         """Number of pages in the underlying pager."""
         return self._pager.num_pages()

@@ -1,0 +1,285 @@
+"""Fault injection: an OS-call shim for crash and I/O-error testing.
+
+Every mutating OS call the storage layer makes — page writes, fsyncs, the
+manifest's atomic rename, file unlinks — goes through an :class:`IOShim`.
+The default shim is a transparent pass-through; tests substitute a
+:class:`FaultInjector`, which counts the mutating calls on a deterministic
+schedule and can
+
+* **crash** at exactly op ``N`` (:meth:`FaultInjector.arm_crash`), raising
+  :class:`InjectedCrash` *instead of* performing the call — optionally
+  after writing a torn prefix, to model a power cut mid-``write``;
+* inject **transient** ``OSError`` failures (:meth:`FaultInjector.fail_next`)
+  that succeed on retry, exercising the bounded-retry paths.
+
+:class:`InjectedCrash` deliberately subclasses :class:`BaseException`, not
+:class:`Exception`: a simulated process death must sail through every
+``except Exception`` / ``except OSError`` recovery handler in the engine
+exactly the way a real ``SIGKILL`` would.  After the crash fires the
+injector goes *dead* — all further shimmed calls raise — so nothing the
+doomed process does afterwards (flushes on close, sweeps in ``finally``
+blocks) can touch the disk.
+
+Files are opened **unbuffered** (``buffering=0``): every ``write`` through
+the shim is a real syscall, so a crash loses exactly the operations that
+were never issued — no hidden Python-level buffer gets flushed when the
+abandoned file objects are garbage collected.
+
+:func:`with_retries` is the companion recovery primitive: bounded retry
+with exponential backoff for *transient* I/O errors on read, checkpoint
+and manifest paths.  It never retries :class:`InjectedCrash` (crashes are
+not transient).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from pathlib import Path
+from typing import Callable, TypeVar
+
+__all__ = [
+    "IOShim",
+    "FaultInjector",
+    "InjectedCrash",
+    "with_retries",
+    "DEFAULT_IO",
+]
+
+_T = TypeVar("_T")
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death, raised by an armed :class:`FaultInjector`.
+
+    Subclasses :class:`BaseException` so ordinary ``except Exception``
+    recovery code cannot swallow it — exactly like a real kill signal.
+    """
+
+
+class IOShim:
+    """Pass-through OS-call layer the storage code routes its I/O through.
+
+    Subclass and override to observe or perturb individual calls; the
+    base implementation simply performs them.  All files are opened
+    unbuffered so that every shimmed ``write`` reaches the OS immediately
+    (see the module docstring for why that matters to crash simulation).
+    """
+
+    def open(self, path: str | Path, mode: str):
+        """Open ``path`` unbuffered in binary ``mode`` and return the file."""
+        return open(path, mode, buffering=0)
+
+    def read(self, fh, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes from an open file."""
+        return fh.read(n)
+
+    def write(self, fh, data: bytes) -> None:
+        """Write ``data`` to an open file at its current position."""
+        fh.write(data)
+
+    def fsync(self, fh) -> None:
+        """Force an open file's data to stable storage."""
+        os.fsync(fh.fileno())
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(src, dst)
+
+    def unlink(self, path: str | Path) -> None:
+        """Delete a file."""
+        os.unlink(path)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Fsync a directory entry, making a rename/unlink itself durable.
+
+        Directory file descriptors are a POSIX notion; on platforms without
+        them this degrades to a no-op (the rename stays atomic, just not
+        crash-ordered — the best available there).
+        """
+        try:
+            dir_fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX platforms
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        """Read a whole file's contents."""
+        return Path(path).read_bytes()
+
+
+#: The shared pass-through shim used when no injector is supplied.
+DEFAULT_IO = IOShim()
+
+#: The shimmed call kinds that count as *mutating* operations.
+MUTATION_KINDS = ("write", "fsync", "replace", "unlink")
+
+
+class FaultInjector(IOShim):
+    """An :class:`IOShim` that injects crashes and transient I/O errors.
+
+    Mutating calls (``write``/``fsync``/``replace``/``unlink``; a directory
+    fsync counts as ``fsync``) are assigned consecutive op indices, logged
+    in :attr:`op_log`, and checked against the armed crash point.  Reads
+    are never counted — they cannot lose data — but can still fail
+    transiently via :meth:`fail_next`.
+
+    Attributes
+    ----------
+    ops:
+        Number of mutating operations performed (or crashed on) so far.
+    op_log:
+        ``"<kind>:<filename>"`` per counted op, for debugging sweeps.
+    dead:
+        Set once the crash fired; every further shimmed call raises
+        :class:`InjectedCrash` (the process is gone).
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.op_log: list[str] = []
+        self.dead = False
+        self._crash_at: int | None = None
+        self._torn = True
+        # kind -> [remaining failures, errno]
+        self._transient: dict[str, list[int]] = {}
+
+    # -- scheduling ----------------------------------------------------------
+
+    def arm_crash(self, at_op: int, torn: bool = True) -> None:
+        """Crash on the mutating op with index ``at_op`` (0-based).
+
+        With ``torn=True`` a crash landing on a ``write`` first writes a
+        partial prefix of the data — a torn write; otherwise the op is
+        skipped entirely.
+        """
+        self._crash_at = at_op
+        self._torn = torn
+
+    def disarm(self) -> None:
+        """Clear the crash point and revive a dead injector."""
+        self._crash_at = None
+        self.dead = False
+
+    def fail_next(self, kind: str, count: int = 1, err: int = errno.EIO) -> None:
+        """Make the next ``count`` calls of ``kind`` raise ``OSError(err)``.
+
+        ``kind`` is one of ``read``/``write``/``fsync``/``replace``/
+        ``unlink``.  Transient failures raise *before* performing the call
+        and do not consume op indices, so arming them never shifts the
+        crash schedule.
+        """
+        self._transient[kind] = [count, err]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _check_transient(self, kind: str) -> None:
+        pending = self._transient.get(kind)
+        if pending and pending[0] > 0:
+            pending[0] -= 1
+            raise OSError(pending[1], f"injected transient {kind} failure")
+
+    def _account(self, kind: str, path: object) -> bool:
+        """Count one mutating op; return ``True`` when it is the crash op."""
+        if self.dead:
+            raise InjectedCrash(f"process is dead (crashed earlier); refused {kind}")
+        self._check_transient(kind)
+        index = self.ops
+        self.ops += 1
+        name = Path(getattr(path, "name", None) or str(path)).name
+        self.op_log.append(f"{kind}:{name}")
+        if self._crash_at is not None and index == self._crash_at:
+            self.dead = True
+            return True
+        return False
+
+    # -- shimmed calls -------------------------------------------------------
+
+    def open(self, path: str | Path, mode: str):
+        """Open a file (not counted; a dead injector still refuses it)."""
+        if self.dead:
+            raise InjectedCrash("process is dead (crashed earlier); refused open")
+        return super().open(path, mode)
+
+    def read(self, fh, n: int = -1) -> bytes:
+        """Read with transient-failure injection (never counted)."""
+        if self.dead:
+            raise InjectedCrash("process is dead (crashed earlier); refused read")
+        self._check_transient("read")
+        return super().read(fh, n)
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        """Whole-file read with transient-failure injection (never counted)."""
+        if self.dead:
+            raise InjectedCrash("process is dead (crashed earlier); refused read")
+        self._check_transient("read")
+        return super().read_bytes(path)
+
+    def write(self, fh, data: bytes) -> None:
+        """Write, honouring the crash schedule (torn prefix when armed)."""
+        if self._account("write", getattr(fh, "name", "?")):
+            if self._torn and len(data) > 1:
+                # A torn write: the power died partway through the syscall.
+                super().write(fh, data[: len(data) // 2])
+            raise InjectedCrash(f"injected crash at op {self.ops - 1} (torn write)")
+        super().write(fh, data)
+
+    def fsync(self, fh) -> None:
+        """Fsync, honouring the crash schedule."""
+        if self._account("fsync", getattr(fh, "name", "?")):
+            raise InjectedCrash(f"injected crash at op {self.ops - 1} (fsync)")
+        super().fsync(fh)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Directory fsync, counted as an ``fsync`` op."""
+        if self._account("fsync", path):
+            raise InjectedCrash(f"injected crash at op {self.ops - 1} (dir fsync)")
+        super().fsync_dir(path)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomic rename, honouring the crash schedule."""
+        if self._account("replace", dst):
+            raise InjectedCrash(f"injected crash at op {self.ops - 1} (rename)")
+        super().replace(src, dst)
+
+    def unlink(self, path: str | Path) -> None:
+        """Unlink, honouring the crash schedule."""
+        if self._account("unlink", path):
+            raise InjectedCrash(f"injected crash at op {self.ops - 1} (unlink)")
+        super().unlink(path)
+
+
+def with_retries(
+    fn: Callable[[], _T],
+    *,
+    attempts: int = 4,
+    base_delay: float = 0.001,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[], None] | None = None,
+) -> _T:
+    """Call ``fn``, retrying transient failures with exponential backoff.
+
+    Retries up to ``attempts - 1`` times on ``retry_on`` exceptions (by
+    default any :class:`OSError`), sleeping ``base_delay * 2**attempt``
+    between tries, then re-raises the last failure.  ``on_retry`` is
+    invoked before each retry (the storage layer counts them into its I/O
+    statistics).  :class:`InjectedCrash` is a :class:`BaseException` and
+    therefore never matches the default filter: crashes are not transient.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry()
+            sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

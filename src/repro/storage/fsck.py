@@ -1,0 +1,585 @@
+"""Offline catalog verification and repair — the ``repro-fsck`` engine.
+
+:func:`fsck_store` walks an engine storage directory (one subdirectory per
+dataset, each owning a ``manifest.json`` catalog root) and cross-checks
+three layers of evidence against each other:
+
+1. **the manifest** — readable JSON, supported format, CRC32 stamp intact;
+2. **the partition files it references** — present, a whole number of
+   pages, page CRC32s matching the manifest's recorded checksums
+   (format-3 stores), and heapfile record counts matching the counts the
+   manifest committed (all formats — this is what catches a torn append
+   on a checksum-less format-2 store);
+3. **the directory contents** — generation-suffixed partition files and
+   manifest staging files nothing references (the debris a crash between
+   a manifest commit and the stale-file sweep leaves behind).
+
+With ``repair=True`` the checker acts on what it found, always preferring
+*loss of derived state* over *wrong answers*:
+
+* orphaned partition/staging files are deleted;
+* a corrupt **tree** partition (representatives, members, unclustered)
+  resets the manifest's ``tree`` entry — the next query rebuilds the
+  ReTraTree from the verified archive;
+* a corrupt **delta** partition is quarantined and its batch removed from
+  the manifest, with the data loss recorded in the manifest's
+  ``degraded`` list (surfaced by ``artifact_status``/``EXPLAIN``);
+* a corrupt **base archive** or unreadable manifest quarantines the whole
+  dataset directory under ``<root>/_quarantine/`` — nothing trustworthy
+  remains to serve.
+
+Every repair that changes the manifest rewrites it atomically with fresh
+``checksums``/``manifest_crc`` stamps, so a post-repair store verifies
+clean.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import MANIFEST_FILENAME, manifest_checksum, page_checksums
+from repro.storage.faults import DEFAULT_IO, IOShim
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.pager import Pager
+
+__all__ = ["FsckIssue", "FsckReport", "fsck_store", "QUARANTINE_DIRNAME"]
+
+#: Directory (under the store root) corrupt files are moved into on repair.
+QUARANTINE_DIRNAME = "_quarantine"
+
+#: Manifest layouts this checker knows how to validate.
+_KNOWN_FORMATS = (1, 2, 3)
+
+
+@dataclass
+class FsckIssue:
+    """One finding of the checker.
+
+    Attributes
+    ----------
+    kind:
+        Machine-readable issue class (``orphan_file``, ``stale_staging``,
+        ``checksum_mismatch``, ``torn_partition``, ``missing_partition``,
+        ``manifest_unreadable``, ``manifest_checksum``,
+        ``manifest_unsupported``, ``uncommitted_directory``,
+        ``unchecksummed``).
+    path:
+        The file or directory the issue concerns.
+    detail:
+        Human-readable description of what was found.
+    severity:
+        ``"error"`` (the store cannot be fully trusted), ``"warning"``
+        (wasted space / debris, answers unaffected) or ``"info"``.
+    repaired:
+        Whether a ``repair=True`` run resolved it.
+    action:
+        What the repair did (empty when not repaired).
+    """
+
+    kind: str
+    path: str
+    detail: str
+    severity: str = "error"
+    repaired: bool = False
+    action: str = ""
+
+    def as_row(self) -> dict[str, object]:
+        """The issue as one flat report row (CLI/JSON output)."""
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "path": self.path,
+            "detail": self.detail,
+            "repaired": self.repaired,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one :func:`fsck_store` run found (and possibly repaired)."""
+
+    root: str | None
+    datasets: list[str] = field(default_factory=list)
+    issues: list[FsckIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[FsckIssue]:
+        """The error-severity issues (repaired or not)."""
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def unrepaired_errors(self) -> list[FsckIssue]:
+        """Error-severity issues a repair did not (or could not) resolve."""
+        return [issue for issue in self.errors if not issue.repaired]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the store can be trusted: no unrepaired errors remain."""
+        return not self.unrepaired_errors
+
+    def add(
+        self,
+        kind: str,
+        path: Path | str,
+        detail: str,
+        severity: str = "error",
+    ) -> FsckIssue:
+        """Record one finding and return it (for later repair annotation)."""
+        issue = FsckIssue(kind=kind, path=str(path), detail=detail, severity=severity)
+        self.issues.append(issue)
+        return issue
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """All issues as flat report rows."""
+        return [issue.as_row() for issue in self.issues]
+
+    def summary(self) -> str:
+        """One-line outcome summary for CLI output."""
+        n_err = len(self.errors)
+        n_warn = sum(1 for i in self.issues if i.severity == "warning")
+        repaired = sum(1 for i in self.issues if i.repaired)
+        state = "clean" if self.clean else "NOT clean"
+        return (
+            f"{len(self.datasets)} dataset(s), {n_err} error(s), "
+            f"{n_warn} warning(s), {repaired} repaired — store is {state}"
+        )
+
+
+class _BytesPager(Pager):
+    """Read-only pager over an in-memory file image (fsck never writes)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+
+    def num_pages(self) -> int:
+        return len(self._data) // PAGE_SIZE
+
+    def allocate_page(self) -> int:  # pragma: no cover - fsck is read-only
+        raise RuntimeError("fsck pagers are read-only")
+
+    def read_page(self, page_no: int) -> Page:
+        start = page_no * PAGE_SIZE
+        return Page(self._data[start : start + PAGE_SIZE])
+
+    def write_page(self, page_no: int, page: Page) -> None:  # pragma: no cover
+        raise RuntimeError("fsck pagers are read-only")
+
+
+def _record_count(data: bytes) -> int:
+    """Number of complete records in a partition file image.
+
+    Raises ``ValueError``/``KeyError`` when the heapfile structure itself
+    is undecodable (corrupt slots, broken continuation chains).
+    """
+    pool = BufferPool(_BytesPager(data), capacity=max(1, len(data) // PAGE_SIZE + 1))
+    return sum(1 for _ in HeapFile(pool).scan_records())
+
+
+def _tree_partition_expectations(tree: dict) -> list[tuple[str, int | None]]:
+    """``(partition, expected_record_count)`` for every tree partition."""
+    out: list[tuple[str, int | None]] = []
+    reps = tree.get("reps_partition")
+    if isinstance(reps, str):
+        count = tree.get("reps_count")
+        out.append((reps, int(count) if count is not None else None))
+    for sc in tree.get("subchunks") or []:
+        if not isinstance(sc, dict):
+            continue
+        unclustered = sc.get("unclustered_partition")
+        if isinstance(unclustered, str):
+            count = sc.get("unclustered_count")
+            out.append((unclustered, int(count) if count is not None else None))
+        for entry in sc.get("entries") or []:
+            if isinstance(entry, dict) and isinstance(entry.get("partition"), str):
+                count = entry.get("member_count")
+                out.append(
+                    (entry["partition"], int(count) if count is not None else None)
+                )
+    return out
+
+
+def _partition_expectations(manifest: dict) -> list[tuple[str, int | None, str]]:
+    """Every referenced partition as ``(name, expected_count, role)``.
+
+    ``role`` is ``"base"``, ``"delta:<i>"`` or ``"tree"`` — it decides the
+    repair strategy when the partition turns out damaged.
+    """
+    out: list[tuple[str, int | None, str]] = []
+    base = manifest.get("frame_partition")
+    if isinstance(base, str):
+        row_keys = manifest.get("row_keys")
+        out.append((base, len(row_keys) if isinstance(row_keys, list) else None, "base"))
+    for i, delta in enumerate(manifest.get("deltas") or []):
+        if isinstance(delta, dict) and isinstance(delta.get("partition"), str):
+            row_keys = delta.get("row_keys")
+            out.append(
+                (
+                    delta["partition"],
+                    len(row_keys) if isinstance(row_keys, list) else None,
+                    f"delta:{i}",
+                )
+            )
+    tree = manifest.get("tree")
+    if isinstance(tree, dict):
+        for name, count in _tree_partition_expectations(tree):
+            out.append((name, count, "tree"))
+    return out
+
+
+def _quarantine(root: Path, source: Path) -> Path:
+    """Move a file or directory under ``<root>/_quarantine/``, never clobbering.
+
+    The store-relative path is preserved: a dataset directory lands at
+    ``_quarantine/<dataset>``, a partition file at
+    ``_quarantine/<dataset>/<file>``.
+    """
+    relative = source.relative_to(root)
+    target = root / QUARANTINE_DIRNAME / relative
+    target_dir = target.parent
+    target_dir.mkdir(parents=True, exist_ok=True)
+    counter = 1
+    while target.exists():
+        target = target_dir / f"{source.name}.{counter}"
+        counter += 1
+    shutil.move(str(source), str(target))
+    return target
+
+
+def _write_manifest_atomic(io: IOShim, directory: Path, manifest: dict) -> None:
+    """Atomically rewrite a dataset's manifest with a fresh CRC stamp."""
+    manifest["manifest_crc"] = manifest_checksum(manifest)
+    path = directory / MANIFEST_FILENAME
+    tmp = path.with_suffix(".json.tmp")
+    payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    fh = io.open(tmp, "wb")
+    try:
+        io.write(fh, payload)
+        io.fsync(fh)
+    finally:
+        fh.close()
+    io.replace(tmp, path)
+    io.fsync_dir(directory)
+
+
+def _check_dataset(
+    root: Path, directory: Path, report: FsckReport, repair: bool, io: IOShim
+) -> None:
+    """Verify (and optionally repair) one dataset directory."""
+    manifest_path = directory / MANIFEST_FILENAME
+    debris = sorted(directory.glob("*.part")) + sorted(directory.glob("*.json.tmp"))
+
+    if not manifest_path.exists():
+        if debris:
+            issue = report.add(
+                "uncommitted_directory",
+                directory,
+                f"{len(debris)} partition/staging file(s) but no manifest "
+                "(a crashed create or drop)",
+                severity="warning",
+            )
+            if repair:
+                for path in debris:
+                    io.unlink(path)
+                try:
+                    directory.rmdir()
+                except OSError:  # pragma: no cover - foreign files present
+                    pass
+                issue.repaired = True
+                issue.action = "deleted uncommitted files"
+        return
+
+    # -- layer 1: the manifest itself -------------------------------------
+    try:
+        manifest = json.loads(io.read_bytes(manifest_path).decode("utf-8"))
+        if not isinstance(manifest, dict):
+            raise ValueError(f"top-level JSON is a {type(manifest).__name__}")
+    except (ValueError, UnicodeDecodeError) as exc:
+        issue = report.add(
+            "manifest_unreadable", manifest_path, f"manifest is unreadable: {exc}"
+        )
+        if repair:
+            target = _quarantine(root, directory)
+            issue.repaired = True
+            issue.action = f"dataset directory quarantined to {target}"
+        return
+
+    report.datasets.append(directory.name)
+    if manifest.get("format_version") not in _KNOWN_FORMATS:
+        report.add(
+            "manifest_unsupported",
+            manifest_path,
+            f"manifest format {manifest.get('format_version')!r} is not one "
+            f"of the supported versions {_KNOWN_FORMATS}",
+        )
+        return  # nothing else about this layout can be interpreted safely
+
+    crc_issue: FsckIssue | None = None
+    stored_crc = manifest.get("manifest_crc")
+    if stored_crc is not None and stored_crc != manifest_checksum(manifest):
+        crc_issue = report.add(
+            "manifest_checksum",
+            manifest_path,
+            "manifest content does not match its manifest_crc stamp",
+        )
+    elif "checksums" not in manifest:
+        report.add(
+            "unchecksummed",
+            manifest_path,
+            "pre-checksum manifest (format < 3); page integrity cannot be "
+            "verified until the next commit upgrades it",
+            severity="info",
+        )
+
+    # -- layer 2: the referenced partitions --------------------------------
+    checksums = manifest.get("checksums")
+    checksums = checksums if isinstance(checksums, dict) else {}
+    expectations = _partition_expectations(manifest)
+    referenced = {name for name, _, _ in expectations}
+    damaged_roles: dict[str, FsckIssue] = {}
+    damaged_issues: list[tuple[str, FsckIssue]] = []
+
+    def damage(issue: FsckIssue, role: str) -> None:
+        damaged_roles.setdefault(role, issue)
+        damaged_issues.append((role, issue))
+
+    for name, expected_count, role in expectations:
+        path = directory / f"{name}.part"
+        if not path.exists():
+            damage(
+                report.add(
+                    "missing_partition",
+                    path,
+                    f"partition {name!r} is referenced by the manifest ({role}) "
+                    "but its file is missing",
+                ),
+                role,
+            )
+            continue
+        data = io.read_bytes(path)
+        if len(data) % PAGE_SIZE != 0:
+            damage(
+                report.add(
+                    "torn_partition",
+                    path,
+                    f"size {len(data)} is not a multiple of the page size "
+                    "(torn tail)",
+                ),
+                role,
+            )
+            continue
+        expected_crcs = checksums.get(name)
+        if isinstance(expected_crcs, list):
+            actual_crcs = page_checksums(data)
+            bad_page = next(
+                (
+                    i
+                    for i, (got, want) in enumerate(zip(actual_crcs, expected_crcs))
+                    if got != int(want)
+                ),
+                None,
+            )
+            if len(actual_crcs) != len(expected_crcs) or bad_page is not None:
+                where = (
+                    f"page {bad_page} (offset {bad_page * PAGE_SIZE})"
+                    if bad_page is not None
+                    else f"page count {len(actual_crcs)} != {len(expected_crcs)}"
+                )
+                damage(
+                    report.add(
+                        "checksum_mismatch",
+                        path,
+                        f"partition {name!r} fails its CRC32 check at {where}",
+                    ),
+                    role,
+                )
+                continue
+        try:
+            count = _record_count(data)
+        except (ValueError, KeyError) as exc:
+            damage(
+                report.add(
+                    "torn_partition", path, f"partition {name!r} is undecodable: {exc}"
+                ),
+                role,
+            )
+            continue
+        if expected_count is not None and count != expected_count:
+            damage(
+                report.add(
+                    "torn_partition",
+                    path,
+                    f"partition {name!r} holds {count} records but the "
+                    f"manifest recorded {expected_count} (torn commit)",
+                ),
+                role,
+            )
+
+    # -- layer 3: directory debris -----------------------------------------
+    orphan_issues: list[tuple[FsckIssue, Path]] = []
+    for path in sorted(directory.glob("*.part")):
+        if path.stem not in referenced:
+            orphan_issues.append(
+                (
+                    report.add(
+                        "orphan_file",
+                        path,
+                        "partition file is referenced by nothing (crash debris)",
+                        severity="warning",
+                    ),
+                    path,
+                )
+            )
+    for path in sorted(directory.glob("*.json.tmp")):
+        orphan_issues.append(
+            (
+                report.add(
+                    "stale_staging",
+                    path,
+                    "manifest staging file from an interrupted commit",
+                    severity="warning",
+                ),
+                path,
+            )
+        )
+
+    if not repair:
+        return
+
+    # -- repair -------------------------------------------------------------
+    manifest_dirty = False
+
+    base_issue = damaged_roles.get("base")
+    if base_issue is not None:
+        target = _quarantine(root, directory)
+        for _role, issue in damaged_issues:
+            issue.repaired = True
+            issue.action = f"dataset directory quarantined to {target}"
+        for issue, _ in orphan_issues:
+            issue.repaired = True
+            issue.action = "removed with the quarantined dataset"
+        if crc_issue is not None:
+            crc_issue.repaired = True
+            crc_issue.action = f"dataset directory quarantined to {target}"
+        return
+
+    degraded = [d for d in manifest.get("degraded") or [] if isinstance(d, str)]
+    delta_roles = sorted(
+        (role for role in damaged_roles if role.startswith("delta:")),
+        key=lambda role: int(role.split(":", 1)[1]),
+        reverse=True,
+    )
+    for role in delta_roles:
+        index = int(role.split(":", 1)[1])
+        deltas = list(manifest.get("deltas") or [])
+        dropped = deltas.pop(index)
+        manifest["deltas"] = deltas
+        issue = damaged_roles[role]
+        name = dropped.get("partition")
+        part_path = directory / f"{name}.part"
+        action = f"append batch {index} dropped from the manifest"
+        if part_path.exists():
+            target = _quarantine(root, part_path)
+            action += f"; file quarantined to {target}"
+        degraded.append(
+            f"append batch {index} (partition {name!r}) was corrupt and has "
+            "been removed; its trajectories are lost"
+        )
+        issue.repaired = True
+        issue.action = action
+        # Losing a delta invalidates any tree serialised over it.
+        if manifest.get("tree") is not None:
+            damaged_roles.setdefault("tree", issue)
+        manifest_dirty = True
+
+    if "tree" in damaged_roles and manifest.get("tree") is not None:
+        tree = manifest["tree"]
+        manifest["tree"] = None
+        removed = []
+        for name, _count in _tree_partition_expectations(tree):
+            part_path = directory / f"{name}.part"
+            if part_path.exists():
+                io.unlink(part_path)
+                removed.append(name)
+        action = (
+            "tree entry reset (next query rebuilds from the verified "
+            f"archive); {len(removed)} tree partition file(s) removed"
+        )
+        for role, issue in damaged_issues:
+            if role == "tree" and not issue.repaired:
+                issue.repaired = True
+                issue.action = action
+        manifest_dirty = True
+    # Tree-role issues on an already-reset tree ride on that reset.
+    for role, issue in damaged_issues:
+        if role == "tree" and not issue.repaired and manifest.get("tree") is None:
+            issue.repaired = True
+            issue.action = "tree entry reset; next query rebuilds"
+
+    if degraded != (manifest.get("degraded") or []):
+        manifest["degraded"] = degraded
+        manifest_dirty = True
+
+    for issue, path in orphan_issues:
+        if path.exists():
+            io.unlink(path)
+        issue.repaired = True
+        issue.action = "deleted"
+
+    if manifest_dirty or crc_issue is not None:
+        # Recompute the checksum map for what the manifest now references
+        # (dropping entries for removed partitions, keeping trusted ones).
+        if isinstance(manifest.get("checksums"), dict):
+            still = {name for name, _, _ in _partition_expectations(manifest)}
+            manifest["checksums"] = {
+                name: crcs
+                for name, crcs in manifest["checksums"].items()
+                if name in still
+            }
+        _write_manifest_atomic(io, directory, manifest)
+        if crc_issue is not None and not crc_issue.repaired:
+            crc_issue.repaired = True
+            crc_issue.action = (
+                "manifest re-stamped (content verified against partition "
+                "checksums and record counts)"
+            )
+
+
+def fsck_store(
+    root: str | Path, repair: bool = False, io: IOShim | None = None
+) -> FsckReport:
+    """Check (and with ``repair=True`` fix) an engine storage directory.
+
+    Parameters
+    ----------
+    root:
+        The engine's storage directory — the one holding one subdirectory
+        per dataset (what ``HermesEngine.on_disk(root)`` opens).
+    repair:
+        When ``True``, act on the findings: delete orphans, quarantine
+        corrupt files under ``<root>/_quarantine/``, degrade datasets in
+        their manifests (see the module docstring for the full policy).
+    io:
+        Optional :class:`~repro.storage.faults.IOShim` for fault-injection
+        tests.
+
+    Returns
+    -------
+    An :class:`FsckReport`; ``report.clean`` is the exit-code criterion
+    (``True`` iff no unrepaired errors remain).
+    """
+    io = io if io is not None else DEFAULT_IO
+    root = Path(root)
+    report = FsckReport(root=str(root))
+    if not root.exists():
+        return report
+    for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+        if sub.name == QUARANTINE_DIRNAME:
+            continue
+        _check_dataset(root, sub, report, repair, io)
+    return report

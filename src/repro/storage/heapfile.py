@@ -45,6 +45,16 @@ def _encode_chunk(payload: bytes, next_rid: "RID | None") -> bytes:
 
 
 def _decode_chunk(raw: bytes) -> tuple[bytes, "RID | None"]:
+    if len(raw) < _CHUNK_HEADER:
+        raise ValueError(
+            f"record chunk of {len(raw)} bytes is shorter than the "
+            f"{_CHUNK_HEADER}-byte chunk header; the stored record is corrupt"
+        )
+    if raw[0] not in (0, 1):
+        raise ValueError(
+            f"record chunk has continuation flag {raw[0]} (expected 0 or 1); "
+            "the stored record is corrupt"
+        )
     has_next = raw[0] == 1
     next_page = int.from_bytes(raw[1:5], "little")
     next_slot = int.from_bytes(raw[5:9], "little")
@@ -165,6 +175,16 @@ class HeapFile:
             parts = [payload]
             cursor = nxt
             while cursor is not None:
+                if cursor not in chunks:
+                    raise ValueError(
+                        f"record at {rid} has a broken continuation chain: "
+                        f"chunk {cursor} does not exist; the heap file is corrupt"
+                    )
                 part, cursor = chunks[cursor]
                 parts.append(part)
+                if len(parts) > len(chunks):
+                    raise ValueError(
+                        f"record at {rid} has a cyclic continuation chain; "
+                        "the heap file is corrupt"
+                    )
             yield rid, b"".join(parts)

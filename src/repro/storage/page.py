@@ -119,7 +119,23 @@ class Page:
         offset, length = self._read_slot(slot)
         if offset == 0:
             raise KeyError(f"slot {slot} has been deleted")
+        self._check_slot_bounds(slot, offset, length)
         return bytes(self.data[offset : offset + length])
+
+    def _check_slot_bounds(self, slot: int, offset: int, length: int) -> None:
+        """Reject slot entries describing impossible records.
+
+        A valid record lives strictly between the slot directory and the
+        page end; anything else is a corrupt (bit-flipped or torn) slot
+        entry, and silently returning the garbage bytes it points at would
+        let corruption propagate into query answers.
+        """
+        directory_end = _HEADER.size + self.num_slots * _SLOT.size
+        if offset < directory_end or offset + length > PAGE_SIZE:
+            raise ValueError(
+                f"slot {slot} is corrupt: record [{offset}, {offset + length}) "
+                f"lies outside the valid data area [{directory_end}, {PAGE_SIZE})"
+            )
 
     def delete(self, slot: int) -> None:
         """Mark the record at ``slot`` as deleted (space is not reclaimed)."""
@@ -133,6 +149,7 @@ class Page:
         for slot in range(self.num_slots):
             offset, length = self._read_slot(slot)
             if offset:
+                self._check_slot_bounds(slot, offset, length)
                 out.append((slot, bytes(self.data[offset : offset + length])))
         return out
 

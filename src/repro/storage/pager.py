@@ -7,6 +7,14 @@ and write them by page number.  Two implementations are provided:
   file per ReTraTree partition, mirroring the paper's disk-based partitions),
 * :class:`InMemoryPager` -- pages live in a list; used for tests and for the
   purely in-memory engine configuration.
+
+A :class:`FilePager` performs all of its OS calls through an
+:class:`~repro.storage.faults.IOShim` (transparent by default; tests pass a
+:class:`~repro.storage.faults.FaultInjector`), and wraps every physical
+read, write and fsync in a bounded retry with backoff so *transient* I/O
+errors — the kind a loaded NFS mount or a USB hiccup produces — do not
+fail a query or a checkpoint that a second attempt would have served.
+Retries performed are counted in :attr:`FilePager.io_retries`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ import os
 from abc import ABC, abstractmethod
 from pathlib import Path as FsPath
 
+from repro.storage.errors import CorruptPartitionError
+from repro.storage.faults import DEFAULT_IO, IOShim, with_retries
 from repro.storage.page import PAGE_SIZE, Page
 
 __all__ = ["Pager", "FilePager", "InMemoryPager"]
@@ -73,54 +83,99 @@ class InMemoryPager(Pager):
 
 
 class FilePager(Pager):
-    """Pages stored back-to-back in a single binary file."""
+    """Pages stored back-to-back in a single binary file.
 
-    def __init__(self, path: str | FsPath) -> None:
+    The file is opened unbuffered through the I/O shim, so every page
+    write issued here is a real syscall — which is what makes the fault
+    injector's crash simulation (and the engine's checkpoint ordering
+    argument) faithful.
+    """
+
+    def __init__(self, path: str | FsPath, io: IOShim | None = None) -> None:
         self.path = FsPath(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._io = io if io is not None else DEFAULT_IO
+        #: Transient I/O failures absorbed by retries since opening.
+        self.io_retries = 0
         # Open for read/write, creating the file if needed.
         mode = "r+b" if self.path.exists() else "w+b"
-        self._file = open(self.path, mode)
+        self._file = self._io.open(self.path, mode)
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % PAGE_SIZE != 0:
-            raise ValueError(
-                f"{self.path} has size {size}, not a multiple of the page size"
+            self._file.close()
+            raise CorruptPartitionError(
+                f"{self.path} has size {size}, not a multiple of the page size "
+                "— the file tail is torn",
+                path=self.path,
+                offset=size - (size % PAGE_SIZE),
             )
         self._num_pages = size // PAGE_SIZE
+
+    def _retry(self, fn):
+        """Run one physical I/O op with bounded retry, counting retries."""
+
+        def note() -> None:
+            self.io_retries += 1
+
+        return with_retries(fn, on_retry=note)
 
     def num_pages(self) -> int:
         return self._num_pages
 
     def allocate_page(self) -> int:
         page_no = self._num_pages
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(Page().to_bytes())
+
+        def write_fresh() -> None:
+            self._file.seek(page_no * PAGE_SIZE)
+            self._io.write(self._file, Page().to_bytes())
+
+        self._retry(write_fresh)
         self._num_pages += 1
         return page_no
 
     def read_page(self, page_no: int) -> Page:
         if not (0 <= page_no < self._num_pages):
             raise IndexError(f"page {page_no} not allocated in {self.path}")
-        self._file.seek(page_no * PAGE_SIZE)
-        return Page(self._file.read(PAGE_SIZE))
+
+        def read() -> bytes:
+            self._file.seek(page_no * PAGE_SIZE)
+            return self._io.read(self._file, PAGE_SIZE)
+
+        data = self._retry(read)
+        if len(data) != PAGE_SIZE:
+            raise CorruptPartitionError(
+                f"{self.path} page {page_no} is truncated "
+                f"({len(data)} of {PAGE_SIZE} bytes)",
+                path=self.path,
+                offset=page_no * PAGE_SIZE,
+            )
+        return Page(data)
 
     def write_page(self, page_no: int, page: Page) -> None:
         if not (0 <= page_no < self._num_pages):
             raise IndexError(f"page {page_no} not allocated in {self.path}")
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(page.to_bytes())
+
+        def write() -> None:
+            self._file.seek(page_no * PAGE_SIZE)
+            self._io.write(self._file, page.to_bytes())
+
+        self._retry(write)
 
     def flush(self) -> None:
-        """Flush Python-level buffers so other handles see the pages."""
+        """Flush Python-level buffers so other handles see the pages.
+
+        The file is opened unbuffered, so this is effectively a no-op kept
+        for the :class:`Pager` contract.
+        """
         if not self._file.closed:
             self._file.flush()
 
     def sync(self) -> None:
-        """Flush and fsync the underlying file."""
+        """Flush and fsync the underlying file (with transient-error retry)."""
         if not self._file.closed:
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._retry(lambda: self._io.fsync(self._file))
 
     def close(self) -> None:
         if not self._file.closed:

@@ -77,25 +77,42 @@ def encode_record(item: Trajectory | SubTrajectory) -> bytes:
 
 
 def decode_record(raw: bytes) -> TrajectoryRecord:
-    """Deserialise bytes produced by :func:`encode_record`."""
+    """Deserialise bytes produced by :func:`encode_record`.
+
+    Raises :class:`ValueError` with a ``truncated record`` diagnostic when
+    the bytes end before the layout says they should — the signature of a
+    torn write or a corrupt slot — instead of returning a short-read
+    trajectory or an opaque struct error.
+    """
     offset = 0
+
+    def need(count: int, what: str) -> None:
+        if offset + count > len(raw):
+            raise ValueError(
+                f"truncated record: {what} needs bytes [{offset}, {offset + count}) "
+                f"but only {len(raw)} are stored"
+            )
 
     def unpack_str() -> str:
         nonlocal offset
+        need(_U16.size, "identifier length")
         (length,) = _U16.unpack_from(raw, offset)
         offset += _U16.size
+        need(length, "identifier")
         value = raw[offset : offset + length].decode("utf-8")
         offset += length
         return value
 
     obj_id = unpack_str()
     traj_id = unpack_str()
+    need(2 * _I32.size + _U32.size, "record header")
     (parent_start,) = _I32.unpack_from(raw, offset)
     offset += _I32.size
     (parent_end,) = _I32.unpack_from(raw, offset)
     offset += _I32.size
     (n,) = _U32.unpack_from(raw, offset)
     offset += _U32.size
+    need(24 * n, f"{n} samples")
     data = np.frombuffer(raw, dtype="<f8", count=3 * n, offset=offset).reshape(n, 3)
     return TrajectoryRecord(
         obj_id=obj_id,

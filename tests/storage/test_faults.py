@@ -1,0 +1,193 @@
+"""The fault-injection shim itself: crash schedule, death, transients, retries."""
+
+import errno
+
+import pytest
+
+from repro.storage.catalog import StorageManager
+from repro.storage.faults import (
+    DEFAULT_IO,
+    FaultInjector,
+    InjectedCrash,
+    IOShim,
+    with_retries,
+)
+
+
+class TestIOShim:
+    def test_files_open_unbuffered(self, tmp_path):
+        fh = DEFAULT_IO.open(tmp_path / "f", "wb")
+        try:
+            # buffering=0 gives a raw FileIO object, not a BufferedWriter —
+            # the property crash simulation depends on.
+            assert type(fh).__name__ == "FileIO"
+        finally:
+            fh.close()
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "f"
+        fh = DEFAULT_IO.open(path, "wb")
+        DEFAULT_IO.write(fh, b"abc")
+        DEFAULT_IO.fsync(fh)
+        fh.close()
+        assert DEFAULT_IO.read_bytes(path) == b"abc"
+        DEFAULT_IO.replace(path, tmp_path / "g")
+        DEFAULT_IO.fsync_dir(tmp_path)
+        DEFAULT_IO.unlink(tmp_path / "g")
+        assert not path.exists() and not (tmp_path / "g").exists()
+
+
+class TestCrashSchedule:
+    def test_ops_count_only_mutations(self, tmp_path):
+        inj = FaultInjector()
+        path = tmp_path / "f"
+        fh = inj.open(path, "wb")
+        inj.write(fh, b"xy")  # op 0
+        inj.fsync(fh)  # op 1
+        fh.close()
+        inj.read_bytes(path)  # reads are not counted
+        inj.replace(path, tmp_path / "g")  # op 2
+        inj.unlink(tmp_path / "g")  # op 3
+        assert inj.ops == 4
+        assert [entry.split(":")[0] for entry in inj.op_log] == [
+            "write",
+            "fsync",
+            "replace",
+            "unlink",
+        ]
+
+    def test_crash_at_op_goes_dead(self, tmp_path):
+        inj = FaultInjector()
+        inj.arm_crash(at_op=1)
+        fh = inj.open(tmp_path / "f", "wb")
+        inj.write(fh, b"data")  # op 0: fine
+        with pytest.raises(InjectedCrash):
+            inj.fsync(fh)  # op 1: crash
+        fh.close()
+        assert inj.dead
+        # Everything afterwards is refused — the process is gone.
+        with pytest.raises(InjectedCrash):
+            inj.open(tmp_path / "f", "rb")
+        with pytest.raises(InjectedCrash):
+            inj.unlink(tmp_path / "f")
+
+    def test_torn_write_leaves_prefix(self, tmp_path):
+        inj = FaultInjector()
+        inj.arm_crash(at_op=0, torn=True)
+        path = tmp_path / "f"
+        fh = inj.open(path, "wb")
+        with pytest.raises(InjectedCrash):
+            inj.write(fh, b"0123456789")
+        fh.close()
+        assert path.read_bytes() == b"01234"  # half the data reached disk
+
+    def test_untorn_crash_writes_nothing(self, tmp_path):
+        inj = FaultInjector()
+        inj.arm_crash(at_op=0, torn=False)
+        path = tmp_path / "f"
+        fh = inj.open(path, "wb")
+        with pytest.raises(InjectedCrash):
+            inj.write(fh, b"0123456789")
+        fh.close()
+        assert path.read_bytes() == b""
+
+    def test_disarm_revives(self, tmp_path):
+        inj = FaultInjector()
+        inj.arm_crash(at_op=0)
+        fh = inj.open(tmp_path / "f", "wb")
+        with pytest.raises(InjectedCrash):
+            inj.write(fh, b"xx")
+        fh.close()
+        inj.disarm()
+        fh = inj.open(tmp_path / "f", "wb")
+        inj.write(fh, b"ok")
+        fh.close()
+        assert (tmp_path / "f").read_bytes() == b"ok"
+
+
+class TestTransientFailures:
+    def test_transient_does_not_consume_op_index(self, tmp_path):
+        inj = FaultInjector()
+        inj.fail_next("write", count=1)
+        fh = inj.open(tmp_path / "f", "wb")
+        with pytest.raises(OSError):
+            inj.write(fh, b"xx")
+        inj.write(fh, b"xx")  # succeeds, and is op 0 — the schedule held
+        fh.close()
+        assert inj.ops == 1
+
+    def test_transient_read_failure(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"abc")
+        inj = FaultInjector()
+        inj.fail_next("read", count=2, err=errno.EIO)
+        with pytest.raises(OSError):
+            inj.read_bytes(tmp_path / "f")
+        with pytest.raises(OSError):
+            inj.read_bytes(tmp_path / "f")
+        assert inj.read_bytes(tmp_path / "f") == b"abc"
+
+
+class TestWithRetries:
+    def test_retries_transient_oserror(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EIO, "flaky")
+            return "ok"
+
+        retries = []
+        result = with_retries(
+            flaky, sleep=lambda _t: None, on_retry=lambda: retries.append(1)
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert len(retries) == 2
+
+    def test_exhausted_retries_reraise(self):
+        def doomed():
+            raise OSError(errno.EIO, "always")
+
+        with pytest.raises(OSError):
+            with_retries(doomed, attempts=3, sleep=lambda _t: None)
+
+    def test_injected_crash_is_never_retried(self):
+        calls = []
+
+        def crash():
+            calls.append(1)
+            raise InjectedCrash("dead")
+
+        with pytest.raises(InjectedCrash):
+            with_retries(crash, sleep=lambda _t: None)
+        assert len(calls) == 1
+
+    def test_backoff_is_exponential(self):
+        delays = []
+
+        def doomed():
+            raise OSError(errno.EIO, "always")
+
+        with pytest.raises(OSError):
+            with_retries(doomed, attempts=4, base_delay=1.0, sleep=delays.append)
+        assert delays == [1.0, 2.0, 4.0]
+
+
+class TestStorageIntegration:
+    def test_storage_absorbs_transient_failures(self, tmp_path):
+        """A flaky-disk write succeeds via retry and is counted in io_stats."""
+        inj = FaultInjector()
+        storage = StorageManager(tmp_path / "d", io=inj)
+        info = storage.create_partition("p")
+        info.heapfile.insert(b"payload")
+        inj.fail_next("fsync", count=2)
+        storage.checkpoint()  # retried internally; no error escapes
+        assert storage.io_stats()["io_retries"] >= 2
+        storage.close()
+
+    def test_default_shim_is_shared(self, tmp_path):
+        storage = StorageManager(tmp_path / "d")
+        assert storage.io is DEFAULT_IO
+        assert isinstance(storage.io, IOShim)
+        storage.close()

@@ -1,0 +1,132 @@
+"""Integrity properties: bit-flip detection and the v2 → v3 manifest upgrade."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import HermesEngine
+from repro.datagen import lane_scenario
+from repro.storage.catalog import MANIFEST_FILENAME, StorageManager
+from repro.storage.errors import StorageCorruptionError
+from repro.storage.fsck import fsck_store
+
+from tests.conftest import make_linear_trajectory
+
+
+def _build_store(root):
+    """A store with a dataset archive, one delta, and a persisted tree."""
+    mod, _truth = lane_scenario(n_trajectories=16, n_lanes=2, n_samples=24, seed=11)
+    engine = HermesEngine.on_disk(root)
+    engine.load_mod("d", mod)
+    engine.retratree("d")
+    engine.append(
+        "d", [make_linear_trajectory("late", "0", (0.0, 1.0), (10.0, 1.0), 0.0, 100.0)]
+    )
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def flip_store(tmp_path_factory):
+    """The store plus every non-empty persisted partition file in it."""
+    root = tmp_path_factory.mktemp("bitflip") / "s"
+    _build_store(root)
+    parts = sorted(
+        p for p in (root / "d").glob("*.part") if p.stat().st_size > 0
+    )
+    names = {p.name for p in parts}
+    # The satellite guarantee covers both kinds of persisted state: the
+    # dataset archive AND the clustering representatives.
+    assert any("__dataset" in n for n in names)
+    assert any("reps" in n for n in names), f"no non-empty reps partition in {names}"
+    return root, parts
+
+
+class TestBitFlipDetection:
+    """Property: ANY single-bit flip in ANY persisted partition is detected."""
+
+    @given(data=st.data())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_single_bit_flip_is_detected(self, flip_store, data):
+        root, parts = flip_store
+        path = parts[data.draw(st.integers(0, len(parts) - 1), label="partition")]
+        size = path.stat().st_size
+        offset = data.draw(st.integers(0, size - 1), label="byte offset")
+        bit = data.draw(st.integers(0, 7), label="bit")
+
+        original = path.read_bytes()
+        flipped = bytearray(original)
+        flipped[offset] ^= 1 << bit
+        path.write_bytes(bytes(flipped))
+        try:
+            # fsck pins the damage to the exact file via the page CRCs.
+            report = fsck_store(root)
+            assert not report.clean
+            assert any(
+                issue.kind == "checksum_mismatch" and issue.path == str(path)
+                for issue in report.issues
+            )
+            # For dataset partitions a cold engine refuses to decode the
+            # damaged bytes outright.  (A damaged *tree* partition instead
+            # degrades to a rebuild — derived state, never served corrupt —
+            # which re-persists the tree; that path is covered by the fsck
+            # repair tests, and exercising it here would mutate this
+            # module-scoped store between hypothesis examples.)
+            if "__dataset" in path.name:
+                engine = HermesEngine.on_disk(root)
+                try:
+                    with pytest.raises(StorageCorruptionError):
+                        engine.get_mod("d")
+                finally:
+                    engine.close()
+        finally:
+            path.write_bytes(original)
+
+
+class TestManifestFormatUpgrade:
+    """Satellite: format-2 manifests open read-only and upgrade on next commit."""
+
+    def _downgrade_to_v2(self, dataset_dir) -> None:
+        path = dataset_dir / MANIFEST_FILENAME
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = 2
+        manifest.pop("checksums", None)
+        manifest.pop("manifest_crc", None)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+    def test_v2_round_trip_and_in_place_upgrade(self, tmp_path):
+        root = tmp_path / "s"
+        _build_store(root)
+        self._downgrade_to_v2(root / "d")
+
+        # A v2 store opens and answers — integrity is simply unverifiable.
+        engine = HermesEngine.on_disk(root)
+        assert len(engine.get_mod("d")) == 17
+        report = fsck_store(root)
+        assert report.clean
+        assert any(issue.kind == "unchecksummed" for issue in report.issues)
+
+        # The next commit upgrades the manifest in place: format 3 with a
+        # full checksum map (including the partitions v2 never hashed).
+        engine.append(
+            "d",
+            [make_linear_trajectory("l2", "0", (0.0, 2.0), (10.0, 2.0), 0.0, 100.0)],
+        )
+        engine.close()
+        manifest = json.loads((root / "d" / MANIFEST_FILENAME).read_text())
+        assert manifest["format_version"] == 3
+        assert StorageManager.manifest_crc_ok(manifest)
+        referenced = {manifest["frame_partition"]}
+        referenced.update(d["partition"] for d in manifest["deltas"])
+        assert referenced <= set(manifest["checksums"])
+
+        # Round trip: the upgraded store reopens bit-verified and complete.
+        cold = HermesEngine.on_disk(root)
+        assert len(cold.get_mod("d")) == 18
+        cold.close()
+        assert fsck_store(root).issues == []
