@@ -952,8 +952,9 @@ class HermesEngine:
         the heavy parts are parked for lazy consumption (archive records
         decode on first :meth:`get_mod`/:meth:`frame` access, the persisted
         tree structure reopens on the first :meth:`retratree` call).  A
-        directory whose manifest is unreadable or has the wrong format
-        version is recorded in ``_damaged_datasets`` and withheld from
+        directory whose manifest is unreadable, has the wrong format
+        version, or fails its ``manifest_crc`` integrity stamp is recorded
+        in ``_damaged_datasets`` and withheld from
         :meth:`datasets` — one damaged dataset never prevents the engine
         from serving the healthy ones, and asking for it by name raises
         :class:`~repro.storage.errors.CorruptManifestError` pointing at
@@ -994,6 +995,18 @@ class HermesEngine:
                     f"format version {manifest.get('format_version')!r}"
                     if isinstance(manifest, dict)
                     else "manifest is not a JSON object"
+                )
+                storage.close()
+                continue
+            if not StorageManager.manifest_crc_ok(manifest):
+                # Parsable but failing its integrity stamp: any field —
+                # including the partition names the orphan sweep keys on —
+                # may be the damaged one, so sweeping here could delete the
+                # real committed file.  Leave every byte in place for
+                # repro-fsck and withhold the dataset.
+                self._damaged_datasets[sub.name] = (
+                    "manifest fails its CRC32 integrity check (the file was "
+                    "modified or damaged after its commit)"
                 )
                 storage.close()
                 continue

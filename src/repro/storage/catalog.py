@@ -180,14 +180,22 @@ class StorageManager:
         }
 
     def _verify_partition(self, name: str) -> None:
-        """Check a partition file against its recorded page checksums."""
-        expected = self._expected_checksums.pop(name)
+        """Check a partition file against its recorded page checksums.
+
+        The expectation entry is dropped only after verification succeeds:
+        a failing open leaves it in place so every retry re-verifies and
+        raises the same diagnostic — a corrupt partition never gets a
+        second, unverified chance to decode into a query answer.
+        """
+        expected = self._expected_checksums[name]
         if self.directory is None:
+            self._expected_checksums.pop(name, None)
             return
         path = self.directory / f"{name}.part"
         if not path.exists():
             # Absent file: let the caller's record-count checks report the
             # missing records (an empty partition is created in its place).
+            self._expected_checksums.pop(name, None)
             return
         data = self._retry(lambda: self.io.read_bytes(path))
         if len(data) % PAGE_SIZE != 0:
@@ -214,6 +222,7 @@ class StorageManager:
                     offset=page_no * PAGE_SIZE,
                     generation=partition_generation(name),
                 )
+        self._expected_checksums.pop(name, None)
 
     def get(self, name: str) -> PartitionInfo:
         """Return the named partition; raises :class:`KeyError` if absent."""

@@ -181,36 +181,53 @@ def _record_count(data: bytes) -> int:
     return sum(1 for _ in HeapFile(pool).scan_records())
 
 
-def _tree_partition_expectations(tree: dict) -> list[tuple[str, int | None]]:
-    """``(partition, expected_record_count)`` for every tree partition."""
-    out: list[tuple[str, int | None]] = []
+def _as_int(value) -> int | None:
+    """``int(value)`` when it cleanly coerces, else ``None``.
+
+    Corruption can turn a recorded count or CRC into a string, null or
+    object that still parses as JSON; fsck's job is to *diagnose* such a
+    manifest, so every number it reads from one goes through here instead
+    of a bare ``int(...)`` that would crash the scan with a traceback.
+    """
+    if isinstance(value, bool):
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _tree_partition_expectations(tree: dict) -> list[tuple[str, object]]:
+    """``(partition, recorded_count)`` for every tree partition.
+
+    Counts are returned as recorded — possibly corrupt/non-numeric — and
+    coerced (and reported) by the caller.
+    """
+    out: list[tuple[str, object]] = []
     reps = tree.get("reps_partition")
     if isinstance(reps, str):
-        count = tree.get("reps_count")
-        out.append((reps, int(count) if count is not None else None))
+        out.append((reps, tree.get("reps_count")))
     for sc in tree.get("subchunks") or []:
         if not isinstance(sc, dict):
             continue
         unclustered = sc.get("unclustered_partition")
         if isinstance(unclustered, str):
-            count = sc.get("unclustered_count")
-            out.append((unclustered, int(count) if count is not None else None))
+            out.append((unclustered, sc.get("unclustered_count")))
         for entry in sc.get("entries") or []:
             if isinstance(entry, dict) and isinstance(entry.get("partition"), str):
-                count = entry.get("member_count")
-                out.append(
-                    (entry["partition"], int(count) if count is not None else None)
-                )
+                out.append((entry["partition"], entry.get("member_count")))
     return out
 
 
-def _partition_expectations(manifest: dict) -> list[tuple[str, int | None, str]]:
-    """Every referenced partition as ``(name, expected_count, role)``.
+def _partition_expectations(manifest: dict) -> list[tuple[str, object, str]]:
+    """Every referenced partition as ``(name, recorded_count, role)``.
 
     ``role`` is ``"base"``, ``"delta:<i>"`` or ``"tree"`` — it decides the
-    repair strategy when the partition turns out damaged.
+    repair strategy when the partition turns out damaged.  Counts are the
+    raw manifest values (possibly corrupt); the caller coerces via
+    :func:`_as_int` and reports non-numeric ones.
     """
-    out: list[tuple[str, int | None, str]] = []
+    out: list[tuple[str, object, str]] = []
     base = manifest.get("frame_partition")
     if isinstance(base, str):
         row_keys = manifest.get("row_keys")
@@ -348,8 +365,24 @@ def _check_dataset(
         damaged_roles.setdefault(role, issue)
         damaged_issues.append((role, issue))
 
-    for name, expected_count, role in expectations:
+    for name, recorded_count, role in expectations:
         path = directory / f"{name}.part"
+        expected_count = _as_int(recorded_count)
+        if recorded_count is not None and expected_count is None:
+            # The manifest itself is type-corrupt here (a count that is a
+            # string/null/object); without a trustworthy expectation the
+            # partition cannot be pronounced healthy — mark the role
+            # damaged so repair degrades it rather than trusting it.
+            damage(
+                report.add(
+                    "checksum_mismatch",
+                    manifest_path,
+                    f"manifest records a non-numeric count {recorded_count!r} "
+                    f"for partition {name!r} (manifest value corrupt)",
+                ),
+                role,
+            )
+            continue
         if not path.exists():
             damage(
                 report.add(
@@ -376,20 +409,26 @@ def _check_dataset(
         expected_crcs = checksums.get(name)
         if isinstance(expected_crcs, list):
             actual_crcs = page_checksums(data)
+            coerced_crcs = [_as_int(want) for want in expected_crcs]
             bad_page = next(
                 (
                     i
-                    for i, (got, want) in enumerate(zip(actual_crcs, expected_crcs))
-                    if got != int(want)
+                    for i, (got, want) in enumerate(zip(actual_crcs, coerced_crcs))
+                    if want is None or got != want
                 ),
                 None,
             )
             if len(actual_crcs) != len(expected_crcs) or bad_page is not None:
-                where = (
-                    f"page {bad_page} (offset {bad_page * PAGE_SIZE})"
-                    if bad_page is not None
-                    else f"page count {len(actual_crcs)} != {len(expected_crcs)}"
-                )
+                if bad_page is not None and coerced_crcs[bad_page] is None:
+                    where = (
+                        f"page {bad_page}: recorded checksum "
+                        f"{expected_crcs[bad_page]!r} is not numeric "
+                        "(manifest value corrupt)"
+                    )
+                elif bad_page is not None:
+                    where = f"page {bad_page} (offset {bad_page * PAGE_SIZE})"
+                else:
+                    where = f"page count {len(actual_crcs)} != {len(expected_crcs)}"
                 damage(
                     report.add(
                         "checksum_mismatch",

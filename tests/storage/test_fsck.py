@@ -123,6 +123,30 @@ class TestDetection:
         assert report.clean  # count checks still pass; just unverifiable pages
         assert any(i.kind == "unchecksummed" and i.severity == "info" for i in report.issues)
 
+    def test_type_corrupt_manifest_numbers_reported_not_crashed(self, tmp_path):
+        """Non-numeric values where the manifest promises counts/CRCs must
+        produce a report, never a traceback — diagnosing arbitrary corrupt
+        manifests is fsck's whole job."""
+        d = build_store(tmp_path / "s")
+        manifest = manifest_of(d)
+        base = manifest["frame_partition"]
+        manifest["checksums"][base][0] = "garbage"
+        manifest["tree"]["reps_count"] = "NaN"
+        manifest["deltas"][0]["row_keys"] = None
+        (d / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        report = fsck_store(tmp_path / "s")  # must not raise
+        assert not report.clean
+        kinds = {i.kind for i in report.errors}
+        assert "manifest_checksum" in kinds  # content no longer matches stamp
+        assert any(
+            i.kind == "checksum_mismatch" and "numeric" in i.detail
+            for i in report.errors
+        )
+        # Repair over the same manifest must not crash either; the base
+        # role is untrusted, so the dataset is quarantined wholesale.
+        assert fsck_store(tmp_path / "s", repair=True).clean
+        assert fsck_store(tmp_path / "s").clean
+
     def test_uncommitted_directory_detected(self, tmp_path):
         root = tmp_path / "s"
         build_store(root)

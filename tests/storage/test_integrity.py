@@ -88,6 +88,56 @@ class TestBitFlipDetection:
             path.write_bytes(original)
 
 
+class TestCorruptManifestRecovery:
+    """Cold-start recovery must never act on a manifest that fails its CRC."""
+
+    def test_bitflipped_manifest_withholds_dataset_and_sweeps_nothing(self, tmp_path):
+        root = tmp_path / "s"
+        _build_store(root)
+        d = root / "d"
+        manifest_path = d / MANIFEST_FILENAME
+        manifest = json.loads(manifest_path.read_text())
+        # A one-character flip inside the committed partition name: the
+        # JSON still parses, the manifest_crc no longer matches, and the
+        # *real* partition file now looks unreferenced — exactly the shape
+        # that must NOT trigger the recovery orphan sweep.
+        manifest["frame_partition"] = manifest["frame_partition"][:-1] + "X"
+        manifest_path.write_text(json.dumps(manifest))
+
+        before = sorted(p.name for p in d.glob("*.part"))
+        engine = HermesEngine.on_disk(root)  # must not raise, must not delete
+        try:
+            assert engine.datasets() == []
+            with pytest.raises(StorageCorruptionError, match="repro-fsck"):
+                engine.get_mod("d")
+        finally:
+            engine.close()
+        # Every byte is still in place for repro-fsck to diagnose.
+        assert sorted(p.name for p in d.glob("*.part")) == before
+
+    def test_checksum_failure_repeats_on_retry(self, tmp_path):
+        """A failed verification must not consume the expectation: the
+        retry re-verifies and raises the same diagnostic instead of opening
+        the corrupt partition unverified."""
+        root = tmp_path / "s"
+        _build_store(root)
+        d = root / "d"
+        manifest = json.loads((d / MANIFEST_FILENAME).read_text())
+        path = d / f"{manifest['frame_partition']}.part"
+        data = bytearray(path.read_bytes())
+        data[100] ^= 1
+        path.write_bytes(bytes(data))
+
+        engine = HermesEngine.on_disk(root)
+        try:
+            with pytest.raises(StorageCorruptionError):
+                engine.get_mod("d")
+            with pytest.raises(StorageCorruptionError):
+                engine.get_mod("d")
+        finally:
+            engine.close()
+
+
 class TestManifestFormatUpgrade:
     """Satellite: format-2 manifests open read-only and upgrade on next commit."""
 
