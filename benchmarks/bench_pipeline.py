@@ -7,6 +7,13 @@ root.  Parallel runs must reproduce the serial cluster memberships exactly
 — the scheduler's determinism contract — and the smoke variant (the CI
 gate) asserts only that contract plus report structure, so shared-runner
 timing noise cannot fail CI.
+
+Since the zero-copy transport landed, both variants also pin the wire
+economics: the report records which transport moved the frame and the mean
+bytes pickled per task, and the full run asserts the shm transport ships at
+least 100x fewer bytes per task than the pickle path.  The smoke variant
+additionally asserts shared-memory hygiene — no segment tracked by the
+default arena survives the run.
 """
 
 from pathlib import Path
@@ -15,6 +22,7 @@ import pytest
 
 from repro.eval.harness import format_table
 from repro.eval.pipeline_bench import PHASES, run_pipeline_benchmark, write_report
+from repro.hermes.shm import default_arena
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
@@ -28,9 +36,17 @@ def _print_report(report: dict, title: str) -> None:
         )
         row["clusters"] = entry["clusters"]
         row["matches_serial"] = entry["matches_serial"]
+        row["transport"] = entry.get("transport", "-")
         rows.append(row)
     print()
     print(format_table(rows, title=title))
+    comparison = report.get("transport_comparison")
+    if comparison and "reduction_factor" in comparison:
+        print(
+            f"transport bytes/task: shm={comparison['shm']['bytes_shipped_per_task']} "
+            f"pickle={comparison['pickle']['bytes_shipped_per_task']} "
+            f"reduction={comparison['reduction_factor']:.1f}x"
+        )
 
 
 @pytest.mark.repro("E10")
@@ -49,6 +65,18 @@ def test_pipeline_breakdown_serial_vs_parallel():
     for phase in PHASES:
         assert parallel["phases"][phase] >= 0.0
     assert parallel["clusters"] > 0
+    # Speedup honesty: the ratio only appears when >= 2 CPUs can back it.
+    if report["scenario"]["available_cpus"] < 2:
+        assert "speedup_vs_serial" not in parallel
+        assert "speedup_note" in parallel
+    # Wire economics: when the shm transport ran, it must ship at least
+    # 100x fewer bytes per task than the pickle wire format.
+    comparison = report["transport_comparison"]
+    if comparison.get("shm", {}).get("transport_used") == "shm":
+        assert comparison["pickle"]["bytes_shipped_per_task"] > 0
+        assert comparison["reduction_factor"] >= 100.0
+        assert comparison["shm"]["matches_serial"]
+        assert comparison["pickle"]["matches_serial"]
 
 
 @pytest.mark.repro("E10")
@@ -61,4 +89,9 @@ def test_pipeline_smoke_small():
     assert entry["matches_serial"]
     assert set(entry["phases"]) == set(PHASES)
     assert entry["partitions_fitted"] >= 1
+    # The transport actually used is recorded for every parallel run.
+    assert entry["transport"] in ("shm", "pickle")
+    assert entry["bytes_shipped_per_task"] > 0
+    # Shared-memory hygiene: nothing tracked survives the benchmark.
+    assert default_arena().live_segments() == []
     write_report(report, REPORT_PATH.with_name("BENCH_pipeline_smoke.json"))

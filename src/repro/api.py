@@ -553,8 +553,13 @@ class Dataset:
         gamma: object = 2,
         strategy: object = "batched",
         jobs: object = 1,
+        shards: object = None,
     ) -> "Query":
-        """S2T sub-trajectory clustering (``SELECT S2T(D, ...)``)."""
+        """S2T sub-trajectory clustering (``SELECT S2T(D, ...)``).
+
+        ``shards`` overrides the partitioned operator's temporal partition
+        count (the SQL ``SHARDS`` argument); ``None`` keeps the default.
+        """
         return Query(
             self.connection,
             S2TPlan(
@@ -564,6 +569,7 @@ class Dataset:
                 gamma=gamma,
                 strategy=strategy,
                 jobs=jobs,
+                shards=shards,
             ),
         )
 
@@ -577,8 +583,14 @@ class Dataset:
         tolerance: object = 0.0,
         distance: object = None,
         gamma: object = 2,
+        shards: object = None,
     ) -> "Query":
-        """QuT window clustering (``SELECT QUT(D, Wi, We, ...)``)."""
+        """QuT window clustering (``SELECT QUT(D, Wi, We, ...)``).
+
+        ``shards`` selects the index layout (``N`` shard-local ReTraTrees
+        queried scatter-gather; ``None`` accepts whatever layout exists);
+        every value returns bit-identical clusters.
+        """
         return Query(
             self.connection,
             QuTPlan(
@@ -590,6 +602,7 @@ class Dataset:
                 tolerance=tolerance,
                 distance=distance,
                 gamma=gamma,
+                shards=shards,
             ),
         )
 

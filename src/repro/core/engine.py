@@ -48,6 +48,7 @@ In-memory engines skip all of this; their partitions die with the process.
 
 from __future__ import annotations
 
+import weakref
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -55,7 +56,8 @@ from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
 from repro.baselines.range_then_cluster import RangeThenCluster
 from repro.baselines.toptics import TOpticsClustering, TOpticsParams
 from repro.baselines.traclus import TraclusClustering, TraclusParams
-from repro.core.parallel import partitioned_s2t
+from repro.core.parallel import WorkerPool, partitioned_s2t
+from repro.core.shard import ShardPlan, ShardedReTraTree, build_sharded_tree
 from repro.hermes.frame import MODFrame
 from repro.hermes.io import read_csv, write_csv
 from repro.hermes.mod import MOD
@@ -89,9 +91,13 @@ __all__ = ["HermesEngine"]
 # checksums simply skips page verification until the next commit upgrades
 # it in place) — so existing stores stay reachable after an upgrade;
 # anything else is skipped at recovery so a future incompatible layout
-# never recovers garbage.
-MANIFEST_FORMAT = 3
-READABLE_MANIFEST_FORMATS = (1, 2, 3)
+# never recovers garbage.  Version 4 added the ``shards`` section — the
+# serialised per-shard trees of a sharded ReTraTree deployment
+# (:mod:`repro.core.shard`), mutually exclusive with the single-tree
+# ``tree`` section; older manifests simply have no shards (``get`` →
+# ``None``) and any commit upgrades the file in place.
+MANIFEST_FORMAT = 4
+READABLE_MANIFEST_FORMATS = (1, 2, 3, 4)
 
 
 class HermesEngine:
@@ -142,6 +148,14 @@ class HermesEngine:
         # Serialised tree structures recovered from manifests, consumed
         # lazily by the first retratree() call.
         self._tree_manifests: dict[str, dict] = {}
+        # Serialised *sharded* tree sections (manifest ``shards``), likewise
+        # consumed lazily; mutually exclusive with _tree_manifests per name.
+        self._shard_manifests: dict[str, dict] = {}
+        # Engine-owned persistent worker pool (lazily started by pool());
+        # shared by every partition-parallel S2T run and sharded tree build
+        # so consecutive jobs reuse warm worker processes.
+        self._worker_pool: WorkerPool | None = None
+        self._pool_finalizer = None
         # Catalogued-but-not-yet-materialised datasets (manifest dicts); the
         # archived records are decoded lazily on first get_mod/frame access,
         # so opening a large store costs one manifest read per dataset, not
@@ -214,6 +228,7 @@ class HermesEngine:
         self._frames.pop(name, None)
         self._pending_datasets.pop(name, None)
         self._tree_manifests.pop(name, None)
+        self._shard_manifests.pop(name, None)
         tree = self._retratrees.pop(name, None)
         if tree is not None and tree.storage is not self._storages.get(name):
             # A private (in-memory) manager dies with the tree; the shared
@@ -385,11 +400,29 @@ class HermesEngine:
 
     # -- clustering methods ----------------------------------------------------------------
 
+    def pool(self) -> WorkerPool:
+        """The engine-owned persistent worker pool, starting it lazily.
+
+        One :class:`~repro.core.parallel.WorkerPool` per engine: every
+        partition-parallel S2T run and sharded ReTraTree build submits to
+        the same pool, so consecutive parallel calls reuse warm worker
+        processes instead of forking a fresh ``ProcessPoolExecutor`` per
+        call.  The pool itself defers process creation to the first job.
+        It is shut down by :meth:`close` and — as a backstop — by a
+        ``weakref`` finalizer when the engine is garbage-collected, so
+        dropping an engine never leaks worker processes.
+        """
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool()
+            self._pool_finalizer = weakref.finalize(self, self._worker_pool.shutdown)
+        return self._worker_pool
+
     def s2t(
         self,
         name: str,
         params: S2TParams | None = None,
         n_jobs: int | None = None,
+        n_partitions: int | None = None,
     ) -> ClusteringResult:
         """Run S2T-Clustering on the dataset.
 
@@ -406,6 +439,13 @@ class HermesEngine:
            generally differ from the whole-MOD fit.  The determinism
            guarantee is *within* the partitioned mode — any ``n_jobs > 1``
            reproduces a partitioned serial run exactly.
+
+        ``n_partitions`` overrides the temporal partition count of the
+        partitioned mode (SQL surfaces it as the ``PARTITIONS`` knob);
+        passing it with ``n_jobs`` left at 1 selects the partitioned
+        operator executed serially — same memberships as any parallel run.
+        Parallel runs submit to the engine's persistent worker pool
+        (:meth:`pool`), so consecutive calls reuse warm workers.
         """
         params = params or S2TParams()
         jobs = n_jobs if n_jobs is not None else params.n_jobs
@@ -415,13 +455,30 @@ class HermesEngine:
         if len(mod) == 0:
             result = S2TClustering(params).fit(mod)
         elif jobs > 1:
-            result = partitioned_s2t(mod, params, n_jobs=jobs, frame=self.frame(name))
+            result = partitioned_s2t(
+                mod,
+                params,
+                n_jobs=jobs,
+                n_partitions=n_partitions,
+                frame=self.frame(name),
+                pool=self.pool(),
+            )
+        elif n_partitions is not None:
+            result = partitioned_s2t(
+                mod, params, n_jobs=1, n_partitions=n_partitions, frame=self.frame(name)
+            )
         else:
             result = S2TClustering(params).fit(mod, frame=self.frame(name))
         self._last_results[name] = result
         return result
 
-    def retratree(self, name: str, params: QuTParams | None = None, rebuild: bool = False) -> ReTraTree:
+    def retratree(
+        self,
+        name: str,
+        params: QuTParams | None = None,
+        rebuild: bool = False,
+        shards: int | None = None,
+    ):
         """The (cached) ReTraTree of a dataset, building it on first use.
 
         On an on-disk engine a persisted tree (from a previous process, or a
@@ -434,44 +491,89 @@ class HermesEngine:
         differ from the cached tree's build parameters trigger a rebuild,
         while ``params=None`` always accepts the existing tree — so warm
         and cold processes answer identical calls identically.
+
+        ``shards`` selects the index layout (SQL surfaces it as the
+        ``SHARDS`` knob): ``N >= 2`` builds — on the engine's persistent
+        worker pool — a :class:`~repro.core.shard.ShardedReTraTree` of
+        ``N`` shard-local trees over disjoint chunk windows, whose
+        scatter-gather QuT answers are bit-identical to the single tree's;
+        ``1`` forces the single-tree layout; ``None`` (the default) accepts
+        whatever layout is cached or persisted, so progressive queries
+        never trigger a relayout.  A cached/persisted layout whose shard
+        count differs from an explicit request is discarded and rebuilt.
         """
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1")
         if rebuild:
             self._forget_tree(name)
         cached = self._retratrees.get(name)
-        if cached is not None and not self._params_satisfied(
-            params,
-            cached.raw_params.to_dict(),
-            cached.params.to_dict() if cached.params is not None else None,
-        ):
-            self._forget_tree(name)
+        if cached is not None:
+            params_ok = self._params_satisfied(
+                params,
+                cached.raw_params.to_dict(),
+                cached.params.to_dict() if cached.params is not None else None,
+            )
+            shards_ok = shards is None or getattr(cached, "shards_count", 1) == shards
+            if not (params_ok and shards_ok):
+                self._forget_tree(name)
         if name not in self._retratrees:
-            tree = self._recover_tree(name, params)
+            tree = self._recover_any_tree(name, params, shards)
             if tree is None:
                 self._forget_tree(name)
-                tree = ReTraTree.build(
-                    self.get_mod(name),
-                    params=params,
-                    storage=self._dataset_storage(name),
-                    name=name,
-                    frame=self.frame(name),
-                )
+                tree = self._build_tree(name, params, shards)
                 self._persist_tree(name, tree)
             self._retratrees[name] = tree
         return self._retratrees[name]
+
+    def _build_tree(self, name: str, params: QuTParams | None, shards: int | None):
+        """Bulk-load a dataset's index in the requested layout.
+
+        ``shards >= 2`` resolves the grid **once over the whole MOD**
+        (origin and parameters shared by every shard — the invariant the
+        bit-identity guarantee rests on), plans the chunk-axis split and
+        builds the shard trees on the engine's worker pool; anything else
+        (including an empty dataset, which has no grid to split) is the
+        plain single-tree bulk load.
+        """
+        mod = self.get_mod(name)
+        if shards is not None and shards > 1 and len(mod) > 0:
+            raw = params or QuTParams()
+            resolved = raw.resolved(mod)
+            plan = ShardPlan.for_layout(mod.period.duration, resolved.tau, shards)
+            return build_sharded_tree(
+                self.frame(name),
+                raw,
+                resolved,
+                mod.period.tmin,
+                plan,
+                storage=self._dataset_storage(name),
+                name=name,
+                pool=self.pool(),
+            )
+        return ReTraTree.build(
+            mod,
+            params=params,
+            storage=self._dataset_storage(name),
+            name=name,
+            frame=self.frame(name),
+        )
 
     def qut(
         self,
         name: str,
         window: Period,
         params: QuTParams | None = None,
+        shards: int | None = None,
     ) -> ClusteringResult:
         """QuT-Clustering: clusters/outliers intersecting ``window``.
 
         The first call builds (and caches) the dataset's ReTraTree; later
         calls only pay the query cost — that is the progressive behaviour the
-        paper demonstrates.
+        paper demonstrates.  ``shards`` is forwarded to :meth:`retratree`;
+        any value returns bit-identical clusters, sharding only changes how
+        the index is built and stored.
         """
-        tree = self.retratree(name, params=params)
+        tree = self.retratree(name, params=params, shards=shards)
         result = QuTClustering(tree).query(window)
         self._last_results[name] = result
         return result
@@ -540,6 +642,7 @@ class HermesEngine:
     def _reclaim_storage(self, name: str) -> None:
         """Delete dataset ``name``'s partition files, manifest and directory."""
         self._tree_manifests.pop(name, None)
+        self._shard_manifests.pop(name, None)
         if self.storage_directory is None:
             return
         try:
@@ -610,22 +713,37 @@ class HermesEngine:
         return partitions
 
     @staticmethod
-    def _tree_partitions(manifest: dict) -> list[str]:
-        """Every partition the manifest's serialised tree references."""
-        tree = manifest.get("tree")
-        if not isinstance(tree, dict):
-            return []
+    def _tree_manifest_dicts(manifest: dict) -> list[dict]:
+        """Every serialised tree structure the manifest carries.
+
+        The single ``tree`` section and the per-shard trees of a ``shards``
+        section are the same layout (:meth:`ReTraTree.to_manifest`); the
+        two sections are mutually exclusive, but a hand-edited manifest
+        carrying both is simply walked in full.
+        """
+        trees = []
+        if isinstance(manifest.get("tree"), dict):
+            trees.append(manifest["tree"])
+        shards = manifest.get("shards")
+        if isinstance(shards, dict):
+            trees.extend(tm for tm in shards.get("trees") or [] if isinstance(tm, dict))
+        return trees
+
+    @classmethod
+    def _tree_partitions(cls, manifest: dict) -> list[str]:
+        """Every partition the manifest's serialised tree(s) reference."""
         partitions = []
-        if isinstance(tree.get("reps_partition"), str):
-            partitions.append(tree["reps_partition"])
-        for sc in tree.get("subchunks") or []:
-            if not isinstance(sc, dict):
-                continue
-            if isinstance(sc.get("unclustered_partition"), str):
-                partitions.append(sc["unclustered_partition"])
-            for entry in sc.get("entries") or []:
-                if isinstance(entry, dict) and isinstance(entry.get("partition"), str):
-                    partitions.append(entry["partition"])
+        for tree in cls._tree_manifest_dicts(manifest):
+            if isinstance(tree.get("reps_partition"), str):
+                partitions.append(tree["reps_partition"])
+            for sc in tree.get("subchunks") or []:
+                if not isinstance(sc, dict):
+                    continue
+                if isinstance(sc.get("unclustered_partition"), str):
+                    partitions.append(sc["unclustered_partition"])
+                for entry in sc.get("entries") or []:
+                    if isinstance(entry, dict) and isinstance(entry.get("partition"), str):
+                        partitions.append(entry["partition"])
         return partitions
 
     @classmethod
@@ -717,19 +835,79 @@ class HermesEngine:
         tree_manifest = tree.to_manifest(reps_partition=reps_partition)
         tree_manifest["dataset_state"] = self._dataset_partitions(manifest)
         manifest["tree"] = tree_manifest
+        manifest["shards"] = None
+
+    def _stage_shard_manifests(
+        self, storage: StorageManager, name: str, manifest: dict, tree: ShardedReTraTree
+    ) -> None:
+        """Serialise a sharded tree into the manifest's ``shards`` section.
+
+        Each shard stages its representatives into its own fresh
+        generation-suffixed ``<name>_s<i>__reps_g<N>`` partition (the same
+        never-rewrite-in-place rule as :meth:`_stage_tree_manifest`); the
+        section records the shard plan, the shared parameters and the
+        dataset state the shards index, so recovery can check identity
+        without opening any heapfile.
+        """
+        old = manifest.get("shards")
+        taken: set[str] = set()
+        if isinstance(old, dict):
+            for tm in old.get("trees") or []:
+                if isinstance(tm, dict) and isinstance(tm.get("reps_partition"), str):
+                    taken.add(tm["reps_partition"])
+        trees = []
+        for i, shard in enumerate(tree.shards):
+            taken.add(f"{name}_s{i}__reps")
+            reps_partition = self._fresh_suffixed_partition(
+                storage, f"{name}_s{i}__reps_g", self._generations.get(name, 0), taken
+            )
+            taken.add(reps_partition)
+            trees.append(shard.to_manifest(reps_partition=reps_partition))
+        manifest["shards"] = {
+            "count": tree.plan.count,
+            "plan": tree.plan.to_manifest(),
+            "origin": tree.origin,
+            "params": tree.params.to_dict() if tree.params is not None else None,
+            "raw_params": tree.raw_params.to_dict(),
+            "dataset_state": self._dataset_partitions(manifest),
+            "trees": trees,
+        }
+        manifest["tree"] = None
+
+    def _stage_tree_state(
+        self, storage: StorageManager, name: str, manifest: dict, tree
+    ) -> None:
+        """Serialise whichever index layout ``tree`` is into the manifest.
+
+        The ``tree`` and ``shards`` sections are mutually exclusive: staging
+        one layout nulls the other, so a relayout (``shards=N`` after a
+        single-tree build, or back) commits atomically with the manifest
+        write.
+        """
+        if isinstance(tree, ShardedReTraTree):
+            self._stage_shard_manifests(storage, name, manifest, tree)
+        else:
+            self._stage_tree_manifest(storage, name, manifest, tree)
 
     def _sweep_stale_reps(self, storage: StorageManager, name: str, manifest: dict) -> None:
-        """Drop representatives partitions the committed manifest no longer uses."""
-        tree = manifest.get("tree")
-        keep = tree.get("reps_partition") if isinstance(tree, dict) else None
+        """Drop representatives partitions the committed manifest no longer uses.
+
+        Covers both layouts: the single tree's ``<name>__reps*`` names and
+        every shard's ``<name>_s<i>__reps*`` names.  The dataset directory
+        is private to one dataset, so any partition containing ``__reps``
+        is a representatives partition of this dataset.
+        """
+        keep = {
+            tm["reps_partition"]
+            for tm in self._tree_manifest_dicts(manifest)
+            if isinstance(tm.get("reps_partition"), str)
+        }
         for info in list(storage.partitions()):
-            if info.name != keep and (
-                info.name == f"{name}__reps" or info.name.startswith(f"{name}__reps_g")
-            ):
+            if info.name not in keep and "__reps" in info.name:
                 storage.drop_partition(info.name)
         if storage.directory is not None:
-            for path in storage.directory.glob(f"{name}__reps*.part"):
-                if path.stem != keep and not storage.has(path.stem):
+            for path in storage.directory.glob("*__reps*.part"):
+                if path.stem not in keep and not storage.has(path.stem):
                     storage.unlink_path(path)
 
     def _sweep_partitions(self, storage: StorageManager, keep: set[str]) -> None:
@@ -784,6 +962,7 @@ class HermesEngine:
             "row_keys": row_keys,
             "deltas": [],
             "tree": None,
+            "shards": None,
         }
         self._stamp_manifest_integrity(storage, manifest, fresh={partition})
         storage.write_manifest(manifest)
@@ -831,7 +1010,7 @@ class HermesEngine:
             # with the dataset they index — one manifest write, one state;
             # the representatives stage into a fresh partition so the
             # committed manifest's RIDs stay valid until the commit.
-            self._stage_tree_manifest(storage, name, manifest, tree)
+            self._stage_tree_state(storage, name, manifest, tree)
         # A tree that exists only in the manifest (not cached, so not
         # maintained) keeps its old dataset_state — which no longer matches,
         # making the staleness explicit (artifact_status / _recover_tree).
@@ -855,8 +1034,8 @@ class HermesEngine:
             self._sweep_stale_reps(storage, name, manifest)
         return True
 
-    def _persist_tree(self, name: str, tree: ReTraTree) -> None:
-        """Serialise a freshly built ReTraTree into the dataset's manifest.
+    def _persist_tree(self, name: str, tree) -> None:
+        """Serialise a freshly built tree (either layout) into the manifest.
 
         A missing or corrupt manifest degrades to skip-persist: the freshly
         built tree keeps serving this process, and a cold successor simply
@@ -872,7 +1051,7 @@ class HermesEngine:
         # Stage the representatives into a fresh partition and record which
         # dataset state (base + delta partitions) the tree indexes; a
         # mismatch later marks the persisted tree stale.
-        self._stage_tree_manifest(storage, name, manifest, tree)
+        self._stage_tree_state(storage, name, manifest, tree)
         # Flush the member/representative records first; the manifest write
         # is the commit point (see _persist_dataset).
         storage.checkpoint()
@@ -892,18 +1071,21 @@ class HermesEngine:
         """
         self._retratrees.pop(name, None)
         self._tree_manifests.pop(name, None)
+        self._shard_manifests.pop(name, None)
         storage = self._storages.get(name)
         if storage is None:
             return
         manifest = self._read_manifest_or_none(storage)
         if manifest is None:
             return
-        if manifest.get("tree") is not None:
+        if manifest.get("tree") is not None or manifest.get("shards") is not None:
             # Commit the un-registration BEFORE deleting the partitions: a
             # crash in between then leaves only harmless orphan files (the
             # next sweep reclaims them), never a manifest referencing
-            # deleted heapfiles.
+            # deleted heapfiles.  Both layouts are reset together — they
+            # are mutually exclusive, and a rebuild may switch between them.
             manifest["tree"] = None
+            manifest["shards"] = None
             self._stamp_manifest_integrity(storage, manifest, fresh=set())
             storage.write_manifest(manifest)
         self._sweep_partitions(storage, set(self._dataset_partitions(manifest)))
@@ -943,6 +1125,63 @@ class HermesEngine:
             return None
         self._tree_manifests.pop(name, None)
         return tree
+
+    def _recover_sharded(
+        self, name: str, params: QuTParams | None, requested: int | None
+    ) -> ShardedReTraTree | None:
+        """Reopen a persisted sharded tree, or ``None`` when there is none.
+
+        Same acceptance rules as :meth:`_recover_tree` — parameters must be
+        satisfied, the recorded ``dataset_state`` must match the manifest's
+        current partitions — plus one: an explicit ``requested`` shard
+        count must equal the persisted plan's count, otherwise the caller
+        rebuilds with the new layout.  Any shard failing its record-count
+        checks degrades the whole facade to a rebuild.
+        """
+        data = self._shard_manifests.get(name)
+        if data is None:
+            return None
+        if requested is not None and data.get("count") != requested:
+            return None
+        if not self._params_satisfied(params, data.get("raw_params"), data.get("params")):
+            return None
+        storage = self._dataset_storage(name)
+        assert storage is not None
+        manifest = self._read_manifest_or_none(storage)
+        if manifest is not None and data.get("dataset_state") != self._dataset_partitions(
+            manifest
+        ):
+            self._shard_manifests.pop(name, None)
+            return None
+        try:
+            plan = ShardPlan.from_manifest(data["plan"])
+            shards = [
+                ReTraTree.from_manifest(tm, storage=storage)
+                for tm in data["trees"]
+            ]
+            facade = ShardedReTraTree(
+                shards, plan, storage=storage, name=name, recovered=True
+            )
+        except Exception:
+            self._shard_manifests.pop(name, None)
+            return None
+        self._shard_manifests.pop(name, None)
+        return facade
+
+    def _recover_any_tree(self, name: str, params: QuTParams | None, shards: int | None):
+        """Recover whichever persisted layout satisfies the request.
+
+        ``shards=None`` accepts either layout (sharded first — the two
+        manifest sections are mutually exclusive, so at most one exists);
+        ``shards=1`` accepts only a single tree; ``shards=N`` only a
+        sharded tree whose persisted plan counts ``N``.
+        """
+        if shards == 1:
+            return self._recover_tree(name, params)
+        recovered = self._recover_sharded(name, params, shards)
+        if recovered is not None or shards is not None:
+            return recovered
+        return self._recover_tree(name, params)
 
     def _recover_catalog(self) -> None:
         """Re-register every dataset catalogued under the storage directory.
@@ -1017,6 +1256,8 @@ class HermesEngine:
             self._storages[name] = storage
             if manifest.get("tree") is not None:
                 self._tree_manifests[name] = manifest["tree"]
+            if isinstance(manifest.get("shards"), dict):
+                self._shard_manifests[name] = manifest["shards"]
             self._generation_counter += 1
             self._generations[name] = self._generation_counter
 
@@ -1140,6 +1381,7 @@ class HermesEngine:
             self._last_results,
             self._pending_datasets,
             self._tree_manifests,
+            self._shard_manifests,
             self._damaged_datasets,
         ):
             cache.clear()
@@ -1183,7 +1425,10 @@ class HermesEngine:
         manifest has committed (``delta_partitions``), and whether the
         persisted tree is *stale* — serialised against a dataset state the
         deltas have since outgrown, so the next ``retratree`` call will
-        rebuild instead of recovering it (``tree_stale``).
+        rebuild instead of recovering it (``tree_stale``).  ``tree_shards``
+        reports the index layout: ``0`` when no tree exists, ``1`` for the
+        single-tree layout, ``N`` for a sharded deployment of ``N`` shards
+        (cached or persisted).
 
         ``degraded`` reports whether the dataset's durable state is less
         than what was once committed: its manifest is damaged or fails its
@@ -1191,8 +1436,14 @@ class HermesEngine:
         batches (the manifest's ``degraded`` list records what was lost).
         """
         storage = self._storages.get(name)
-        tree_persisted = name in self._tree_manifests
-        tree_data: dict | None = self._tree_manifests.get(name)
+        tree_persisted = name in self._tree_manifests or name in self._shard_manifests
+        # Either layout's section carries dataset_state; whichever exists
+        # drives the staleness check (they are mutually exclusive).
+        tree_data: dict | None = self._tree_manifests.get(name) or self._shard_manifests.get(
+            name
+        )
+        cached_tree = self._retratrees.get(name)
+        tree_shards = getattr(cached_tree, "shards_count", 1) if cached_tree else 0
         partitions = 0
         delta_partitions = 0
         tree_stale = False
@@ -1204,6 +1455,8 @@ class HermesEngine:
                 delta_partitions = len(manifest.get("deltas") or [])
                 if tree_data is None and isinstance(manifest.get("tree"), dict):
                     tree_data = manifest["tree"]
+                if tree_data is None and isinstance(manifest.get("shards"), dict):
+                    tree_data = manifest["shards"]
                 tree_persisted = tree_persisted or tree_data is not None
                 if tree_data is not None:
                     tree_stale = tree_data.get("dataset_state") != self._dataset_partitions(
@@ -1214,6 +1467,8 @@ class HermesEngine:
                     or bool(manifest.get("degraded"))
                     or not StorageManager.manifest_crc_ok(manifest)
                 )
+        if tree_shards == 0 and tree_data is not None:
+            tree_shards = int(tree_data.get("count") or 1)
         return {
             "dataset": name,
             "loaded": name in self._datasets or name in self._pending_datasets,
@@ -1222,6 +1477,7 @@ class HermesEngine:
             "tree_cached": name in self._retratrees,
             "tree_persisted": tree_persisted,
             "tree_stale": tree_stale,
+            "tree_shards": tree_shards,
             "persisted": self.is_persisted(name),
             "storage_partitions": partitions,
             "append_batches": self._append_batches.get(name, 0),
@@ -1230,7 +1486,15 @@ class HermesEngine:
         }
 
     def close(self) -> None:
-        """Release the engine's storage handles (no-op on in-memory engines)."""
+        """Release the engine's storage handles and stop its worker pool.
+
+        Storage release is a no-op on in-memory engines; the worker pool is
+        only stopped if a parallel call ever started it (:meth:`pool` —
+        its GC finalizer covers engines that are dropped without closing).
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown()
+            self._worker_pool = None
         for storage in self._storages.values():
             storage.close()
         self._storages.clear()

@@ -1,14 +1,28 @@
-"""Partition-parallel S2T execution.
+"""Partition-parallel S2T execution over a persistent pool with shm frames.
 
 The ReTraTree's own structure — temporal chunks — makes S2T-Clustering
 embarrassingly parallel: the dataset's lifespan is split into ``n_partitions``
-equal temporal partitions, each partition's frame is derived by
-:meth:`~repro.hermes.frame.MODFrame.slice_period` from the dataset's cached
-frame (cheap: one batched boundary interpolation, no per-pair work), and an
-independent S2T pipeline is fitted per partition.  Partition fits are
-distributed over a :class:`concurrent.futures.ProcessPoolExecutor`; frames
-cross the process boundary through their raw-column pickle path
-(:meth:`~repro.hermes.frame.MODFrame.to_payload`).
+equal temporal partitions and an independent S2T pipeline is fitted per
+partition.  Two things make the fan-out actually pay off:
+
+* **Zero-copy frame transport.**  By default the dataset's *whole* frame is
+  published once into a ``multiprocessing.shared_memory`` segment
+  (:meth:`~repro.hermes.frame.MODFrame.to_shm`) and each task ships only the
+  segment name plus the partition's period — a few hundred bytes instead of
+  a per-partition column copy.  Workers attach the segment as zero-copy
+  views (:meth:`~repro.hermes.frame.MODFrame.from_shm`, cached per process)
+  and derive their partition frame locally with
+  :meth:`~repro.hermes.frame.MODFrame.slice_period` — the *same* slice the
+  serial path takes, so results stay bitwise identical.  When shared memory
+  is unavailable (or a worker fails to attach) the scheduler automatically
+  falls back to the legacy pickle wire format that ships each pre-sliced
+  partition frame (:meth:`~repro.hermes.frame.MODFrame.to_payload`).
+* **A persistent worker pool.**  :class:`WorkerPool` wraps a lazily started
+  :class:`concurrent.futures.ProcessPoolExecutor` that survives across
+  calls (the engine owns one: ``engine.pool()``), amortising fork + import
+  cost; shutdown is explicit (``pool.shutdown()`` /
+  ``engine.close()``).  Without a caller-provided pool, ``partitioned_s2t``
+  creates a private one per call and shuts it down in a ``finally`` block.
 
 Determinism: the partition layout depends only on the data (default
 ``n_partitions = 4``, matching the ReTraTree's default ``tau`` = a quarter of
@@ -16,7 +30,7 @@ the lifespan), parameters are resolved once against the *whole* MOD so every
 partition shares the same ``sigma``/``eps``, and partition results are merged
 in temporal order — therefore ``n_jobs=4`` produces bit-identical cluster
 memberships to a serial (``n_jobs=1``) run of the same scheduler; the worker
-pool only changes wall-clock, never results.
+pool and the transport only change wall-clock, never results.
 
 Note the semantics: partitioned S2T cuts trajectories at partition
 boundaries, so clusters cannot span partitions (exactly like the ReTraTree's
@@ -26,26 +40,75 @@ scaling across cores.
 
 Entry points: :func:`partitioned_s2t` (library),
 ``HermesEngine.s2t(name, n_jobs=...)`` (engine) and
-``SELECT S2T(D, sigma, eps, gamma, strategy, jobs)`` (SQL).
+``SELECT S2T(D, sigma, eps, gamma, strategy, jobs, shards)`` (SQL).
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import pickle
+from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
 
 from repro.hermes.frame import MODFrame
 from repro.hermes.mod import MOD
+from repro.hermes.shm import ShmArena, ShmTransportError
 from repro.hermes.types import Period
 from repro.s2t.params import S2TParams
 from repro.s2t.pipeline import S2TClustering
 from repro.s2t.result import ClusteringResult
 
-__all__ = ["DEFAULT_PARTITIONS", "partitioned_s2t", "merge_partition_results"]
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "WorkerPool",
+    "partitioned_s2t",
+    "merge_partition_results",
+]
 
 # Default temporal fan-out: the ReTraTree's data-driven default chunk length
 # is tau = lifespan / 4, i.e. four level-1 chunks per dataset.
 DEFAULT_PARTITIONS = 4
+
+
+class WorkerPool:
+    """A lazily started, reusable process pool with explicit shutdown.
+
+    The executor is created on first use and kept for subsequent calls, so
+    consecutive parallel fits pay the fork + import cost once.  Requesting
+    more workers than the current executor has recreates it (grow-only); a
+    :class:`~concurrent.futures.process.BrokenProcessPool` is handled by
+    :meth:`reset`, which discards the dead executor so the next call starts
+    fresh.  ``created`` counts executor spin-ups — the pool-reuse regression
+    test pins it at 1 across consecutive ``engine.s2t(..., n_jobs=4)`` calls.
+    """
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._max_workers = 0
+        self.created = 0
+
+    def executor(self, n_jobs: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)created to hold at least ``n_jobs`` workers."""
+        if self._executor is None or n_jobs > self._max_workers:
+            self.shutdown()
+            self._executor = ProcessPoolExecutor(max_workers=n_jobs)
+            self._max_workers = n_jobs
+            self.created += 1
+        return self._executor
+
+    def reset(self) -> None:
+        """Discard a (possibly broken) executor; the next use starts fresh."""
+        executor, self._executor, self._max_workers = self._executor, None, 0
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Shut the executor down explicitly (idempotent)."""
+        executor, self._executor, self._max_workers = self._executor, None, 0
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
 
 def _fit_partition(task: tuple[MODFrame, S2TParams]) -> ClusteringResult:
@@ -57,6 +120,80 @@ def _fit_partition(task: tuple[MODFrame, S2TParams]) -> ClusteringResult:
     frame, params = task
     mod = frame.to_mod(name="partition")
     return S2TClustering(params).fit(mod, frame=frame)
+
+
+# -- worker-side shared-memory attachment cache --------------------------------
+#
+# One arena + small caches per worker process: the first task touching a
+# shipped segment attaches it (and rebuilds derived state once); subsequent
+# tasks over the same dataset reuse the mapping.  The job's constant context
+# (frame metadata + resolved params) travels once per job in its own tiny
+# control segment, so each task ships only segment names plus its period —
+# a couple hundred bytes regardless of params size.  Evicted segments are
+# closed through the arena.  Fork-start workers inherit the parent's
+# (empty) caches.
+
+_WORKER_ARENA = ShmArena()
+_ATTACHED_FRAMES: "OrderedDict[str, MODFrame]" = OrderedDict()
+_JOB_CONTEXTS: "OrderedDict[str, tuple]" = OrderedDict()
+_ATTACH_CACHE_LIMIT = 4
+
+
+def attached_frame(segment: str, meta: dict) -> MODFrame:
+    """The worker-process view of a shipped frame, attached and cached."""
+    frame = _ATTACHED_FRAMES.get(segment)
+    if frame is None:
+        frame = MODFrame.from_shm(segment, meta, arena=_WORKER_ARENA)
+        _ATTACHED_FRAMES[segment] = frame
+        while len(_ATTACHED_FRAMES) > _ATTACH_CACHE_LIMIT:
+            stale, _ = _ATTACHED_FRAMES.popitem(last=False)
+            _WORKER_ARENA.release(stale)
+    else:
+        _ATTACHED_FRAMES.move_to_end(segment)
+    return frame
+
+
+def _job_context(control: str, nbytes: int) -> tuple:
+    """The job's shared ``(meta, params)`` context, attached and cached."""
+    ctx = _JOB_CONTEXTS.get(control)
+    if ctx is None:
+        shm = _WORKER_ARENA.attach(control)
+        ctx = pickle.loads(bytes(shm.buf[:nbytes]))
+        _JOB_CONTEXTS[control] = ctx
+        while len(_JOB_CONTEXTS) > _ATTACH_CACHE_LIMIT:
+            stale, _ = _JOB_CONTEXTS.popitem(last=False)
+            _WORKER_ARENA.release(stale)
+    else:
+        _JOB_CONTEXTS.move_to_end(control)
+    return ctx
+
+
+def _publish_context(arena: ShmArena, payload: tuple) -> tuple[str, int]:
+    """Pickle a job-constant payload into its own control segment."""
+    blob = pickle.dumps(payload)
+    shm = arena.create(len(blob))
+    shm.buf[: len(blob)] = blob
+    return shm.name, len(blob)
+
+
+def _fit_partition_task(task: tuple) -> ClusteringResult:
+    """Worker entry point: fit one partition from a tagged transport task.
+
+    ``("shm", segment, control, nbytes, period)`` attaches the shipped
+    dataset frame plus the job's control block (frame metadata + resolved
+    params) and slices the partition locally — the identical
+    ``frame.slice_period(period)`` the serial path performs, so transports
+    never change results.  ``("pickle", piece_frame, params)`` is the
+    legacy wire format carrying the pre-sliced partition.
+    """
+    kind = task[0]
+    if kind == "shm":
+        _, segment, control, nbytes, period = task
+        meta, params = _job_context(control, nbytes)
+        frame = attached_frame(segment, meta)
+        return _fit_partition((frame.slice_period(period), params))
+    _, piece, params = task
+    return _fit_partition((piece, params))
 
 
 def merge_partition_results(
@@ -102,12 +239,35 @@ def merge_partition_results(
     return result
 
 
+def _nonempty_periods(frame: MODFrame, periods: list[Period]) -> list[Period]:
+    # A temporal partition with zero trajectories (sparse datasets with
+    # gaps) is dropped here, before any slicing or fitting: it contributes
+    # no clusters and no outliers, and because merge renumbers cluster ids
+    # over the *fitted* partitions in temporal order, an empty partition
+    # never shifts the renumbering — layouts with and without the gap agree
+    # on ids.  ``lifespan_overlap`` shares slice_period's survival rule
+    # (positive common lifespan), so this is exact, not a heuristic.
+    kept = []
+    for period in periods:
+        lo, hi = frame.lifespan_overlap(period.tmin, period.tmax)
+        if lo.size and bool(np.any(hi - lo > 0)):
+            kept.append(period)
+    return kept
+
+
+def _mean_task_bytes(tasks: list[tuple]) -> int:
+    total = sum(len(pickle.dumps(task)) for task in tasks)
+    return int(round(total / max(len(tasks), 1)))
+
+
 def partitioned_s2t(
     mod: MOD,
     params: S2TParams | None = None,
     n_jobs: int = 1,
     n_partitions: int | None = None,
     frame: MODFrame | None = None,
+    pool: WorkerPool | None = None,
+    transport: str = "auto",
 ) -> ClusteringResult:
     """S2T-Clustering fitted per temporal partition, optionally in parallel.
 
@@ -123,8 +283,8 @@ def partitioned_s2t(
     n_jobs:
         Worker processes.  ``1`` runs the partition loop serially in-process
         (same results, no pool); ``> 1`` uses a process pool.  If the
-        platform refuses to start a pool the scheduler falls back to the
-        serial loop.
+        platform refuses to start a pool (or the pool breaks mid-job) the
+        scheduler falls back to the serial loop.
     n_partitions:
         Temporal partition count; default :data:`DEFAULT_PARTITIONS`.
         Independent of ``n_jobs`` so results never depend on the worker
@@ -132,11 +292,23 @@ def partitioned_s2t(
     frame:
         Optional prebuilt frame of ``mod`` (the engine's catalog entry);
         built once here otherwise.
+    pool:
+        Optional :class:`WorkerPool` to run on (the engine passes its
+        persistent ``engine.pool()``).  Without one, a private pool is
+        created for this call and shut down before returning.
+    transport:
+        ``"auto"`` (shared memory with automatic pickle fallback, the
+        default), ``"shm"`` (fail instead of falling back) or ``"pickle"``
+        (legacy wire format).  The transport actually used is recorded in
+        ``result.extras["transport"]`` together with
+        ``bytes_shipped_per_task``.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be at least 1")
     if n_partitions is not None and n_partitions < 1:
         raise ValueError("n_partitions must be at least 1")
+    if transport not in ("auto", "shm", "pickle"):
+        raise ValueError(f"unknown transport: {transport!r}")
     params = (params or S2TParams()).resolved(mod) if len(mod) else (params or S2TParams())
     if len(mod) == 0:
         return ClusteringResult(method="s2t", clusters=[], outliers=[], params=params)
@@ -145,40 +317,98 @@ def partitioned_s2t(
     n_partitions = n_partitions or DEFAULT_PARTITIONS
 
     periods = mod.period.split(n_partitions)
-    piece_frames = [frame.slice_period(period) for period in periods]
-    # A temporal partition with zero trajectories (sparse datasets with
-    # gaps) is dropped here, before any fitting: it contributes no clusters
-    # and no outliers, and because merge renumbers cluster ids over the
-    # *fitted* partitions in temporal order, an empty partition never shifts
-    # the renumbering — layouts with and without the gap agree on ids.
-    tasks = [(piece, params) for piece in piece_frames if len(piece)]
+    fitted = _nonempty_periods(frame, periods)
 
-    parts: list[ClusteringResult]
-    if n_jobs > 1 and len(tasks) > 1:
+    parts: list[ClusteringResult] | None = None
+    transport_info: dict = {}
+    if n_jobs > 1 and len(fitted) > 1:
+        parts, transport_info = _fit_partitions_pooled(
+            frame, fitted, params, n_jobs=n_jobs, pool=pool, transport=transport
+        )
+    if parts is None:
+        parts = [_fit_partition((frame.slice_period(p), params)) for p in fitted]
+        if n_jobs > 1 and len(fitted) > 1:
+            n_jobs = 1  # pool fell over; record the execution that happened
+
+    result = merge_partition_results(parts, params)
+    result.extras.update(transport_info)
+    _finish_extras(result, periods, fitted, n_jobs)
+    return result
+
+
+def _fit_partitions_pooled(
+    frame: MODFrame,
+    fitted: list[Period],
+    params: S2TParams,
+    *,
+    n_jobs: int,
+    pool: WorkerPool | None,
+    transport: str,
+) -> tuple[list[ClusteringResult] | None, dict]:
+    """Run the partition fits on a process pool; ``(None, info)`` on failure.
+
+    Owns the transport negotiation (shm with pickle fallback) and the
+    shared-memory segment lifetime: the dataset frame is published into a
+    per-call :class:`~repro.hermes.shm.ShmArena` that is drained in a
+    ``finally`` block, so no ``/dev/shm`` segment outlives the call even on
+    worker crashes or ``KeyboardInterrupt``.
+    """
+    info: dict = {}
+    owned_pool = pool is None
+    run_pool = pool if pool is not None else WorkerPool()
+    with ShmArena() as arena:
         try:
-            with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-                parts = list(pool.map(_fit_partition, tasks))
+            tasks: list[tuple] | None = None
+            if transport in ("auto", "shm"):
+                try:
+                    segment, meta = frame.to_shm(arena)
+                    control, nbytes = _publish_context(arena, (meta, params))
+                    tasks = [("shm", segment, control, nbytes, p) for p in fitted]
+                    info["transport"] = "shm"
+                    info["transport_setup_bytes"] = nbytes
+                except ShmTransportError as exc:
+                    if transport == "shm":
+                        raise
+                    info["shm_error"] = repr(exc)
+            if tasks is None:
+                tasks = [("pickle", frame.slice_period(p), params) for p in fitted]
+                info["transport"] = "pickle"
+            info["bytes_shipped_per_task"] = _mean_task_bytes(tasks)
+
+            workers = min(n_jobs, len(tasks))
+            try:
+                parts = list(run_pool.executor(workers).map(_fit_partition_task, tasks))
+            except ShmTransportError as exc:
+                # A worker could not attach the published segment (fault
+                # injection, exotic platforms).  Retry the whole job over
+                # the pickle wire format on the same pool.
+                if transport == "shm":
+                    raise
+                info["shm_error"] = repr(exc)
+                info["transport"] = "pickle"
+                tasks = [("pickle", frame.slice_period(p), params) for p in fitted]
+                info["bytes_shipped_per_task"] = _mean_task_bytes(tasks)
+                parts = list(run_pool.executor(workers).map(_fit_partition_task, tasks))
+            return parts, info
+        except BrokenProcessPool as exc:
+            run_pool.reset()
+            info["pool_error"] = repr(exc)
+            return None, info
         except (OSError, PermissionError) as exc:  # pragma: no cover - sandboxed hosts
             # Platforms without working process pools (e.g. sandboxes that
             # forbid semaphores) degrade to the serial partition loop, which
             # produces identical results.
-            parts = [_fit_partition(task) for task in tasks]
-            result = merge_partition_results(parts, params)
-            result.extras["pool_error"] = repr(exc)
-            _finish_extras(result, periods, tasks, n_jobs=1)
-            return result
-    else:
-        parts = [_fit_partition(task) for task in tasks]
-
-    result = merge_partition_results(parts, params)
-    _finish_extras(result, periods, tasks, n_jobs)
-    return result
+            info["pool_error"] = repr(exc)
+            return None, info
+        finally:
+            if owned_pool:
+                run_pool.shutdown()
 
 
 def _finish_extras(
     result: ClusteringResult,
     periods: list[Period],
-    tasks: list[tuple[MODFrame, S2TParams]],
+    fitted: list[Period],
     n_jobs: int,
 ) -> None:
     result.extras.update(
@@ -186,8 +416,8 @@ def _finish_extras(
             "execution": "partitioned",
             "n_jobs": n_jobs,
             "n_partitions": len(periods),
-            "partitions_fitted": len(tasks),
-            "partitions_empty": len(periods) - len(tasks),
+            "partitions_fitted": len(fitted),
+            "partitions_empty": len(periods) - len(fitted),
             "partition_bounds": [(p.tmin, p.tmax) for p in periods],
         }
     )

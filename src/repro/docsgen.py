@@ -43,9 +43,12 @@ API_TARGETS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
     ("repro.api", None),
     ("repro.core.engine", ("HermesEngine",)),
     ("repro.core.ingest", None),
+    ("repro.core.parallel", ("WorkerPool", "partitioned_s2t")),
     ("repro.core.session", ("ProgressiveSession", "SessionStep")),
+    ("repro.core.shard", ("ShardPlan", "ShardedReTraTree", "build_sharded_tree")),
     ("repro.hermes.frame", ("MODFrame",)),
     ("repro.hermes.mod", ("MOD",)),
+    ("repro.hermes.shm", None),
     ("repro.qut.retratree", None),
     ("repro.qut.params", ("QuTParams",)),
     ("repro.s2t.params", ("S2TParams",)),

@@ -233,6 +233,84 @@ class MODFrame:
     def __reduce__(self) -> tuple:
         return (MODFrame.from_payload, (self.to_payload(),))
 
+    def to_shm(self, arena=None) -> tuple[str, dict]:
+        """Publish the frame's columns into one shared-memory segment.
+
+        The zero-copy wire format: the four column arrays plus the UTF-8
+        JSON-encoded ``keys`` list are packed into a single
+        ``multiprocessing.shared_memory`` segment, laid out as
+        ``[offsets | xs | ys | ts | keys_json]`` (every numeric section is
+        8-byte aligned by construction).  The return value — the segment
+        *name* plus a tiny metadata dict — is all that has to cross a
+        process boundary; :meth:`from_shm` reattaches the columns as views
+        without copying them.
+
+        The segment is registered with ``arena`` (default: the process-wide
+        :func:`repro.hermes.shm.default_arena`), which owns closing and
+        unlinking it.  Raises
+        :class:`~repro.hermes.shm.ShmTransportError` when shared memory is
+        unavailable; callers fall back to the pickle wire format.
+        """
+        from repro.hermes.shm import default_arena
+
+        import json
+
+        keys_blob = json.dumps(self.keys).encode("utf-8")
+        n = len(self.keys)
+        total = int(self.offsets[-1]) if n else 0
+        offsets64 = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        off_bytes = offsets64.nbytes
+        col_bytes = total * 8
+        nbytes = off_bytes + 3 * col_bytes + len(keys_blob)
+
+        shm = (arena if arena is not None else default_arena()).create(nbytes)
+        cursor = 0
+        np.frombuffer(shm.buf, dtype=np.int64, count=n + 1, offset=cursor)[:] = offsets64
+        cursor += off_bytes
+        for column in (self.xs, self.ys, self.ts):
+            np.frombuffer(shm.buf, dtype=np.float64, count=total, offset=cursor)[:] = column
+            cursor += col_bytes
+        shm.buf[cursor : cursor + len(keys_blob)] = keys_blob
+
+        meta = {"rows": n, "points": total, "keys_bytes": len(keys_blob)}
+        return shm.name, meta
+
+    @classmethod
+    def from_shm(cls, name: str, meta: dict, arena=None) -> "MODFrame":
+        """Attach a frame published by :meth:`to_shm`, without copying columns.
+
+        The column arrays are ``numpy`` views directly into the shared
+        segment, so the frame stays valid only while the segment is mapped —
+        i.e. until the owning :class:`~repro.hermes.shm.ShmArena` releases
+        ``name``.  Derived state (lifespan/bbox tables, key map, banded
+        timestamps) is recomputed locally, same as :meth:`from_payload`.
+
+        Raises :class:`~repro.hermes.shm.ShmTransportError` when the segment
+        cannot be attached; callers route that to the pickle fallback.
+        """
+        from repro.hermes.shm import default_arena
+
+        import json
+
+        shm = (arena if arena is not None else default_arena()).attach(name)
+        n = int(meta["rows"])
+        total = int(meta["points"])
+        keys_bytes = int(meta["keys_bytes"])
+
+        cursor = 0
+        offsets = np.frombuffer(shm.buf, dtype=np.int64, count=n + 1, offset=cursor)
+        cursor += offsets.nbytes
+        columns = []
+        for _ in range(3):
+            columns.append(
+                np.frombuffer(shm.buf, dtype=np.float64, count=total, offset=cursor)
+            )
+            cursor += total * 8
+        keys_blob = bytes(shm.buf[cursor : cursor + keys_bytes])
+        keys = [tuple(key) for key in json.loads(keys_blob.decode("utf-8"))]
+        xs, ys, ts = columns
+        return cls._from_columns(keys, xs, ys, ts, offsets.astype(np.intp, copy=False))
+
     # -- appending ------------------------------------------------------------
 
     def extend(self, trajectories: Iterable[Trajectory] | "MODFrame") -> int:

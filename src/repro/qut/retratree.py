@@ -191,12 +191,20 @@ class ReTraTree:
         storage: StorageManager | None = None,
         origin: float = 0.0,
         name: str = "retratree",
+        chunk_range: tuple[int | None, int | None] | None = None,
     ) -> None:
         self.name = name
         self._raw_params = params or QuTParams()
         self.params: QuTParams | None = None  # resolved lazily on first insert
         self.storage = storage or StorageManager()
         self.origin = origin
+        # Half-open level-1 chunk ownership window ``[lo, hi)`` (``None``
+        # bounds are open).  A sharded deployment (:mod:`repro.core.shard`)
+        # gives each shard tree a disjoint window over a *shared* grid: the
+        # insertion walkers simply skip sub-chunks outside the window, so a
+        # shard inserts exactly the pieces the single tree would place in
+        # its chunks.  ``None`` (the default) owns every chunk.
+        self.chunk_range = chunk_range
         self._subchunks: dict[tuple[int, int], SubChunk] = {}
         self._rtrees: dict[str, RTree3D[RID]] = {}
         # Columnar snapshot of each sub-chunk's representatives, keyed by the
@@ -241,6 +249,17 @@ class ReTraTree:
         within = offset - chunk_idx * tau
         sub_idx = min(int(math.floor(within / delta)), max(int(round(tau / delta)) - 1, 0))
         return chunk_idx, sub_idx
+
+    def _owns_chunk(self, chunk_idx: int) -> bool:
+        """Whether this tree's :attr:`chunk_range` covers level-1 ``chunk_idx``."""
+        if self.chunk_range is None:
+            return True
+        lo, hi = self.chunk_range
+        if lo is not None and chunk_idx < lo:
+            return False
+        if hi is not None and chunk_idx >= hi:
+            return False
+        return True
 
     def _subchunk_period(self, chunk_idx: int, sub_idx: int) -> Period:
         assert self.params is not None
@@ -337,12 +356,15 @@ class ReTraTree:
             key = self._locate(cursor)
             if key not in seen:
                 seen.add(key)
-                period = self._subchunk_period(*key)
-                piece = traj.slice_period(period)
-                if piece is not None:
-                    touched.add(
-                        self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
-                    )
+                if self._owns_chunk(key[0]):
+                    period = self._subchunk_period(*key)
+                    piece = traj.slice_period(period)
+                    if piece is not None:
+                        touched.add(
+                            self.insert_subtrajectory(
+                                subtrajectory_from_slice(traj, piece)
+                            )
+                        )
             if key == end_chunk or cursor >= traj.period.tmax:
                 break
             cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9
@@ -654,6 +676,7 @@ class ReTraTree:
             "next_cluster_id": self._next_cluster_id,
             "params": self.params.to_dict(),
             "raw_params": self._raw_params.to_dict(),
+            "chunk_range": list(self.chunk_range) if self.chunk_range else None,
             "reps_partition": reps_partition,
             "reps_count": reps.record_count,
             "subchunks": subchunks,
@@ -704,11 +727,13 @@ class ReTraTree:
         the ingestion pipeline) re-persists the manifest, so a committed
         state always passes this check.
         """
+        chunk_range = manifest.get("chunk_range")
         tree = cls(
             params=QuTParams.from_dict(manifest["raw_params"]),
             storage=storage,
             origin=float(manifest["origin"]),
             name=manifest["name"],
+            chunk_range=tuple(chunk_range) if chunk_range else None,
         )
         tree.params = QuTParams.from_dict(manifest["params"])
         tree._next_cluster_id = int(manifest["next_cluster_id"])
@@ -801,16 +826,21 @@ class ReTraTree:
             key = self._locate(cursor)
             if key not in seen:
                 seen.add(key)
-                partition = partition_frames.get(key)
-                if partition is None:
-                    partition = parent_frame.slice_period(self._subchunk_period(*key))
-                    partition_frames[key] = partition
-                row = partition.maybe_row_of(traj.key)
-                if row is not None:
-                    piece = partition.trajectory_of(row)
-                    hit = self.insert_subtrajectory(subtrajectory_from_slice(traj, piece))
-                    if touched is not None:
-                        touched.add(hit)
+                if self._owns_chunk(key[0]):
+                    partition = partition_frames.get(key)
+                    if partition is None:
+                        partition = parent_frame.slice_period(
+                            self._subchunk_period(*key)
+                        )
+                        partition_frames[key] = partition
+                    row = partition.maybe_row_of(traj.key)
+                    if row is not None:
+                        piece = partition.trajectory_of(row)
+                        hit = self.insert_subtrajectory(
+                            subtrajectory_from_slice(traj, piece)
+                        )
+                        if touched is not None:
+                            touched.add(hit)
             if key == end_chunk or cursor >= traj.period.tmax:
                 break
             cursor = self._subchunk_period(*key).tmax + params.delta * 1e-9
@@ -843,5 +873,48 @@ class ReTraTree:
         partition_frames: dict[tuple[int, int], MODFrame] = {}
         for traj in mod:
             tree._bulk_insert_from_frame(traj, partition_frames, frame)
+        tree.finalize()
+        return tree
+
+    @classmethod
+    def build_shard(
+        cls,
+        frame: MODFrame,
+        params: QuTParams,
+        resolved: QuTParams,
+        origin: float,
+        chunk_range: tuple[int | None, int | None] | None,
+        storage: StorageManager | None = None,
+        name: str = "retratree",
+    ) -> "ReTraTree":
+        """Bulk-load one shard of a sharded deployment from a dataset frame.
+
+        The sharded execution layer (:mod:`repro.core.shard`) hands every
+        shard the *whole* dataset frame (free over shared memory) plus the
+        globally resolved grid — ``origin`` and ``resolved`` come from the
+        full MOD, not from the shard's slice — and a disjoint
+        ``chunk_range`` ownership window.  The bulk load then walks the
+        frame's rows in dataset order, exactly like :meth:`build`, but the
+        :attr:`chunk_range` gate keeps only the pieces falling in this
+        shard's level-1 chunks.  Because the grid, the parameters, the
+        partition frames and the walk order are all identical to the single
+        tree's, each shard's sub-chunks are bit-identical to the
+        corresponding sub-chunks of a single-tree build — the invariant
+        scatter-gather QuT relies on.
+        """
+        ReTraTree.build_calls += 1
+        tree = cls(
+            params=params,
+            storage=storage,
+            origin=origin,
+            name=name,
+            chunk_range=chunk_range,
+        )
+        tree.params = resolved
+        partition_frames: dict[tuple[int, int], MODFrame] = {}
+        for row in range(len(frame)):
+            tree._bulk_insert_from_frame(
+                frame.trajectory_of(row), partition_frames, frame
+            )
         tree.finalize()
         return tree

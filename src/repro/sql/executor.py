@@ -152,7 +152,15 @@ class PlanExecutor:
         if isinstance(plan, ScanPlan):
             return self._scan(plan)
         if isinstance(plan, S2TPlan):
-            args = (plan.dataset, plan.sigma, plan.eps, plan.gamma, plan.strategy, plan.jobs)
+            args = (
+                plan.dataset,
+                plan.sigma,
+                plan.eps,
+                plan.gamma,
+                plan.strategy,
+                plan.jobs,
+                plan.shards,
+            )
             return ResultSet(call_function(self.engine, "S2T", args))
         if isinstance(plan, QuTPlan):
             args = (
@@ -164,6 +172,7 @@ class PlanExecutor:
                 plan.tolerance,
                 plan.distance,
                 plan.gamma,
+                plan.shards,
             )
             return ResultSet(call_function(self.engine, "QUT", args))
         if isinstance(plan, FunctionPlan):

@@ -92,7 +92,13 @@ def _opt_str(args: tuple, idx: int, default: str) -> str:
 
 
 def _fn_qut(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
-    """``QUT(D, Wi, We [, tau, delta, t, d, gamma])``"""
+    """``QUT(D, Wi, We [, tau, delta, t, d, gamma, shards])``
+
+    ``shards`` selects the index layout: ``N >= 2`` builds (or reuses) a
+    sharded ReTraTree deployment whose scatter-gather answers are
+    bit-identical to the single tree's; omitted/NULL accepts whatever
+    layout is cached or persisted.
+    """
     dataset = _require_dataset(args, "QUT")
     wi = _opt_float(args, 1)
     we = _opt_float(args, 2)
@@ -105,12 +111,21 @@ def _fn_qut(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
         distance_threshold=_opt_float(args, 6),
         gamma=_opt_int(args, 7, 2),
     )
-    result = engine.qut(dataset, Period(wi, we), params=params)
+    shards = _opt_float(args, 8)
+    try:
+        result = engine.qut(
+            dataset,
+            Period(wi, we),
+            params=params,
+            shards=None if shards is None else int(shards),
+        )
+    except ValueError as exc:
+        raise SQLExecutionError(str(exc)) from exc
     return _cluster_rows(result)
 
 
 def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
-    """``S2T(D [, sigma, eps, gamma, strategy, jobs])``
+    """``S2T(D [, sigma, eps, gamma, strategy, jobs, shards])``
 
     ``strategy`` selects the voting execution path: ``'dense'``,
     ``'indexed'`` or ``'batched'`` (default) — see :mod:`repro.s2t.voting`.
@@ -118,7 +133,8 @@ def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
     (:mod:`repro.core.parallel`) with that many worker processes; note that
     partitioned S2T is a coarser operator than the whole-MOD fit (clusters
     cannot span partition boundaries), so its memberships differ from
-    ``jobs = 1``.
+    ``jobs = 1``.  ``shards`` overrides the scheduler's temporal partition
+    count (each shard is one partition; omitted/NULL keeps the default).
     """
     dataset = _require_dataset(args, "S2T")
     strategy = _opt_str(args, 4, "batched")
@@ -132,7 +148,12 @@ def _fn_s2t(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:
         )
     except ValueError as exc:
         raise SQLExecutionError(str(exc)) from exc
-    return _cluster_rows(engine.s2t(dataset, params))
+    shards = _opt_float(args, 6)
+    return _cluster_rows(
+        engine.s2t(
+            dataset, params, n_partitions=None if shards is None else int(shards)
+        )
+    )
 
 
 def _fn_traclus(engine: HermesEngine, args: tuple) -> list[dict[str, object]]:

@@ -245,7 +245,12 @@ class CountPlan(LogicalPlan):
 @dataclass(frozen=True)
 class S2TPlan(LogicalPlan):
     """S2T sub-trajectory clustering (``SELECT S2T(D, sigma, eps, gamma,
-    strategy, jobs)`` / ``conn.dataset(D).s2t(...)``)."""
+    strategy, jobs, shards)`` / ``conn.dataset(D).s2t(...)``).
+
+    ``shards`` overrides the temporal partition count of the partitioned
+    operator (``None`` keeps the scheduler default); with ``jobs > 1`` each
+    shard fits in a worker process over the shared-memory frame broadcast.
+    """
 
     dataset: str
     sigma: object = None
@@ -253,12 +258,18 @@ class S2TPlan(LogicalPlan):
     gamma: object = 2
     strategy: object = "batched"
     jobs: object = 1
+    shards: object = None
 
 
 @dataclass(frozen=True)
 class QuTPlan(LogicalPlan):
     """QuT query-window clustering (``SELECT QUT(D, Wi, We, tau, delta, t, d,
-    gamma)`` / ``conn.dataset(D).qut(wi, we, ...)``)."""
+    gamma, shards)`` / ``conn.dataset(D).qut(wi, we, ...)``).
+
+    ``shards`` selects the index layout (``N`` shard-local ReTraTrees with
+    scatter-gather queries; ``None`` accepts whatever layout exists) — any
+    value returns bit-identical clusters.
+    """
 
     dataset: str
     wi: object = None
@@ -268,6 +279,7 @@ class QuTPlan(LogicalPlan):
     tolerance: object = 0.0
     distance: object = None
     gamma: object = 2
+    shards: object = None
 
 
 @dataclass(frozen=True)

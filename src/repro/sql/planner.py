@@ -83,6 +83,7 @@ def plan_statement(statement: Statement) -> LogicalPlan:
                 gamma=_arg(args, 3, 2),
                 strategy=_arg(args, 4, "batched"),
                 jobs=_arg(args, 5, 1),
+                shards=_arg(args, 6),
             )
         if statement.function == "QUT":
             return QuTPlan(
@@ -94,6 +95,7 @@ def plan_statement(statement: Statement) -> LogicalPlan:
                 tolerance=_arg(args, 5, 0.0),
                 distance=_arg(args, 6),
                 gamma=_arg(args, 7, 2),
+                shards=_arg(args, 8),
             )
         return FunctionPlan(statement.function, args)
     raise SQLExecutionError(f"unsupported statement {statement!r}")

@@ -53,7 +53,7 @@ __all__ = ["FsckIssue", "FsckReport", "fsck_store", "QUARANTINE_DIRNAME"]
 QUARANTINE_DIRNAME = "_quarantine"
 
 #: Manifest layouts this checker knows how to validate.
-_KNOWN_FORMATS = (1, 2, 3)
+_KNOWN_FORMATS = (1, 2, 3, 4)
 
 
 @dataclass
@@ -246,6 +246,15 @@ def _partition_expectations(manifest: dict) -> list[tuple[str, object, str]]:
     if isinstance(tree, dict):
         for name, count in _tree_partition_expectations(tree):
             out.append((name, count, "tree"))
+    # A format-4 sharded deployment serialises one tree structure per shard
+    # under ``shards.trees`` (mutually exclusive with ``tree``); every shard
+    # partition carries the same repair policy as a single tree's.
+    shards = manifest.get("shards")
+    if isinstance(shards, dict):
+        for shard_tree in shards.get("trees") or []:
+            if isinstance(shard_tree, dict):
+                for name, count in _tree_partition_expectations(shard_tree):
+                    out.append((name, count, "tree"))
     return out
 
 
@@ -532,19 +541,37 @@ def _check_dataset(
         issue.repaired = True
         issue.action = action
         # Losing a delta invalidates any tree serialised over it.
-        if manifest.get("tree") is not None:
+        if manifest.get("tree") is not None or manifest.get("shards") is not None:
             damaged_roles.setdefault("tree", issue)
         manifest_dirty = True
 
-    if "tree" in damaged_roles and manifest.get("tree") is not None:
-        tree = manifest["tree"]
+    if "tree" in damaged_roles and (
+        manifest.get("tree") is not None or manifest.get("shards") is not None
+    ):
+        # Reset every serialised tree structure — the single ``tree``
+        # section or the per-shard trees of a ``shards`` section (they are
+        # mutually exclusive, but a damaged manifest carrying both is
+        # reset in full): one shard's corruption invalidates the sharded
+        # facade as a whole, and the rebuild restores whichever layout the
+        # next query asks for.
+        damaged_trees = []
+        if isinstance(manifest.get("tree"), dict):
+            damaged_trees.append(manifest["tree"])
+        if isinstance(manifest.get("shards"), dict):
+            damaged_trees.extend(
+                tm
+                for tm in manifest["shards"].get("trees") or []
+                if isinstance(tm, dict)
+            )
         manifest["tree"] = None
+        manifest["shards"] = None
         removed = []
-        for name, _count in _tree_partition_expectations(tree):
-            part_path = directory / f"{name}.part"
-            if part_path.exists():
-                io.unlink(part_path)
-                removed.append(name)
+        for tree in damaged_trees:
+            for name, _count in _tree_partition_expectations(tree):
+                part_path = directory / f"{name}.part"
+                if part_path.exists():
+                    io.unlink(part_path)
+                    removed.append(name)
         action = (
             "tree entry reset (next query rebuilds from the verified "
             f"archive); {len(removed)} tree partition file(s) removed"
@@ -556,7 +583,12 @@ def _check_dataset(
         manifest_dirty = True
     # Tree-role issues on an already-reset tree ride on that reset.
     for role, issue in damaged_issues:
-        if role == "tree" and not issue.repaired and manifest.get("tree") is None:
+        if (
+            role == "tree"
+            and not issue.repaired
+            and manifest.get("tree") is None
+            and manifest.get("shards") is None
+        ):
             issue.repaired = True
             issue.action = "tree entry reset; next query rebuilds"
 

@@ -165,6 +165,26 @@ class TestEngineIntegration:
         with pytest.raises(ValueError, match="n_jobs"):
             partitioned_s2t(mod, n_jobs=-3)
 
+    def test_engine_pool_reused_across_calls(self, lanes_small):
+        """Regression: consecutive parallel fits must share ONE executor.
+
+        The engine owns a persistent WorkerPool; two ``n_jobs=4`` runs must
+        not fork a second ProcessPoolExecutor (``created`` counts spin-ups).
+        """
+        mod, _ = lanes_small
+        engine = HermesEngine.in_memory()
+        try:
+            engine.load_mod("lanes", mod)
+            first = engine.s2t("lanes", n_jobs=4)
+            second = engine.s2t("lanes", n_jobs=4)
+            assert first.extras["execution"] == "partitioned"
+            assert second.extras["execution"] == "partitioned"
+            assert engine.pool().created == 1
+        finally:
+            engine.close()
+        # close() tears the pool down; the next request starts a fresh one.
+        assert engine._worker_pool is None
+
     def test_merged_extras_keep_voting_metadata(self, lanes_small):
         mod, _ = lanes_small
         result = partitioned_s2t(mod, n_jobs=1)

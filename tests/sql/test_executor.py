@@ -224,6 +224,33 @@ class TestParallelS2TFunction:
             executor.execute("SELECT S2T(lanes, NULL, NULL, 2, 'batched', 0)")
 
 
+class TestShardsKnob:
+    """The SHARDS argument on QUT (index layout) and S2T (partition count)."""
+
+    def test_qut_shards_selects_sharded_layout(self, executor, engine, lanes_small):
+        mod, _ = lanes_small
+        wi, we = mod.period.tmin, mod.period.tmax
+        baseline = executor.execute(f"SELECT QUT(lanes, {wi}, {we})")
+        rows = executor.execute(
+            f"SELECT QUT(lanes, {wi}, {we}, NULL, NULL, NULL, NULL, NULL, 2)"
+        )
+        # Scatter-gather answers are bit-identical to the single tree's.
+        assert rows == baseline
+        assert engine.retratree("lanes").shards_count == 2
+
+    def test_s2t_shards_overrides_partition_count(self, executor, engine):
+        executor.execute("SELECT S2T(lanes, NULL, NULL, NULL, NULL, NULL, 3)")
+        result = engine.last_result("lanes")
+        assert result.extras["execution"] == "partitioned"
+        assert result.extras["n_partitions"] == 3
+
+    def test_invalid_shards_rejected(self, executor):
+        with pytest.raises(SQLExecutionError, match="shards"):
+            executor.execute(
+                "SELECT QUT(lanes, 0, 100, NULL, NULL, NULL, NULL, NULL, 0)"
+            )
+
+
 class TestBufferInvalidation:
     def test_insert_after_external_reload_does_not_resurrect_points(
         self, executor, engine

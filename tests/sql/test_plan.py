@@ -61,6 +61,14 @@ class TestLowering:
     def test_qut_defaults(self):
         assert plan_sql("SELECT QUT(d, 0, 100)") == QuTPlan(dataset="d", wi=0, we=100)
 
+    def test_shards_knob_lowered(self):
+        assert plan_sql("SELECT S2T(d, NULL, NULL, NULL, NULL, 1, 3)") == S2TPlan(
+            dataset="d", jobs=1, shards=3
+        )
+        assert plan_sql(
+            "SELECT QUT(d, 0, 100, NULL, NULL, NULL, NULL, NULL, 2)"
+        ) == QuTPlan(dataset="d", wi=0, we=100, shards=2)
+
     def test_other_functions_stay_generic(self):
         assert plan_sql("SELECT TRACLUS(d, 4.0, 3)") == FunctionPlan(
             "TRACLUS", ("d", 4.0, 3)
@@ -93,6 +101,14 @@ class TestFrontEndIdentity:
     def test_qut_identity(self, conn):
         fluent = conn.dataset("lanes").qut(0.0, 900.0, gamma=3).plan
         assert fluent == plan_sql("SELECT QUT(lanes, 0.0, 900.0, NULL, NULL, NULL, NULL, 3)")
+
+    def test_shards_identity(self, conn):
+        assert conn.dataset("lanes").qut(0.0, 900.0, shards=2).plan == plan_sql(
+            "SELECT QUT(lanes, 0.0, 900.0, NULL, NULL, NULL, NULL, NULL, 2)"
+        )
+        assert conn.dataset("lanes").s2t(shards=3).plan == plan_sql(
+            "SELECT S2T(lanes, NULL, NULL, NULL, NULL, NULL, 3)"
+        )
 
     def test_scan_identity(self, conn):
         fluent = conn.dataset("lanes").points(

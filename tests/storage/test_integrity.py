@@ -6,7 +6,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import HermesEngine
+from repro.core.engine import MANIFEST_FORMAT, HermesEngine
 from repro.datagen import lane_scenario
 from repro.storage.catalog import MANIFEST_FILENAME, StorageManager
 from repro.storage.errors import StorageCorruptionError
@@ -161,15 +161,16 @@ class TestManifestFormatUpgrade:
         assert report.clean
         assert any(issue.kind == "unchecksummed" for issue in report.issues)
 
-        # The next commit upgrades the manifest in place: format 3 with a
-        # full checksum map (including the partitions v2 never hashed).
+        # The next commit upgrades the manifest in place to the current
+        # format, with a full checksum map (including the partitions v2
+        # never hashed).
         engine.append(
             "d",
             [make_linear_trajectory("l2", "0", (0.0, 2.0), (10.0, 2.0), 0.0, 100.0)],
         )
         engine.close()
         manifest = json.loads((root / "d" / MANIFEST_FILENAME).read_text())
-        assert manifest["format_version"] == 3
+        assert manifest["format_version"] == MANIFEST_FORMAT
         assert StorageManager.manifest_crc_ok(manifest)
         referenced = {manifest["frame_partition"]}
         referenced.update(d["partition"] for d in manifest["deltas"])

@@ -22,9 +22,12 @@ ENFORCED_MODULES = [
     "repro/api.py",
     "repro/core/engine.py",
     "repro/core/ingest.py",
+    "repro/core/parallel.py",
     "repro/core/session.py",
+    "repro/core/shard.py",
     "repro/docsgen.py",
     "repro/hermes/frame.py",
+    "repro/hermes/shm.py",
     "repro/qut/retratree.py",
 ]
 
