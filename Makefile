@@ -1,9 +1,18 @@
 PYTHON ?= python
 
-.PHONY: test docs docs-strict bench-ingest clean-docs
+.PHONY: test lint docs docs-strict bench-ingest clean-docs
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Static analysis: the in-tree invariant checkers always run (stdlib-only);
+# ruff and mypy run when installed (CI pins and installs both).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "lint: ruff not installed, skipped (CI runs it pinned)"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "lint: mypy not installed, skipped (CI runs it pinned)"; fi
 
 # Build the documentation site (strict: warnings are errors).
 docs:

@@ -1,0 +1,42 @@
+"""``repro.analysis`` — the ``repro-lint`` project-invariant checker suite.
+
+A stdlib-:mod:`ast` static-analysis subsystem enforcing the conventions
+the durable, parallel engine depends on but no generic linter knows
+about.  Six rules, each a small visitor with a rule id, a slug and a
+remediation hint:
+
+========== ======================== ==================================================
+Rule       Slug                     Invariant
+========== ======================== ==================================================
+REPRO101   ``io-discipline``        mutating I/O in the storage/engine/ingest layers
+                                    routes through the fault-injectable ``IOShim``
+REPRO102   ``lock-discipline``      ``# guarded-by:`` attributes only mutate under
+                                    their declared lock (or in ``# holds:`` methods)
+REPRO103   ``plan-purity``          logical-plan dataclasses are frozen; streaming
+                                    executor methods never write engine state
+REPRO104   ``generation-discipline`` dataset mutations in ``core/`` bump a generation
+                                    token in the same function
+REPRO105   ``determinism``          no wall clocks / unseeded RNG in ``hermes``,
+                                    ``qut``, ``sql`` (the bit-identity paths)
+REPRO106   ``shm-hygiene``          every ``ShmArena`` is ``with``-scoped or the
+                                    module default arena
+========== ======================== ==================================================
+
+Findings can be suppressed per line with a ``# repro-lint: allow[RULE]``
+comment (rule id or slug) on, or directly above, the offending line.
+Run locally with ``repro-lint`` (or ``python -m repro.analysis.driver``);
+see ``docs/static-analysis.md`` for the full rule reference.
+"""
+
+from repro.analysis.base import Checker, Finding, SourceModule
+from repro.analysis.driver import ALL_CHECKERS, lint_paths, main, select_checkers
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "SourceModule",
+    "lint_paths",
+    "main",
+    "select_checkers",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — module-invocation form of ``repro-lint``."""
+
+import sys
+
+from repro.analysis.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

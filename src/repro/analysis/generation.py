@@ -1,0 +1,137 @@
+"""REPRO104 ``generation-discipline`` — dataset mutations bump a generation.
+
+Since PR 2 every derived artifact (frame snapshots, prepared-statement
+memo entries, open-cursor pages) is validated against a per-dataset
+*generation token*; mutating a dataset without bumping the token serves
+stale answers with no error.  The two blessed bump helpers are
+``HermesEngine._note_append`` (append absorbed in place, caches stay
+warm) and ``HermesEngine._invalidate`` (bump plus cache eviction).
+
+This rule scans functions in ``core/`` for the mutation shapes that
+change what a dataset contains:
+
+* ``<frame>.extend(...)`` — extending a live ``MODFrame`` in place,
+* ``<tree>.append(...)`` — appending into a live ``ReTraTree``,
+* assigning into or popping from an ``_datasets`` catalog mapping,
+* ``<catalog>.drop(...)`` / ``<catalog>.replace(...)`` on the durable
+  catalog.
+
+Receivers are matched by name (a tail identifier of exactly ``frame`` /
+``tree`` or ending in ``_frame`` / ``_tree``; ``catalog`` likewise), so
+plain list locals like ``trees.append(...)`` do not trip it.  A
+function containing any trigger must also *reference* ``_note_append``
+or ``_invalidate`` somewhere in its body; one bump covers all triggers
+in that function (the engine bumps once per logical mutation, not per
+touched structure).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, Finding, SourceModule, receiver_tail
+
+__all__ = ["GenerationChecker"]
+
+_BUMP_HELPERS = frozenset({"_note_append", "_invalidate"})
+
+
+def _tail_matches(node: ast.AST, stem: str) -> bool:
+    """Whether a receiver's tail identifier is ``stem`` or ``*_<stem>``."""
+    tail = receiver_tail(node)
+    if tail is None:
+        return False
+    tail = tail.lower().lstrip("_")
+    return tail == stem or tail.endswith(f"_{stem}")
+
+
+def _datasets_rooted(node: ast.AST) -> bool:
+    """Whether a chain passes through an ``_datasets`` attribute."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if isinstance(node, ast.Attribute) and node.attr == "_datasets":
+            return True
+        node = node.value
+    return False
+
+
+class GenerationChecker(Checker):
+    """Flag ``core/`` functions that mutate datasets without a bump."""
+
+    rule = "REPRO104"
+    slug = "generation-discipline"
+    hint = (
+        "call `engine._note_append(name)` (in-place absorb) or "
+        "`engine._invalidate(name)` (bump + evict) in the same function, "
+        "or the mutation serves stale caches silently"
+    )
+
+    def applies(self, module: SourceModule) -> bool:
+        """Dataset-mutation helpers all live under ``core/``."""
+        parts = module.logical_parts
+        return bool(parts) and parts[0] == "core"
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        """Check every function/method body independently.
+
+        Nested defs are folded into their enclosing function — a helper
+        closure's mutation is satisfied by a bump anywhere in the
+        enclosing body, matching how the ingest pipeline bumps in a
+        ``finally`` that covers its inner workers.
+        """
+        funcs = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        nested: set[int] = set()
+        for func in funcs:
+            for child in ast.walk(func):
+                if child is not func and isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(id(child))
+        findings: list[Finding] = []
+        for func in funcs:
+            if id(func) in nested:
+                continue
+            triggers = self._triggers(func)
+            if triggers and not self._bumps(func):
+                findings.extend(
+                    self.finding(module, trigger, message) for trigger, message in triggers
+                )
+        return findings
+
+    @staticmethod
+    def _triggers(func: ast.AST) -> list[tuple[ast.AST, str]]:
+        triggers: list[tuple[ast.AST, str]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                method, receiver = node.func.attr, node.func.value
+                if method == "extend" and _tail_matches(receiver, "frame"):
+                    triggers.append((node, "in-place frame extend without a generation bump"))
+                elif method == "append" and _tail_matches(receiver, "tree"):
+                    triggers.append((node, "in-place tree append without a generation bump"))
+                elif method in ("drop", "replace") and _tail_matches(receiver, "catalog"):
+                    triggers.append(
+                        (node, f"catalog {method} without a generation bump")
+                    )
+                elif method == "pop" and _datasets_rooted(receiver):
+                    triggers.append(
+                        (node, "dataset catalog pop without a generation bump")
+                    )
+            elif isinstance(node, ast.Assign):
+                if any(_datasets_rooted(target) for target in node.targets):
+                    triggers.append(
+                        (node, "dataset catalog assignment without a generation bump")
+                    )
+        return triggers
+
+    @staticmethod
+    def _bumps(func: ast.AST) -> bool:
+        """Whether the function references a generation-bump helper."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and node.attr in _BUMP_HELPERS:
+                return True
+            if isinstance(node, ast.Name) and node.id in _BUMP_HELPERS:
+                return True
+        return False

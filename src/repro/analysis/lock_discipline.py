@@ -1,0 +1,268 @@
+"""REPRO102 ``lock-discipline`` — guarded attributes mutate under their lock.
+
+The ROADMAP's next open item is a multi-client server, which turns
+``HermesEngine``'s caches from single-thread conveniences into shared
+mutable state.  This rule lets the codebase *declare* which lock guards
+which attribute today, and machine-checks every mutation site, so the
+server-mode refactor starts from a verified baseline instead of a
+folklore one.
+
+Declaration syntax — a trailing comment on the attribute's assignment
+in ``__init__``::
+
+    self._frames: dict[str, MODFrame] = {}  # guarded-by: _catalog_lock
+
+Every later mutation of ``self._frames`` (assignment, augmented or
+subscript assignment, ``del``, or a mutating method call such as
+``.pop()`` / ``.clear()`` / ``.update()``) must then happen either
+
+* inside a ``with self._catalog_lock:`` block, or
+* in a method annotated ``# holds: _catalog_lock`` on (or directly
+  above) its ``def`` line — for private helpers whose callers already
+  hold the lock.
+
+``__init__`` itself is exempt (no concurrent access before construction
+completes).  Reads are not checked: the engine's read paths are
+generation-validated, and flagging reads would drown the signal.
+Aliasing (``cache = self._frames; cache.clear()``) is out of scope for
+this rule — mutate through ``self`` so the checker can see it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.base import Checker, Finding, SourceModule
+
+__all__ = ["LockDisciplineChecker"]
+
+_GUARDED_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_][A-Za-z0-9_, ]*)")
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "add",
+        "sort",
+    }
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` (possibly behind subscripts) → ``"X"``, else ``None``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _flatten_targets(target: ast.AST) -> list[ast.AST]:
+    """Unpack tuple/list assignment targets into leaf target nodes."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        leaves: list[ast.AST] = []
+        for element in target.elts:
+            leaves.extend(_flatten_targets(element))
+        return leaves
+    if isinstance(target, ast.Starred):
+        return _flatten_targets(target.value)
+    return [target]
+
+
+class LockDisciplineChecker(Checker):
+    """Flag mutations of ``# guarded-by:`` attributes outside their lock."""
+
+    rule = "REPRO102"
+    slug = "lock-discipline"
+    hint = (
+        "wrap the mutation in `with self.<lockname>:`, or annotate the method "
+        "`# holds: <lockname>` if every caller already holds the lock"
+    )
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        """Check every class in ``module`` that declares guarded attributes."""
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: SourceModule, cls: ast.ClassDef) -> list[Finding]:
+        guarded = self._guarded_attrs(module, cls)
+        if not guarded:
+            return []
+        findings: list[Finding] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue
+            held = self._declared_holds(module, stmt)
+            self._visit(module, stmt.body, guarded, held, findings)
+        return findings
+
+    @staticmethod
+    def _guarded_attrs(module: SourceModule, cls: ast.ClassDef) -> dict[str, str]:
+        """Attribute → lock name, from ``# guarded-by:`` comments in ``__init__``."""
+        guarded: dict[str, str] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "__init__":
+                for child in ast.walk(stmt):
+                    if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                        targets = (
+                            child.targets if isinstance(child, ast.Assign) else [child.target]
+                        )
+                        comment = module.comment(child.lineno) or ""
+                        match = _GUARDED_RE.search(comment)
+                        if not match:
+                            continue
+                        for target in targets:
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                guarded[attr] = match.group(1)
+        return guarded
+
+    @staticmethod
+    def _declared_holds(module: SourceModule, func: ast.AST) -> frozenset[str]:
+        """Locks a ``# holds:`` annotation on/above the ``def`` line grants."""
+        held: set[str] = set()
+        line = getattr(func, "lineno", 0)
+        for candidate in (line, line - 1):
+            comment = module.comment(candidate)
+            if not comment:
+                continue
+            match = _HOLDS_RE.search(comment)
+            if match:
+                held.update(name.strip() for name in match.group(1).split(",") if name.strip())
+        return frozenset(held)
+
+    def _visit(
+        self,
+        module: SourceModule,
+        stmts: list[ast.stmt],
+        guarded: dict[str, str],
+        held: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        """Walk statements tracking which locks the ``with`` stack holds."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = {
+                    attr
+                    for item in stmt.items
+                    if (attr := _self_attr(item.context_expr)) is not None
+                }
+                # Non-lock context managers acquire nothing; harmless to add.
+                self._visit(module, stmt.body, guarded, held | acquired, findings)
+                continue
+            nested = self._nested_bodies(stmt)
+            if nested:
+                # Compound statement: check only its own expression fields
+                # (e.g. an `if` test) here, then recurse into the bodies so
+                # nested `with self.<lock>:` blocks are tracked correctly.
+                self._check_exprs(module, self._own_exprs(stmt), guarded, held, findings)
+                for body in nested:
+                    self._visit(module, body, guarded, held, findings)
+            else:
+                self._check_stmt(module, stmt, guarded, held, findings)
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        """Statement lists nested under ``stmt`` (if/for/try/def bodies...)."""
+        bodies: list[list[ast.stmt]] = []
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        """The expression fields directly on a compound statement."""
+        exprs: list[ast.expr] = []
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+        return exprs
+
+    def _check_exprs(
+        self,
+        module: SourceModule,
+        exprs: list[ast.expr],
+        guarded: dict[str, str],
+        held: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        """Flag unlocked mutating method calls inside expression trees."""
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in _MUTATING_METHODS:
+                        attr = _self_attr(node.func.value)
+                        lock = guarded.get(attr) if attr is not None else None
+                        if lock is not None and lock not in held:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    f"`self.{attr}` is guarded-by `{lock}` but is "
+                                    f"mutated without holding it",
+                                )
+                            )
+
+    def _check_stmt(
+        self,
+        module: SourceModule,
+        stmt: ast.stmt,
+        guarded: dict[str, str],
+        held: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        mutated: list[tuple[str, ast.AST]] = []
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for leaf in _flatten_targets(target):
+                    if (attr := _self_attr(leaf)) is not None:
+                        mutated.append((attr, leaf))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if (attr := _self_attr(stmt.target)) is not None:
+                mutated.append((attr, stmt.target))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if (attr := _self_attr(target)) is not None:
+                    mutated.append((attr, target))
+        # Mutating method calls can appear in any expression position of
+        # the statement (bare call, assignment RHS, return value...).
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATING_METHODS:
+                    if (attr := _self_attr(node.func.value)) is not None:
+                        mutated.append((attr, node))
+        for attr, node in mutated:
+            lock = guarded.get(attr)
+            if lock is not None and lock not in held:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"`self.{attr}` is guarded-by `{lock}` but is mutated "
+                        f"without holding it",
+                    )
+                )

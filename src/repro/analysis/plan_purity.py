@@ -1,0 +1,135 @@
+"""REPRO103 ``plan-purity`` — logical plans stay frozen and side-effect-free.
+
+PR 4's plan layer is shared by the SQL front end, the fluent builder and
+``EXPLAIN``; prepared-statement memoisation keys on plan identity.  Both
+depend on two properties this rule machine-checks:
+
+* every ``@dataclass`` in ``sql/plan.py`` is declared ``frozen=True`` —
+  a mutable plan node would silently break memo keys and let an
+  executor smuggle state between runs;
+* no *streaming* method of a ``*Executor`` class (one whose body —
+  including nested generator helpers — contains ``yield``) assigns to
+  ``self.engine`` state.  Streaming methods run lazily, interleaved
+  with other cursors over the same engine; writes from inside them
+  would race with the generation-token snapshot the cursor took at
+  execute time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, Finding, SourceModule
+
+__all__ = ["PlanPurityChecker"]
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    """Whether a decorator expression is ``dataclass`` / ``dataclass(...)``."""
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return isinstance(target, ast.Name) and target.id == "dataclass"
+
+
+def _is_frozen(node: ast.expr) -> bool:
+    """Whether a dataclass decorator passes ``frozen=True``."""
+    if not isinstance(node, ast.Call):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _engine_rooted(node: ast.AST) -> bool:
+    """Whether an attribute/subscript chain is rooted at ``self.engine``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "engine"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+        node = node.value
+    return False
+
+
+class PlanPurityChecker(Checker):
+    """Flag mutable plan dataclasses and engine writes in streaming methods."""
+
+    rule = "REPRO103"
+    slug = "plan-purity"
+    hint = (
+        "declare plan dataclasses `@dataclass(frozen=True)`; move engine "
+        "mutations out of streaming (yield) methods into the eager execute path"
+    )
+
+    def applies(self, module: SourceModule) -> bool:
+        """Only the ``sql/`` package carries plan/executor code."""
+        parts = module.logical_parts
+        return bool(parts) and parts[0] == "sql"
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        """Run the frozen check in ``plan.py`` and the executor check anywhere."""
+        findings: list[Finding] = []
+        if module.logical_parts[-1] == "plan.py":
+            findings.extend(self._check_frozen(module))
+        findings.extend(self._check_executors(module))
+        return findings
+
+    def _check_frozen(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorators = [d for d in node.decorator_list if _is_dataclass_decorator(d)]
+            if decorators and not any(_is_frozen(d) for d in decorators):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"plan dataclass `{node.name}` is not declared frozen=True",
+                    )
+                )
+        return findings
+
+    def _check_executors(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Executor"):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if self._is_streaming(stmt):
+                            findings.extend(self._engine_writes(module, stmt))
+        return findings
+
+    @staticmethod
+    def _is_streaming(func: ast.AST) -> bool:
+        """Whether a method (or a helper nested in it) yields."""
+        return any(
+            isinstance(node, (ast.Yield, ast.YieldFrom)) for node in ast.walk(func)
+        )
+
+    def _engine_writes(self, module: SourceModule, func: ast.AST) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if _engine_rooted(target):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"streaming method `{func.name}` assigns to engine state",
+                        )
+                    )
+        return findings

@@ -1,0 +1,72 @@
+"""REPRO106 ``shm-hygiene`` — every ``ShmArena`` has a bounded lifetime.
+
+PR 7's zero-copy transport allocates named POSIX shared-memory
+segments; a leaked arena survives the process and fills ``/dev/shm``
+until a reboot.  The hygiene suite proves the two blessed lifetime
+patterns drain correctly:
+
+* ``with ShmArena(...) as arena:`` — scoped to a block, drained by
+  ``__exit__`` even on crash/interrupt,
+* a module-level default arena (``_DEFAULT_ARENA = ShmArena()``) — one
+  per process, drained by the ``atexit`` hook registered next to it.
+
+Any other construction — an arena stored on ``self``, created inside a
+function and returned, passed inline to a call — has no owner with a
+guaranteed drain point, so this rule flags it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, Finding, SourceModule, receiver_tail
+
+__all__ = ["ShmHygieneChecker"]
+
+
+def _is_arena_call(node: ast.AST) -> bool:
+    """Whether a node is an ``ShmArena(...)`` construction."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "ShmArena"
+    return receiver_tail(node.func) == "ShmArena"
+
+
+class ShmHygieneChecker(Checker):
+    """Flag ``ShmArena`` constructions outside the two blessed lifetimes."""
+
+    rule = "REPRO106"
+    slug = "shm-hygiene"
+    hint = (
+        "construct the arena as `with ShmArena(...) as arena:` or as the "
+        "module-level default with an atexit drain; unscoped arenas leak "
+        "/dev/shm segments past process exit"
+    )
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        """Collect blessed construction sites, then flag every other one."""
+        blessed: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_arena_call(item.context_expr):
+                        blessed.add(id(item.context_expr))
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and _is_arena_call(stmt.value):
+                blessed.add(id(stmt.value))
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if _is_arena_call(stmt.value):
+                    blessed.add(id(stmt.value))
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if _is_arena_call(node) and id(node) not in blessed:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "ShmArena constructed outside a `with` statement and "
+                        "not as the module default arena",
+                    )
+                )
+        return findings

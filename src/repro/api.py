@@ -42,9 +42,11 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from collections import deque
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.engine import HermesEngine
 
@@ -435,6 +437,11 @@ class Cursor:
         return tuple((name, None, None, None, None, None, None) for name in self._columns)
 
 
+#: One memoised prepared-statement result: the generation tokens of every
+#: dataset the plan touched at execute time, plus the materialised rows.
+_MemoEntry = tuple[tuple[tuple[str, int], ...], list[dict[str, object]]]
+
+
 class PreparedStatement:
     """A statement parsed and planned once, re-bound per execution.
 
@@ -454,7 +461,11 @@ class PreparedStatement:
         self.connection = connection
         self.sql = sql
         self._plan = plan_sql(sql)
-        self._cache: dict[object, tuple[tuple[tuple[str, int], ...], list[dict[str, object]]]] = {}
+        # Memo cache shared by every cursor this statement hands out; its
+        # mutations are lock-checked (repro-lint REPRO102) ahead of the
+        # multi-client server mode sharing prepared statements.
+        self._memo_lock = threading.Lock()
+        self._cache: dict[object, _MemoEntry] = {}  # guarded-by: _memo_lock
 
     @property
     def plan(self) -> LogicalPlan:
@@ -516,9 +527,10 @@ class PreparedStatement:
                 return _preloaded_cursor(cursor, [dict(row) for row in cached[1]])
         rows = list(self.connection._executor.execute(bound))
         if key is not None:
-            while len(self._cache) >= _PREPARED_CACHE_SIZE:
-                self._cache.pop(next(iter(self._cache)))  # FIFO eviction
-            self._cache[key] = (generations, rows)
+            with self._memo_lock:
+                while len(self._cache) >= _PREPARED_CACHE_SIZE:
+                    self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+                self._cache[key] = (generations, rows)
             return _preloaded_cursor(cursor, [dict(row) for row in rows])
         return _preloaded_cursor(cursor, rows)
 

@@ -48,6 +48,7 @@ In-memory engines skip all of this; their partitions die with the process.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -128,7 +129,13 @@ class HermesEngine:
         # rather than recovered wrong; repro-fsck quarantines them.
         self._damaged_datasets: dict[str, str] = {}
         self._datasets: dict[str, MOD] = {}
-        self._frames: dict[str, MODFrame] = {}
+        # The frame catalog is the first cache the multi-client server mode
+        # (ROADMAP) will share across threads; its mutations are lock-checked
+        # today (repro-lint REPRO102) so that refactor starts from a verified
+        # baseline.  RLock: frame() materialises recovered datasets, which
+        # seeds the catalog while the caller may already hold the lock.
+        self._catalog_lock = threading.RLock()
+        self._frames: dict[str, MODFrame] = {}  # guarded-by: _catalog_lock
         self._retratrees: dict[str, ReTraTree] = {}
         self._last_results: dict[str, ClusteringResult] = {}
         self._generations: dict[str, int] = {}
@@ -225,7 +232,8 @@ class HermesEngine:
         (``load_mod``) can stage the successor before the predecessor's
         files go away; :meth:`drop` reclaims the disk explicitly.
         """
-        self._frames.pop(name, None)
+        with self._catalog_lock:
+            self._frames.pop(name, None)
         self._pending_datasets.pop(name, None)
         self._tree_manifests.pop(name, None)
         self._shard_manifests.pop(name, None)
@@ -376,9 +384,10 @@ class HermesEngine:
         """
         if name in self._pending_datasets:
             self._materialise_recovered(name)  # seeds the frame entry too
-        if name not in self._frames:
-            self._frames[name] = MODFrame.from_mod(self.get_mod(name))
-        return self._frames[name]
+        with self._catalog_lock:
+            if name not in self._frames:
+                self._frames[name] = MODFrame.from_mod(self.get_mod(name))
+            return self._frames[name]
 
     def dataset_summary(self, name: str) -> dict[str, object]:
         """Descriptive statistics of a dataset (used by ``SELECT SUMMARY``)."""
@@ -1341,8 +1350,12 @@ class HermesEngine:
                 decode_partition(delta["partition"], delta.get("row_keys", []))
             )
         self._pending_datasets.pop(name)
-        self._datasets[name] = MOD(name=name, trajectories=ordered)
-        self._frames[name] = MODFrame.from_trajectories(ordered)
+        # The generation token was already assigned for this dataset during
+        # _recover_catalog; materialisation only decodes what that generation
+        # committed, so no bump happens (or is needed) here.
+        self._datasets[name] = MOD(name=name, trajectories=ordered)  # repro-lint: allow[generation-discipline]
+        with self._catalog_lock:
+            self._frames[name] = MODFrame.from_trajectories(ordered)
 
     def verify(self, repair: bool = False) -> "FsckReport":
         """Check the engine's storage directory for corruption (``repro-fsck``).

@@ -46,6 +46,7 @@ Entry points: :func:`partitioned_s2t` (library),
 from __future__ import annotations
 
 import pickle
+import threading
 from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -85,28 +86,35 @@ class WorkerPool:
     """
 
     def __init__(self) -> None:
-        self._executor: ProcessPoolExecutor | None = None
-        self._max_workers = 0
+        # RLock, not Lock: executor() shuts down an undersized executor
+        # while already inside the critical section.  Lock-checked by
+        # repro-lint REPRO102 ahead of the multi-client server mode.
+        self._lock = threading.RLock()
+        self._executor: ProcessPoolExecutor | None = None  # guarded-by: _lock
+        self._max_workers = 0  # guarded-by: _lock
         self.created = 0
 
     def executor(self, n_jobs: int) -> ProcessPoolExecutor:
         """The shared executor, (re)created to hold at least ``n_jobs`` workers."""
-        if self._executor is None or n_jobs > self._max_workers:
-            self.shutdown()
-            self._executor = ProcessPoolExecutor(max_workers=n_jobs)
-            self._max_workers = n_jobs
-            self.created += 1
-        return self._executor
+        with self._lock:
+            if self._executor is None or n_jobs > self._max_workers:
+                self.shutdown()
+                self._executor = ProcessPoolExecutor(max_workers=n_jobs)
+                self._max_workers = n_jobs
+                self.created += 1
+            return self._executor
 
     def reset(self) -> None:
         """Discard a (possibly broken) executor; the next use starts fresh."""
-        executor, self._executor, self._max_workers = self._executor, None, 0
+        with self._lock:
+            executor, self._executor, self._max_workers = self._executor, None, 0
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self) -> None:
         """Shut the executor down explicitly (idempotent)."""
-        executor, self._executor, self._max_workers = self._executor, None, 0
+        with self._lock:
+            executor, self._executor, self._max_workers = self._executor, None, 0
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.parallel import WorkerPool, attached_frame
 from repro.hermes.frame import MODFrame

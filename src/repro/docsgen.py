@@ -52,6 +52,7 @@ API_TARGETS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
     ("repro.qut.retratree", None),
     ("repro.qut.params", ("QuTParams",)),
     ("repro.s2t.params", ("S2TParams",)),
+    ("repro.analysis", ("Checker", "Finding", "SourceModule", "lint_paths", "select_checkers")),
     ("repro.sql.errors", None),
     ("repro.storage.errors", None),
     ("repro.storage.faults", None),
@@ -65,6 +66,7 @@ NAV: tuple[tuple[str, str], ...] = (
     ("ingestion.md", "Incremental ingestion"),
     ("persistence.md", "Persistence & recovery"),
     ("sql-dialect.md", "SQL dialect"),
+    ("static-analysis.md", "Static analysis"),
 )
 
 _STYLE = """

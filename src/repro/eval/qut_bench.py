@@ -21,7 +21,6 @@ from pathlib import Path
 from repro.datagen import aircraft_scenario, lane_scenario
 from repro.hermes.trajectory import SubTrajectory
 from repro.hermes.types import Period
-from repro.qut.params import QuTParams
 from repro.qut.query import QuTClustering
 from repro.qut.retratree import ReTraTree
 

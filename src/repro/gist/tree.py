@@ -18,7 +18,8 @@ support functions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Iterator, Sequence, TypeVar
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any, Generic, TypeVar
 
 __all__ = ["GiST", "KeyAdapter", "Entry"]
 

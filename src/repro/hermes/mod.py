@@ -9,7 +9,7 @@ engine and the ReTraTree.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.hermes.trajectory import Trajectory
 from repro.hermes.types import BoxST, Period

@@ -9,7 +9,8 @@ is simple, allocation-free and fast for the chunk counts a ReTraTree holds.
 from __future__ import annotations
 
 import bisect
-from typing import Generic, Iterator, TypeVar
+from collections.abc import Iterator
+from typing import Generic, TypeVar
 
 from repro.hermes.types import Period
 

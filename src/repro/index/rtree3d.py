@@ -19,7 +19,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Generic, Iterable, Sequence, TypeVar
+from collections.abc import Iterable, Sequence
+from typing import Generic, TypeVar
 
 from repro.gist.tree import GiST, KeyAdapter
 from repro.hermes.types import BoxST, PointST

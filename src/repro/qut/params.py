@@ -15,6 +15,7 @@ gamma)``:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
+from typing import Any
 
 from repro.hermes.mod import MOD
 from repro.s2t.params import S2TParams
@@ -61,12 +62,12 @@ class QuTParams:
         )
         return replace(self, tau=tau, delta=delta, distance_threshold=d, s2t=s2t)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (used by the storage-catalog manifest)."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "QuTParams":
+    def from_dict(cls, data: dict[str, Any]) -> "QuTParams":
         """Inverse of :meth:`to_dict` (the nested ``s2t`` dict is rebuilt)."""
         data = dict(data)
         s2t = data.pop("s2t", None)

@@ -17,7 +17,7 @@ Both return *cut points*: sample indices where a new sub-trajectory starts.
 from __future__ import annotations
 
 import time
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import operator
 from collections import defaultdict
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.engine import HermesEngine
 from repro.core.ingest import AppendBuffer

@@ -14,7 +14,7 @@ back to the data-driven defaults of the underlying parameter objects.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.baselines.convoy import ConvoyParams
 from repro.baselines.toptics import TOpticsParams

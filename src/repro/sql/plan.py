@@ -18,8 +18,9 @@ produced *identical* plan objects.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, fields, is_dataclass, replace
-from typing import Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.sql.ast import Comparison, Parameter
 from repro.sql.errors import SQLBindError
@@ -53,7 +54,7 @@ def _walk_parameters(value: object) -> Iterator[Parameter]:
             yield from _walk_parameters(getattr(value, f.name))
 
 
-def _bind_value(value: object, binder) -> object:
+def _bind_value(value: object, binder: Callable[[Parameter], object]) -> object:
     if isinstance(value, Parameter):
         return binder(value)
     if isinstance(value, tuple):
@@ -325,7 +326,7 @@ def bind_for_execution(
     return plan
 
 
-def plan_lines(plan: LogicalPlan, engine=None) -> list[str]:
+def plan_lines(plan: LogicalPlan, engine: Any = None) -> list[str]:
     """Render a plan tree as indented text lines.
 
     With an engine, one ``artifacts[name]: ...`` line per referenced dataset

@@ -107,6 +107,7 @@ from repro.storage.catalog import (
     PartitionInfo,
     manifest_checksum,
     page_checksums,
+    staged_tmp_path,
 )
 from repro.storage.errors import (
     CorruptManifestError,
@@ -140,6 +141,7 @@ __all__ = [
     "PartitionInfo",
     "manifest_checksum",
     "page_checksums",
+    "staged_tmp_path",
     "StorageCorruptionError",
     "CorruptPartitionError",
     "CorruptManifestError",

@@ -10,7 +10,7 @@ E6/E7 benchmarks.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.storage.page import Page
 from repro.storage.pager import Pager

@@ -39,9 +39,23 @@ __all__ = [
     "MANIFEST_FILENAME",
     "manifest_checksum",
     "page_checksums",
+    "staged_tmp_path",
 ]
 
 MANIFEST_FILENAME = "manifest.json"
+
+
+def staged_tmp_path(path: Path) -> Path:
+    """The staging-file path for an atomic replace of ``path``.
+
+    Every stage→fsync→replace commit in the storage layer (the catalog's
+    manifest write, fsck's manifest repair) stages through this one
+    naming scheme — ``<name>.json.tmp`` next to the target — so crash
+    recovery and the orphan sweep recognise leftover staging files by a
+    single pattern, and the io-discipline checker (repro-lint REPRO101)
+    has one blessed tmp-path construction to point at.
+    """
+    return path.with_suffix(path.suffix + ".tmp")
 
 
 def manifest_checksum(manifest: dict) -> int:
@@ -318,7 +332,7 @@ class StorageManager:
         if path is None:
             self._memory_manifest = manifest
             return
-        tmp = path.with_suffix(".json.tmp")
+        tmp = staged_tmp_path(path)
         payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
 
         def stage() -> None:

@@ -37,7 +37,8 @@ import errno
 import os
 import time
 from pathlib import Path
-from typing import Callable, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 __all__ = [
     "IOShim",

@@ -41,7 +41,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.catalog import MANIFEST_FILENAME, manifest_checksum, page_checksums
+from repro.storage.catalog import (
+    MANIFEST_FILENAME,
+    manifest_checksum,
+    page_checksums,
+    staged_tmp_path,
+)
 from repro.storage.faults import DEFAULT_IO, IOShim
 from repro.storage.heapfile import HeapFile
 from repro.storage.page import PAGE_SIZE, Page
@@ -281,7 +286,7 @@ def _write_manifest_atomic(io: IOShim, directory: Path, manifest: dict) -> None:
     """Atomically rewrite a dataset's manifest with a fresh CRC stamp."""
     manifest["manifest_crc"] = manifest_checksum(manifest)
     path = directory / MANIFEST_FILENAME
-    tmp = path.with_suffix(".json.tmp")
+    tmp = staged_tmp_path(path)
     payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
     fh = io.open(tmp, "wb")
     try:

@@ -12,7 +12,7 @@ Records larger than a page are split into continuation chunks transparently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import PAGE_SIZE, Page

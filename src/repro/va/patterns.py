@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hermes.mod import MOD
-from repro.hermes.trajectory import SubTrajectory, Trajectory
+from repro.hermes.trajectory import Trajectory
 from repro.hermes.types import Period
 from repro.s2t.result import ClusteringResult
 

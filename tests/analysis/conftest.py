@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro-lint suite: fixture-tree linting."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, select_checkers
+
+
+@pytest.fixture
+def lint_tree(tmp_path: Path):
+    """Write a fixture tree and lint it.
+
+    Returns a callable taking ``{relative_path: source}`` plus optional
+    ``select``/``ignore`` token lists; sources are dedented before being
+    written, and the findings list is returned.
+    """
+
+    def run(
+        files: dict[str, str],
+        select: list[str] | None = None,
+        ignore: list[str] | None = None,
+    ):
+        for relative, source in files.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        findings, _ = lint_paths([tmp_path], select_checkers(select, ignore))
+        return findings
+
+    return run

@@ -1,6 +1,5 @@
 """Unit tests for convoy discovery."""
 
-import pytest
 
 from repro.baselines.convoy import ConvoyDiscovery, ConvoyParams
 from repro.hermes.mod import MOD

@@ -1,6 +1,5 @@
 """Unit tests for the range-query + fresh-index + S2T alternative."""
 
-import pytest
 
 from repro.baselines.range_then_cluster import RangeThenCluster
 from repro.hermes.types import Period

@@ -1,6 +1,5 @@
 """Unit tests for the T-OPTICS baseline."""
 
-import pytest
 
 from repro.baselines.toptics import TOpticsClustering, TOpticsParams
 from repro.hermes.mod import MOD

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.engine import HermesEngine
-from repro.hermes.io import write_csv
 from repro.hermes.types import Period
 from repro.s2t.params import S2TParams
 

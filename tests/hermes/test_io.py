@@ -4,7 +4,6 @@ import pytest
 
 from repro.hermes.io import read_csv, write_csv
 from repro.hermes.mod import MOD
-from tests.conftest import make_linear_trajectory
 
 
 class TestRoundTrip:

@@ -1,6 +1,5 @@
 """Unit tests for the spatiotemporal primitive types."""
 
-import math
 
 import pytest
 

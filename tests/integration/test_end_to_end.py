@@ -6,7 +6,6 @@ the from-scratch alternative and the related methods, and produce the VA data
 products — all through the public API.
 """
 
-import pytest
 
 from repro.baselines import ConvoyDiscovery, TOpticsClustering, TraclusClustering
 from repro.core import HermesEngine, ProgressiveSession
@@ -97,7 +96,7 @@ class TestScenario2Workflow:
         engine = HermesEngine.in_memory()
         engine.load_mod("flights", mod)
         period = mod.period
-        rows = run_sql(engine, 
+        rows = run_sql(engine,
             f"SELECT QUT(flights, {period.tmin + 0.5 * period.duration}, {period.tmax})"
         )
         assert rows[-1]["cluster_id"] == "outliers"

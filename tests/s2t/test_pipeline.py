@@ -1,6 +1,5 @@
 """Integration-level tests of the full S2T pipeline."""
 
-import pytest
 
 from repro.eval.metrics import clustering_quality
 from repro.hermes.mod import MOD

@@ -1,6 +1,5 @@
 """Unit tests for SaCO representative sampling."""
 
-import pytest
 
 from repro.s2t.params import S2TParams
 from repro.s2t.sampling import select_representatives

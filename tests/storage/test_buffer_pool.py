@@ -3,7 +3,6 @@
 import pytest
 
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.page import Page
 from repro.storage.pager import InMemoryPager
 
 
@@ -75,7 +74,7 @@ class TestEvictionAndWriteBack:
         p0 = pool.allocate_page()
         p1 = pool.allocate_page()
         pool.get_page(p0)  # p0 becomes most recent
-        p2 = pool.allocate_page()  # must evict p1, not p0
+        pool.allocate_page()  # must evict p1, not p0
         misses_before = pool.stats.misses
         pool.get_page(p0)
         assert pool.stats.misses == misses_before  # p0 still resident

@@ -1,0 +1,24 @@
+"""``staged_tmp_path`` — the one blessed staging-file naming scheme."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.storage import staged_tmp_path
+
+
+def test_manifest_staging_name():
+    assert staged_tmp_path(Path("/store/lanes/manifest.json")) == Path(
+        "/store/lanes/manifest.json.tmp"
+    )
+
+
+def test_stays_next_to_target():
+    target = Path("/store/lanes/manifest.json")
+    assert staged_tmp_path(target).parent == target.parent
+
+
+def test_recovery_sweeps_recognise_the_name():
+    # The orphan sweeps in catalog recovery and fsck glob "*.json.tmp";
+    # the helper must keep producing names that pattern matches.
+    assert staged_tmp_path(Path("manifest.json")).match("*.json.tmp")

@@ -19,6 +19,15 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 # The modules the docs satellite pins (plus the new ingestion subsystem and
 # the docs builder itself — the documentation tooling documents itself).
 ENFORCED_MODULES = [
+    "repro/analysis/__init__.py",
+    "repro/analysis/base.py",
+    "repro/analysis/determinism.py",
+    "repro/analysis/driver.py",
+    "repro/analysis/generation.py",
+    "repro/analysis/io_discipline.py",
+    "repro/analysis/lock_discipline.py",
+    "repro/analysis/plan_purity.py",
+    "repro/analysis/shm_hygiene.py",
     "repro/api.py",
     "repro/core/engine.py",
     "repro/core/ingest.py",
