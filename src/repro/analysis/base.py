@@ -30,10 +30,15 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.analysis.flow.summaries import ProjectIndex
 
 __all__ = [
     "Checker",
     "Finding",
+    "ProjectChecker",
     "SourceModule",
     "dotted_name",
     "receiver_tail",
@@ -152,6 +157,7 @@ class SourceModule:
         self.text = text
         self.tree = ast.parse(text, filename=str(path))
         self.comments = self._comment_map(text)
+        self.decorator_starts = self._decorator_map(self.tree)
 
     @classmethod
     def from_path(cls, path: str | Path, root: Path | None = None) -> SourceModule:
@@ -175,6 +181,21 @@ class SourceModule:
         except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
             pass
         return comments
+
+    @staticmethod
+    def _decorator_map(tree: ast.Module) -> dict[int, int]:
+        """``def``/``class`` line → first decorator line, for decorated defs.
+
+        Findings anchor to the ``def`` line, but a suppression comment
+        naturally sits *above the decorator stack*; this map lets
+        :meth:`allowed_rules` bridge the gap.
+        """
+        starts: dict[int, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.decorator_list:
+                    starts[node.lineno] = min(d.lineno for d in node.decorator_list)
+        return starts
 
     @property
     def logical_parts(self) -> tuple[str, ...]:
@@ -209,11 +230,17 @@ class SourceModule:
 
         A ``# repro-lint: allow[RULE]`` directive suppresses matching
         findings when it trails the offending line or sits on the line
-        immediately above it.  Tokens are rule ids or slugs, comma
-        separated, case-insensitive.
+        immediately above it.  For findings anchored to a decorated
+        ``def``, a directive above the *decorator stack* counts too —
+        that is where suppression comments naturally live.  Tokens are
+        rule ids or slugs, comma separated, case-insensitive.
         """
+        candidates = [line, line - 1]
+        first_decorator = self.decorator_starts.get(line)
+        if first_decorator is not None:
+            candidates.extend((first_decorator, first_decorator - 1))
         tokens: set[str] = set()
-        for candidate in (line, line - 1):
+        for candidate in candidates:
             comment = self.comments.get(candidate)
             if not comment:
                 continue
@@ -271,3 +298,36 @@ class Checker:
             message=message,
             hint=self.hint,
         )
+
+
+class ProjectChecker(Checker):
+    """Base class for rules that need a whole-project view.
+
+    Per-module checkers cannot see that a helper's *caller* holds a lock
+    or that an exception propagates across modules.  A ``ProjectChecker``
+    runs once per lint invocation over the shared
+    :class:`~repro.analysis.flow.summaries.ProjectIndex` (modules, call
+    graph, interprocedural summaries) instead of once per module.
+    Suppression comments still work: each finding is filtered against the
+    ``# repro-lint: allow[...]`` directives of the module it anchors to.
+    """
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        """Project rules produce nothing in the per-module pass."""
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Finding]:
+        """Produce raw findings for the whole project (before suppression)."""
+        raise NotImplementedError
+
+    def run_project(self, index: ProjectIndex) -> list[Finding]:
+        """Suppression-filtered findings for the whole project."""
+        tokens = {self.rule.lower(), self.slug.lower()}
+        by_path = {str(module.path): module for module in index.modules}
+        kept: list[Finding] = []
+        for finding in self.check_project(index):
+            module = by_path.get(finding.path)
+            if module is not None and (tokens & module.allowed_rules(finding.line)):
+                continue
+            kept.append(finding)
+        return kept

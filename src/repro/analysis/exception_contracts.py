@@ -1,0 +1,139 @@
+"""REPRO111 ``exception-contract`` — public surfaces raise documented types only.
+
+Callers of the storage layer catch :class:`~repro.storage.errors.StorageError`
+to distinguish "the data is damaged, run repro-fsck" from a programming
+bug; callers of :mod:`repro.api` catch ``SQLError``.  Both contracts die
+the moment one code path lets a raw ``RuntimeError`` slip through — the
+caller's ``except`` arm misses it and the operator sees a stack trace
+instead of a remediation hint.  This rule machine-checks the contracts.
+
+For every function it builds an **escaping-raise summary** — the
+function's own ``raise`` sites minus whatever its enclosing
+``try``/``except`` blocks catch, plus its callees' summaries filtered
+the same way at each call site (a bounded fixpoint over the call graph,
+see :mod:`repro.analysis.flow.summaries`).  Handler matching is
+subtype-aware through a statically-built class hierarchy, so
+``except StorageError:`` is known to catch ``CorruptManifestError`` and
+``raise`` inside a handler re-raises the caught types.
+
+The contract applies to functions with **public names** (no leading
+underscore — including methods of private classes, which back public
+protocol objects like pagers).  Dynamically-constructed exceptions and
+raises behind :data:`~repro.analysis.flow.callgraph.TOP` callees are
+invisible to the summary; the rule under-approximates rather than guess.
+Documented pass-through builtins (``ValueError`` for bad arguments,
+``OSError`` for the filesystem, ``KeyError``/``IndexError``/``TypeError``
+for lookup and typing bugs, ``NotImplementedError``, ``StopIteration``
+for iterator protocols, ``AssertionError`` for defensive unreachable
+markers) are always allowed, as is the fault-injection
+harness's ``InjectedCrash`` — a ``BaseException`` precisely so that it
+*bypasses* these contracts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Finding, ProjectChecker, SourceModule
+from repro.analysis.flow.summaries import EscapingRaise, ProjectIndex
+
+__all__ = ["ExceptionContractChecker"]
+
+#: Builtin exception types any public surface may let escape, with the
+#: rationale above.  Subtype matching applies (``FileNotFoundError`` is
+#: covered by ``OSError``).
+_ALLOWED_BUILTINS = (
+    "ValueError",
+    "KeyError",
+    "TypeError",
+    "IndexError",
+    "OSError",
+    "NotImplementedError",
+    "StopIteration",
+    "AssertionError",
+)
+
+#: Project-class ids (``"<module key>::<Class>"``) allowed everywhere.
+_ALLOWED_PROJECT_COMMON = (
+    "storage/errors.py::StorageError",
+    "storage/faults.py::InjectedCrash",
+)
+
+#: Extra allowance for the ``repro.api`` surface: the documented SQL
+#: error hierarchy (``InterfaceError`` subclasses ``SQLError``).
+_ALLOWED_PROJECT_API = ("sql/errors.py::SQLError",)
+
+
+def _contract_for(module: SourceModule) -> tuple[str, tuple[str, ...]] | None:
+    """``(surface name, allowed ids)`` for modules under a contract."""
+    parts = module.logical_parts
+    if parts[:1] == ("storage",) and parts != ("storage", "faults.py"):
+        return ("storage", _ALLOWED_PROJECT_COMMON + _ALLOWED_BUILTINS)
+    if parts == ("api.py",):
+        return (
+            "repro.api",
+            _ALLOWED_PROJECT_COMMON + _ALLOWED_PROJECT_API + _ALLOWED_BUILTINS,
+        )
+    return None
+
+
+class ExceptionContractChecker(ProjectChecker):
+    """Flag undocumented exception types escaping contracted public surfaces."""
+
+    rule = "REPRO111"
+    slug = "exception-contract"
+    hint = (
+        "raise a StorageError subclass from repro.storage.errors (or the "
+        "documented surface type), or catch the internal error and re-raise "
+        "it as one; see docs/static-analysis.md#flow-sensitive-rules"
+    )
+
+    def _allowed(
+        self, index: ProjectIndex, escaped: EscapingRaise, allowed: tuple[str, ...]
+    ) -> bool:
+        return any(
+            index.is_exception_subtype(escaped.type_id, allowed_id)
+            for allowed_id in allowed
+        )
+
+    def check_project(self, index: ProjectIndex) -> list[Finding]:
+        """Check every public-named function of a contracted module."""
+        summaries = index.escaping_raises()
+        findings: list[Finding] = []
+        reported: set[tuple[str, int, str]] = set()
+        for qualname in sorted(summaries):
+            info = index.graph.functions[qualname]
+            if not info.is_public:
+                continue
+            contract = _contract_for(info.module)
+            if contract is None:
+                continue
+            surface, allowed = contract
+            public = qualname.rsplit("::", 1)[-1]
+            for escaped in sorted(
+                summaries[qualname], key=lambda e: (e.path, e.line, e.type_id)
+            ):
+                if self._allowed(index, escaped, allowed):
+                    continue
+                key = (escaped.path, escaped.line, escaped.type_id)
+                if key in reported:
+                    continue
+                reported.add(key)
+                where = (
+                    "raised here"
+                    if escaped.origin == qualname
+                    else f"raised in `{escaped.origin.rsplit('::', 1)[-1]}`"
+                )
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        slug=self.slug,
+                        path=escaped.path,
+                        line=escaped.line,
+                        message=(
+                            f"`{escaped.display}` ({where}) escapes public "
+                            f"{surface} function `{public}`, which is outside "
+                            f"its documented error contract"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings

@@ -1,0 +1,291 @@
+"""Project-wide call graph with deliberately modest, honest resolution.
+
+The graph indexes every function and method in the scanned modules under
+a stable qualified name (``"core/engine.py::HermesEngine.frame"``) and
+resolves call expressions to those names.  Resolution covers exactly the
+shapes the codebase's conventions produce:
+
+* ``self.helper(...)`` → a method of the caller's own class,
+* ``helper(...)`` → a module-level function of the caller's module, or a
+  project function imported via ``from repro.x.y import helper [as h]``,
+* ``ClassName(...)`` → ``ClassName.__init__`` when ``ClassName`` is a
+  project class (defined locally or project-imported),
+* ``ClassName.method(...)`` → the unbound method, same resolution,
+* ``alias.helper(...)`` → via ``import repro.x.y as alias``.
+
+Everything else — attribute calls on arbitrary receivers, builtins,
+third-party callables, calls through variables — resolves to the
+sentinel :data:`TOP`: *unknown callee, assume nothing*.  Interprocedural
+rules must treat TOP as contributing no facts (and say so in their
+documentation); pretending to resolve dynamic dispatch would manufacture
+false positives, which is fatal for a CI-gating linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import SourceModule, dotted_name
+
+__all__ = ["TOP", "CallGraph", "FunctionInfo"]
+
+
+class _Top:
+    """Singleton marker for an unresolvable callee."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<top>"
+
+
+#: The unknown-callee sentinel: resolution found no project target.
+TOP = _Top()
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the scanned project.
+
+    ``qualname`` is ``"<logical path>::<Class.>name"`` — stable across
+    scan roots because it is built from
+    :attr:`~repro.analysis.base.SourceModule.logical_parts`.
+    """
+
+    qualname: str
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_node: ast.ClassDef | None = None
+
+    @property
+    def name(self) -> str:
+        """The bare function name (``frame``)."""
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        """Whether the name is part of its owner's public surface."""
+        return not self.node.name.startswith("_")
+
+
+@dataclass
+class _ModuleScope:
+    """Name-resolution scope of one module: imports plus local defs."""
+
+    #: Local name → dotted project module (``"repro.storage.catalog"``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: Local name → (dotted module, remote name) for ``from`` imports.
+    imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: Module-level function name → qualname.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: Module-level class name → class node.
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+
+
+def _logical_dotted(module: SourceModule) -> str:
+    """A module's project-dotted name (``"repro.storage.catalog"``)."""
+    parts = list(module.logical_parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts])
+
+
+class CallGraph:
+    """Functions, classes and call-edge resolution over scanned modules."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self._scopes: dict[str, _ModuleScope] = {}
+        self._dotted_to_logical: dict[str, str] = {}
+        self._modules: dict[str, SourceModule] = {}
+        #: Dotted module name → {class name → class node}.
+        self.classes: dict[str, dict[str, ast.ClassDef]] = {}
+
+    @classmethod
+    def build(cls, modules: list[SourceModule]) -> "CallGraph":
+        """Index every function, class and import in ``modules``."""
+        graph = cls()
+        for module in modules:
+            graph._index_module(module)
+        return graph
+
+    # -- indexing ----------------------------------------------------------------
+
+    @staticmethod
+    def _module_key(module: SourceModule) -> str:
+        return "/".join(module.logical_parts)
+
+    def _index_module(self, module: SourceModule) -> None:
+        key = self._module_key(module)
+        dotted = _logical_dotted(module)
+        scope = _ModuleScope()
+        self._scopes[key] = scope
+        self._dotted_to_logical[dotted] = key
+        self._modules[key] = module
+        self.classes[dotted] = scope.classes
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    scope.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    scope.imported_names[alias.asname or alias.name] = (
+                        stmt.module,
+                        alias.name,
+                    )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{key}::{stmt.name}"
+                scope.functions[stmt.name] = qualname
+                self.functions[qualname] = FunctionInfo(qualname, module, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                scope.classes[stmt.name] = stmt
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{key}::{stmt.name}.{item.name}"
+                        self.functions[qualname] = FunctionInfo(
+                            qualname, module, item, class_node=stmt
+                        )
+
+    # -- resolution --------------------------------------------------------------
+
+    def methods_of(self, caller: FunctionInfo) -> dict[str, str]:
+        """Method name → qualname for the caller's own class (if any)."""
+        if caller.class_node is None:
+            return {}
+        key = self._module_key(caller.module)
+        prefix = f"{key}::{caller.class_node.name}."
+        return {
+            info.name: qualname
+            for qualname, info in self.functions.items()
+            if qualname.startswith(prefix)
+        }
+
+    def _resolve_project_name(
+        self, scope: _ModuleScope, key: str, name: str
+    ) -> str | ast.ClassDef | _Top:
+        """A bare name in module scope → qualname, class node or TOP."""
+        if name in scope.functions:
+            return scope.functions[name]
+        if name in scope.classes:
+            return scope.classes[name]
+        if name in scope.imported_names:
+            dotted, remote = scope.imported_names[name]
+            target_key = self._dotted_to_logical.get(dotted)
+            if target_key is None:
+                return TOP
+            target_scope = self._scopes[target_key]
+            if remote in target_scope.functions:
+                return target_scope.functions[remote]
+            if remote in target_scope.classes:
+                return target_scope.classes[remote]
+        return TOP
+
+    def _class_qualname(self, cls_node: ast.ClassDef) -> str | None:
+        for dotted, classes in self.classes.items():
+            if classes.get(cls_node.name) is cls_node:
+                key = self._dotted_to_logical[dotted]
+                return f"{key}::{cls_node.name}"
+        return None  # pragma: no cover - indexed classes always resolve
+
+    def _method_on_class(self, cls_node: ast.ClassDef, method: str) -> str | _Top:
+        prefix = self._class_qualname(cls_node)
+        if prefix is None:  # pragma: no cover - indexed classes always resolve
+            return TOP
+        qualname = f"{prefix}.{method}"
+        return qualname if qualname in self.functions else TOP
+
+    def class_by_id(self, class_id: str) -> tuple[SourceModule, ast.ClassDef] | None:
+        """``"storage/errors.py::Name"`` → its module and class node."""
+        key, _, name = class_id.rpartition("::")
+        module = self._modules.get(key)
+        scope = self._scopes.get(key)
+        if module is None or scope is None:
+            return None
+        cls = scope.classes.get(name)
+        return (module, cls) if cls is not None else None
+
+    def resolve_class(
+        self, module: SourceModule, expr: ast.expr
+    ) -> tuple[SourceModule, ast.ClassDef] | str | None:
+        """Resolve a class-valued expression (an exception type, usually).
+
+        Returns the defining ``(module, class node)`` for project
+        classes, the bare name for names that resolve to nothing in the
+        project (builtin candidates — the caller decides whether the
+        builtin is meaningful), or ``None`` for dynamic expressions.
+        """
+        key = self._module_key(module)
+        scope = self._scopes.get(key)
+        if scope is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in scope.classes:
+                return (module, scope.classes[expr.id])
+            if expr.id in scope.imported_names:
+                dotted, remote = scope.imported_names[expr.id]
+                target_key = self._dotted_to_logical.get(dotted)
+                if target_key is not None:
+                    target = self._scopes[target_key].classes.get(remote)
+                    if target is not None:
+                        return (self._modules[target_key], target)
+                return None
+            if expr.id in scope.functions:
+                return None
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            qual = dotted_name(expr.value)
+            if qual is not None:
+                dotted = scope.module_aliases.get(qual, qual)
+                target_key = self._dotted_to_logical.get(dotted)
+                if target_key is not None:
+                    target = self._scopes[target_key].classes.get(expr.attr)
+                    if target is not None:
+                        return (self._modules[target_key], target)
+        return None
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> list[str] | _Top:
+        """Project target qualnames of ``call``, or :data:`TOP`.
+
+        A resolved class is treated as a constructor call (its
+        ``__init__``, when defined).  A list is returned for uniformity;
+        current resolution yields at most one target.
+        """
+        key = self._module_key(caller.module)
+        scope = self._scopes[key]
+        func = call.func
+
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_project_name(scope, key, func.id)
+            if isinstance(resolved, str):
+                return [resolved]
+            if isinstance(resolved, ast.ClassDef):
+                init = self._method_on_class(resolved, "__init__")
+                return [init] if isinstance(init, str) else []
+            return TOP
+
+        if isinstance(func, ast.Attribute):
+            # self.helper(...) — a method of the caller's own class.
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                target = self.methods_of(caller).get(func.attr)
+                return [target] if target is not None else TOP
+            # ClassName.method(...) / alias.func(...) via the module scope.
+            if isinstance(func.value, ast.Name):
+                base = self._resolve_project_name(scope, key, func.value.id)
+                if isinstance(base, ast.ClassDef):
+                    method = self._method_on_class(base, func.attr)
+                    return [method] if isinstance(method, str) else TOP
+            # import repro.x.y as alias; alias.func(...) — or the full
+            # dotted form repro.x.y.func(...).
+            qual = dotted_name(func.value)
+            if qual is not None:
+                dotted = scope.module_aliases.get(qual, qual)
+                target_key = self._dotted_to_logical.get(dotted)
+                if target_key is not None:
+                    target_scope = self._scopes[target_key]
+                    if func.attr in target_scope.functions:
+                        return [target_scope.functions[func.attr]]
+            return TOP
+
+        return TOP

@@ -35,7 +35,7 @@ import re
 
 from repro.analysis.base import Checker, Finding, SourceModule
 
-__all__ = ["LockDisciplineChecker"]
+__all__ = ["LockDisciplineChecker", "declared_holds", "guarded_attributes"]
 
 _GUARDED_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
 _HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_][A-Za-z0-9_, ]*)")
@@ -57,6 +57,45 @@ _MUTATING_METHODS = frozenset(
         "sort",
     }
 )
+
+
+def guarded_attributes(module: SourceModule, cls: ast.ClassDef) -> dict[str, str]:
+    """Attribute → lock name, from ``# guarded-by:`` comments in ``__init__``.
+
+    Shared with the flow-sensitive REPRO110 race checker, which consumes
+    the same declaration vocabulary interprocedurally.
+    """
+    guarded: dict[str, str] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "__init__":
+            for child in ast.walk(stmt):
+                if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        child.targets if isinstance(child, ast.Assign) else [child.target]
+                    )
+                    comment = module.comment(child.lineno) or ""
+                    match = _GUARDED_RE.search(comment)
+                    if not match:
+                        continue
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            guarded[attr] = match.group(1)
+    return guarded
+
+
+def declared_holds(module: SourceModule, func: ast.AST) -> frozenset[str]:
+    """Locks a ``# holds:`` annotation on/above the ``def`` line grants."""
+    held: set[str] = set()
+    line = getattr(func, "lineno", 0)
+    for candidate in (line, line - 1):
+        comment = module.comment(candidate)
+        if not comment:
+            continue
+        match = _HOLDS_RE.search(comment)
+        if match:
+            held.update(name.strip() for name in match.group(1).split(",") if name.strip())
+    return frozenset(held)
 
 
 def _self_attr(node: ast.AST) -> str | None:
@@ -119,37 +158,12 @@ class LockDisciplineChecker(Checker):
     @staticmethod
     def _guarded_attrs(module: SourceModule, cls: ast.ClassDef) -> dict[str, str]:
         """Attribute → lock name, from ``# guarded-by:`` comments in ``__init__``."""
-        guarded: dict[str, str] = {}
-        for stmt in cls.body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "__init__":
-                for child in ast.walk(stmt):
-                    if isinstance(child, (ast.Assign, ast.AnnAssign)):
-                        targets = (
-                            child.targets if isinstance(child, ast.Assign) else [child.target]
-                        )
-                        comment = module.comment(child.lineno) or ""
-                        match = _GUARDED_RE.search(comment)
-                        if not match:
-                            continue
-                        for target in targets:
-                            attr = _self_attr(target)
-                            if attr is not None:
-                                guarded[attr] = match.group(1)
-        return guarded
+        return guarded_attributes(module, cls)
 
     @staticmethod
     def _declared_holds(module: SourceModule, func: ast.AST) -> frozenset[str]:
         """Locks a ``# holds:`` annotation on/above the ``def`` line grants."""
-        held: set[str] = set()
-        line = getattr(func, "lineno", 0)
-        for candidate in (line, line - 1):
-            comment = module.comment(candidate)
-            if not comment:
-                continue
-            match = _HOLDS_RE.search(comment)
-            if match:
-                held.update(name.strip() for name in match.group(1).split(",") if name.strip())
-        return frozenset(held)
+        return declared_holds(module, func)
 
     def _visit(
         self,

@@ -520,7 +520,8 @@ class PreparedStatement:
         key = self._bind_key(params)
         generations = self._generations(bound)
         if key is not None:
-            cached = self._cache.get(key)
+            with self._memo_lock:
+                cached = self._cache.get(key)
             if cached is not None and cached[0] == generations:
                 # Serve row copies: a caller mutating a fetched dict must
                 # never corrupt the memoised result.

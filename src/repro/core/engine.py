@@ -1387,17 +1387,18 @@ class HermesEngine:
         # deltas or reset trees, and the caches must not outlive the state
         # they were derived from.  The generation counter keeps running so
         # generation-keyed consumers notice the world changed.
-        for cache in (
-            self._datasets,
-            self._frames,
-            self._retratrees,
-            self._last_results,
-            self._pending_datasets,
-            self._tree_manifests,
-            self._shard_manifests,
-            self._damaged_datasets,
-        ):
-            cache.clear()
+        with self._catalog_lock:
+            for cache in (
+                self._datasets,
+                self._frames,
+                self._retratrees,
+                self._last_results,
+                self._pending_datasets,
+                self._tree_manifests,
+                self._shard_manifests,
+                self._damaged_datasets,
+            ):
+                cache.clear()
         self._append_batches.clear()
         self._recover_catalog()
         return report
@@ -1482,11 +1483,13 @@ class HermesEngine:
                 )
         if tree_shards == 0 and tree_data is not None:
             tree_shards = int(tree_data.get("count") or 1)
+        with self._catalog_lock:
+            frame_cached = name in self._frames
         return {
             "dataset": name,
             "loaded": name in self._datasets or name in self._pending_datasets,
             "generation": self.dataset_generation(name),
-            "frame_cached": name in self._frames,
+            "frame_cached": frame_cached,
             "tree_cached": name in self._retratrees,
             "tree_persisted": tree_persisted,
             "tree_stale": tree_stale,

@@ -21,6 +21,8 @@ import json
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from collections.abc import Callable, Iterable
+from typing import Any, TypeVar
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.errors import (
@@ -44,6 +46,12 @@ __all__ = [
 
 MANIFEST_FILENAME = "manifest.json"
 
+#: A parsed ``manifest.json`` document.  Values are heterogeneous JSON
+#: (strings, ints, nested objects), so the alias is honest about ``Any``.
+Manifest = dict[str, Any]
+
+_T = TypeVar("_T")
+
 
 def staged_tmp_path(path: Path) -> Path:
     """The staging-file path for an atomic replace of ``path``.
@@ -58,7 +66,7 @@ def staged_tmp_path(path: Path) -> Path:
     return path.with_suffix(path.suffix + ".tmp")
 
 
-def manifest_checksum(manifest: dict) -> int:
+def manifest_checksum(manifest: Manifest) -> int:
     """CRC32 over a manifest's canonical JSON, excluding ``manifest_crc``.
 
     The canonical form (sorted keys, no whitespace) makes the checksum a
@@ -134,9 +142,9 @@ class StorageManager:
         self._expected_checksums: dict[str, list[int]] = {}
         # Manifest of an in-memory manager (a directory-backed one reads and
         # writes manifest.json instead, so state survives the process).
-        self._memory_manifest: dict | None = None
+        self._memory_manifest: Manifest | None = None
 
-    def _retry(self, fn):
+    def _retry(self, fn: Callable[[], _T]) -> _T:
         """Bounded-retry wrapper for this manager's own I/O calls."""
 
         def note() -> None:
@@ -179,7 +187,7 @@ class StorageManager:
             self._verify_partition(name)
         return self.create_partition(name)
 
-    def set_expected_checksums(self, checksums: dict | None) -> None:
+    def set_expected_checksums(self, checksums: Manifest | None) -> None:
         """Register the manifest's per-partition page checksums for recovery.
 
         ``checksums`` maps partition name to a list of per-page CRC32s (the
@@ -243,6 +251,7 @@ class StorageManager:
         return self._partitions[name]
 
     def has(self, name: str) -> bool:
+        """Whether the named partition is currently open in this catalog."""
         return name in self._partitions
 
     def drop_partition(self, name: str) -> None:
@@ -321,7 +330,7 @@ class StorageManager:
             return None
         return self.directory / MANIFEST_FILENAME
 
-    def write_manifest(self, manifest: dict) -> None:
+    def write_manifest(self, manifest: Manifest) -> None:
         """Persist the catalog manifest atomically and durably.
 
         The temp file is fsynced before the rename and the directory entry
@@ -350,7 +359,7 @@ class StorageManager:
         # which is the best available there).
         self.io.fsync_dir(path.parent)
 
-    def read_manifest(self, verify: bool = True) -> dict | None:
+    def read_manifest(self, verify: bool = True) -> Manifest | None:
         """The stored manifest, or ``None`` when nothing was persisted.
 
         Raises :class:`CorruptManifestError` when the file exists but is
@@ -384,7 +393,7 @@ class StorageManager:
         return manifest
 
     @staticmethod
-    def manifest_crc_ok(manifest: dict) -> bool:
+    def manifest_crc_ok(manifest: Manifest) -> bool:
         """Whether a manifest's content matches its ``manifest_crc`` stamp.
 
         Manifests without a stamp (written before format 3) trivially
@@ -395,7 +404,7 @@ class StorageManager:
             return True
         return stored == manifest_checksum(manifest)
 
-    def partition_checksums(self, names) -> dict[str, list[int]]:
+    def partition_checksums(self, names: Iterable[str]) -> dict[str, list[int]]:
         """Per-page CRC32s of the named partitions' files, freshly computed.
 
         Call after :meth:`checkpoint` — the checksums describe what is on

@@ -6,9 +6,12 @@ These exception types are how every detection site (page checksum
 verification, manifest integrity checks, heapfile decoding, catalog
 recovery) reports what it found:
 
-* :class:`StorageCorruptionError` — common base; every message carries the
-  remediation hint (``run repro-fsck``) so an operator landing on a stack
-  trace knows the next step,
+* :class:`StorageError` — root of the storage layer's *exception
+  contract*: the only project type public storage functions are allowed
+  to let escape (machine-checked by lint rule REPRO111),
+* :class:`StorageCorruptionError` — base for corruption findings; every
+  message carries the remediation hint (``run repro-fsck``) so an
+  operator landing on a stack trace knows the next step,
 * :class:`CorruptPartitionError` — a partition heapfile failed validation;
   names the file, the byte offset of the first bad page and the partition
   generation parsed from its ``_g<N>`` suffix,
@@ -26,6 +29,7 @@ import re
 from pathlib import Path
 
 __all__ = [
+    "StorageError",
     "StorageCorruptionError",
     "CorruptPartitionError",
     "CorruptManifestError",
@@ -50,12 +54,27 @@ def partition_generation(name: str | Path) -> int | None:
     return int(match.group(1)) if match else None
 
 
-class StorageCorruptionError(RuntimeError):
+class StorageError(RuntimeError):
+    """Base class for every error the storage layer's public surface raises.
+
+    The exception *contract* of ``repro.storage`` (machine-checked by the
+    REPRO111 lint rule): a public storage function may only let
+    ``StorageError`` subclasses escape, plus a short documented list of
+    pass-through builtins (``ValueError``, ``KeyError``, ``OSError``...).
+    Callers therefore get one type to catch that cleanly separates "the
+    store is damaged or misused, here is what to do" from a programming
+    bug.  Subclasses :class:`RuntimeError` so pre-existing callers that
+    caught ``RuntimeError`` keep working.
+    """
+
+
+class StorageCorruptionError(StorageError):
     """Base class for on-disk corruption detected by the storage layer.
 
-    Subclasses :class:`RuntimeError` (catalogued-but-damaged state has
-    always surfaced as ``RuntimeError``); the message always ends with the
-    fsck remediation hint.
+    Subclasses :class:`StorageError` via :class:`RuntimeError`
+    (catalogued-but-damaged state has always surfaced as
+    ``RuntimeError``); the message always ends with the fsck remediation
+    hint.
     """
 
     #: What an operator should do about it.

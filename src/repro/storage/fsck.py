@@ -47,6 +47,7 @@ from repro.storage.catalog import (
     page_checksums,
     staged_tmp_path,
 )
+from repro.storage.errors import StorageError
 from repro.storage.faults import DEFAULT_IO, IOShim
 from repro.storage.heapfile import HeapFile
 from repro.storage.page import PAGE_SIZE, Page
@@ -166,14 +167,14 @@ class _BytesPager(Pager):
         return len(self._data) // PAGE_SIZE
 
     def allocate_page(self) -> int:  # pragma: no cover - fsck is read-only
-        raise RuntimeError("fsck pagers are read-only")
+        raise StorageError("fsck pagers are read-only")
 
     def read_page(self, page_no: int) -> Page:
         start = page_no * PAGE_SIZE
         return Page(self._data[start : start + PAGE_SIZE])
 
     def write_page(self, page_no: int, page: Page) -> None:  # pragma: no cover
-        raise RuntimeError("fsck pagers are read-only")
+        raise StorageError("fsck pagers are read-only")
 
 
 def _record_count(data: bytes) -> int:

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import struct
 
+from repro.storage.errors import StorageError
+
 __all__ = ["Page", "PAGE_SIZE"]
 
 PAGE_SIZE = 8192
@@ -27,8 +29,14 @@ _HEADER = struct.Struct("<HH")
 _SLOT = struct.Struct("<HH")
 
 
-class PageFullError(Exception):
-    """Raised when a record does not fit in the page."""
+class PageFullError(StorageError):
+    """Raised when a record does not fit in the page.
+
+    Part of the storage exception contract: subclasses
+    :class:`~repro.storage.errors.StorageError` so it may escape public
+    storage functions (heapfiles catch it to allocate a fresh page; a
+    caller seeing it directly still gets a contract type).
+    """
 
 
 class Page:

@@ -23,10 +23,18 @@ ENFORCED_MODULES = [
     "repro/analysis/base.py",
     "repro/analysis/determinism.py",
     "repro/analysis/driver.py",
+    "repro/analysis/durability.py",
+    "repro/analysis/exception_contracts.py",
+    "repro/analysis/flow/__init__.py",
+    "repro/analysis/flow/callgraph.py",
+    "repro/analysis/flow/cfg.py",
+    "repro/analysis/flow/lockset.py",
+    "repro/analysis/flow/summaries.py",
     "repro/analysis/generation.py",
     "repro/analysis/io_discipline.py",
     "repro/analysis/lock_discipline.py",
     "repro/analysis/plan_purity.py",
+    "repro/analysis/race.py",
     "repro/analysis/shm_hygiene.py",
     "repro/api.py",
     "repro/core/engine.py",
