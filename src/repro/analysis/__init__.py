@@ -19,7 +19,8 @@ REPRO103   ``plan-purity``           logical-plan dataclasses are frozen; stream
 REPRO104   ``generation-discipline`` dataset mutations in ``core/`` bump a generation
                                      token in the same function
 REPRO105   ``determinism``           no wall clocks / unseeded RNG in ``hermes``,
-                                     ``qut``, ``sql`` (the bit-identity paths)
+                                     ``qut``, ``sql`` (the bit-identity paths) or
+                                     ``eval/quality.py`` (seed-pinned re-runs)
 REPRO106   ``shm-hygiene``           every ``ShmArena`` is ``with``-scoped or the
                                      module default arena
 REPRO110   ``race-detection``        guarded attributes are read/written only on paths

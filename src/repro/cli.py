@@ -15,6 +15,13 @@
   report.
 * ``repro-bench-ingest`` — run the incremental-ingestion benchmark (append
   path vs full rebuild) and write the ``BENCH_ingest.json`` report.
+* ``repro-datagen`` — generate a seeded synthetic scenario (optionally
+  degraded through a profile spec) as a points CSV plus ground-truth
+  labels JSON.
+* ``repro-bench-scenarios`` — run the cross-scenario quality matrix
+  (scenarios x profiles x strategies x shards x warm/cold engines), write
+  ``BENCH_scenarios.json`` and exit nonzero when any cell falls below the
+  ``quality_floor.json`` regression floor.
 * ``repro-docs`` — build the documentation site from ``docs/`` (strict: any
   warning — missing docstring, undocumented SQL statement, broken link —
   fails the build).
@@ -29,28 +36,43 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 __all__ = [
     "main_sql",
     "main_fsck",
+    "main_datagen",
     "main_bench_voting",
     "main_bench_pipeline",
     "main_bench_qut",
     "main_bench_ingest",
+    "main_bench_scenarios",
     "main_docs",
 ]
 
 
-def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
-    from repro.core.engine import HermesEngine
-    from repro.datagen import aircraft_scenario, lane_scenario, urban_scenario
+def _scenario_factories():
+    from repro.datagen import (
+        aircraft_scenario,
+        lane_scenario,
+        maritime_scenario,
+        orbit_scenario,
+        urban_scenario,
+    )
 
-    scenarios = {
+    return {
         "aircraft": aircraft_scenario,
         "lanes": lane_scenario,
         "urban": urban_scenario,
+        "maritime": maritime_scenario,
+        "orbit": orbit_scenario,
     }
-    mod, _truth = scenarios[scenario](n_trajectories=n, seed=seed)
+
+
+def _load_demo_engine(dataset: str, scenario: str, n: int, seed: int):
+    from repro.core.engine import HermesEngine
+
+    mod, _truth = _scenario_factories()[scenario](n_trajectories=n, seed=seed)
     engine = HermesEngine.in_memory()
     engine.load_mod(dataset, mod)
     return engine
@@ -95,7 +117,7 @@ def main_sql(argv: list[str] | None = None) -> int:
     source.add_argument("--csv", help="load this CSV file as dataset DATASET")
     source.add_argument(
         "--demo",
-        choices=("aircraft", "lanes", "urban"),
+        choices=("aircraft", "lanes", "urban", "maritime", "orbit"),
         default="aircraft",
         help="generate a demo scenario as dataset DATASET (default: aircraft)",
     )
@@ -402,6 +424,196 @@ def main_bench_ingest(argv: list[str] | None = None) -> int:
     path = write_report(report, args.out)
     print(f"report written to {path}", file=sys.stderr)
     return 0
+
+
+def main_datagen(argv: list[str] | None = None) -> int:
+    """Generate a seeded synthetic scenario, optionally degraded, as CSV + labels."""
+    from repro.datagen.profiles import PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-datagen",
+        description=(
+            "Seeded synthetic-scenario generator: writes a points CSV "
+            "(obj_id,traj_id,x,y,t — loadable via repro-sql --csv or "
+            "engine.load_csv) plus the per-sample ground-truth labels as "
+            "JSON.  Same seed, same bytes."
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        choices=("aircraft", "lanes", "urban", "maritime", "orbit"),
+        help="which scenario to generate (omit with --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_only",
+        help="list available scenarios and degradation profiles, then exit",
+    )
+    parser.add_argument("--n", type=int, default=None, help="trajectory count override")
+    parser.add_argument("--samples", type=int, default=None, help="samples per trajectory")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed (default: 0)")
+    parser.add_argument(
+        "--profile",
+        default="clean",
+        help=(
+            "degradation profile spec, e.g. 'dropout:fraction=0.4' or "
+            "'gps_noise+jitter' (default: clean)"
+        ),
+    )
+    parser.add_argument("--out", default=None, metavar="CSV", help="points CSV path")
+    parser.add_argument(
+        "--truth", default=None, metavar="JSON", help="ground-truth labels path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_only:
+        print("scenarios: " + ", ".join(sorted(_scenario_factories())))
+        print("profiles:  " + ", ".join(sorted(PROFILES)))
+        print("profile spec grammar: name[:key=value[,key=value]] composed with '+'")
+        return 0
+    if args.scenario is None:
+        parser.error("a scenario name is required (or --list)")
+
+    from repro.datagen import parse_profile
+    from repro.hermes.io import write_csv
+
+    try:
+        profile = parse_profile(args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs: dict = {"seed": args.seed}
+    if args.n is not None:
+        kwargs["n_trajectories"] = args.n
+    if args.samples is not None:
+        kwargs["n_samples"] = args.samples
+    mod, truth = _scenario_factories()[args.scenario](**kwargs)
+    mod, truth = profile.apply(mod, truth, seed=args.seed + 1)
+
+    flows = truth.flow_ids()
+    summary = {
+        "scenario": args.scenario,
+        "profile": profile.name,
+        "seed": args.seed,
+        "trajectories": len(mod),
+        "points": mod.total_points,
+        "flows": len(flows),
+    }
+    if args.out:
+        write_csv(mod, args.out)
+        summary["out"] = args.out
+    if args.truth:
+        labels = {
+            f"{key[0]}|{key[1]}": [lbl for lbl in truth.labels_for(key)]
+            for key in (traj.key for traj in mod)
+        }
+        Path(args.truth).write_text(
+            json.dumps({"scenario": summary["scenario"], "seed": args.seed, "labels": labels},
+                       indent=2, sort_keys=True)
+            + "\n"
+        )
+        summary["truth"] = args.truth
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def main_bench_scenarios(argv: list[str] | None = None) -> int:
+    """Run the cross-scenario quality matrix and assert the ARI floors."""
+    from repro.eval.quality import (
+        DEFAULT_ENGINE_MODES,
+        DEFAULT_PROFILES,
+        DEFAULT_SHARD_COUNTS,
+        DEFAULT_STRATEGIES,
+        SCENARIOS,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-scenarios",
+        description=(
+            "Sweep scenarios x degradation profiles x voting strategies x "
+            "shard counts x warm/cold engines, computing ARI/NMI against "
+            "ground truth and per-phase latency per cell; writes the "
+            "BENCH_scenarios.json matrix and exits nonzero when any "
+            "(scenario, profile) cell falls below quality_floor.json."
+        ),
+    )
+    parser.add_argument(
+        "--scenarios", nargs="+", choices=tuple(SCENARIOS), default=tuple(SCENARIOS)
+    )
+    parser.add_argument("--profiles", nargs="+", default=list(DEFAULT_PROFILES))
+    parser.add_argument(
+        "--strategies", nargs="+", default=list(DEFAULT_STRATEGIES),
+        choices=("dense", "indexed", "batched"),
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(DEFAULT_SHARD_COUNTS)
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=list(DEFAULT_ENGINE_MODES),
+        choices=("warm", "cold"),
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="base seed of the sweep")
+    parser.add_argument("--out", default="BENCH_scenarios.json")
+    parser.add_argument(
+        "--floor",
+        default="quality_floor.json",
+        help="floor file to assert against (default: quality_floor.json)",
+    )
+    parser.add_argument(
+        "--no-floor",
+        action="store_true",
+        help="skip the floor assertion (report-only run)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.eval.harness import format_table
+    from repro.eval.quality import check_floor, load_floor, run_quality_matrix, write_report
+
+    report = run_quality_matrix(
+        scenarios=tuple(args.scenarios),
+        profiles=tuple(args.profiles),
+        strategies=tuple(args.strategies),
+        shard_counts=tuple(args.shards),
+        engine_modes=tuple(args.engines),
+        base_seed=args.seed,
+    )
+    rows: list[dict[str, object]] = []
+    by_pair: dict[str, list[dict]] = {}
+    for cell in report["cells"].values():
+        by_pair.setdefault(f"{cell['scenario']}|{cell['profile']}", []).append(cell)
+    for pair in sorted(by_pair):
+        cells = by_pair[pair]
+        rows.append(
+            {
+                "scenario|profile": pair,
+                "cells": len(cells),
+                "min_ari": round(min(c["ari"] for c in cells), 4),
+                "mean_ari": round(sum(c["ari"] for c in cells) / len(cells), 4),
+                "mean_nmi": round(sum(c["nmi"] for c in cells) / len(cells), 4),
+                "mean_wall_s": round(
+                    sum(c["latency"]["wall_s"] for c in cells) / len(cells), 4
+                ),
+            }
+        )
+    print(format_table(rows, title="Cross-scenario quality matrix"))
+    path = write_report(report, args.out)
+    print(f"report written to {path} ({len(report['cells'])} cells)", file=sys.stderr)
+
+    if not report["warm_cold_identical"]:
+        print("error: cold-recovered ARI diverged from warm", file=sys.stderr)
+        return 1
+    if args.no_floor:
+        return 0
+    floor_path = Path(args.floor)
+    if not floor_path.exists():
+        print(f"warning: floor file {floor_path} not found; gate skipped", file=sys.stderr)
+        return 0
+    violations = check_floor(report, load_floor(floor_path))
+    for violation in violations:
+        print(f"FLOOR VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def main_docs(argv: list[str] | None = None) -> int:

@@ -7,24 +7,38 @@ structural properties the clustering algorithms exploit:
 * lanes / corridors of objects that co-move for part of their lifespan,
 * temporally overlapping but spatially distinct flows,
 * holding-pattern loops before landing (for Figure 4),
+* survey orbits around sites, with mid-lifespan relocations,
 * random outliers that belong to no flow.
 
 Each generator also returns a point-level :class:`~repro.datagen.truth.GroundTruth`
-used by the quality metrics in :mod:`repro.eval`.
+used by the quality metrics in :mod:`repro.eval`.  The degradation profiles
+in :mod:`repro.datagen.profiles` (GPS noise, dropout, rush-hour bursts,
+out-of-order jitter) perturb any scenario while keeping its labels aligned;
+the ``repro-datagen`` CLI exposes both knobs from the command line.
 """
 
 from repro.datagen.truth import GroundTruth
 from repro.datagen.scenarios import (
     aircraft_scenario,
     maritime_scenario,
+    orbit_scenario,
     urban_scenario,
     lane_scenario,
+)
+from repro.datagen.profiles import (
+    PROFILES,
+    DegradationProfile,
+    parse_profile,
 )
 
 __all__ = [
     "GroundTruth",
     "aircraft_scenario",
     "maritime_scenario",
+    "orbit_scenario",
     "urban_scenario",
     "lane_scenario",
+    "PROFILES",
+    "DegradationProfile",
+    "parse_profile",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "aircraft_scenario",
     "urban_scenario",
     "maritime_scenario",
+    "orbit_scenario",
 ]
 
 
@@ -267,6 +268,107 @@ def aircraft_scenario(
         traj = Trajectory(f"ga{i}", "0", xs, ys, ts)
         mod.add(traj)
         truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+
+    return mod, truth
+
+
+def orbit_scenario(
+    n_trajectories: int = 60,
+    n_sites: int = 3,
+    outlier_fraction: float = 0.1,
+    transit_fraction: float = 0.2,
+    duration: float = 2400.0,
+    n_samples: int = 60,
+    area: float = 120.0,
+    seed: int | None = 0,
+    name: str = "orbit",
+) -> tuple[MOD, GroundTruth]:
+    """Orbit/survey scenario: drones circling survey sites.
+
+    ``n_sites`` survey sites are scattered over the area; most objects fly
+    repeated loops around one site (label ``site<k>``).  A
+    ``transit_fraction`` of the objects survey one site for the first half
+    of their lifespan and relocate to another for the second half — the
+    mid-trajectory label switch only sub-trajectory clustering can
+    represent.  ``outlier_fraction`` of the objects wander randomly.
+    """
+    rng = np.random.default_rng(seed)
+    mod = MOD(name=name)
+    truth = GroundTruth()
+
+    sites: list[tuple[float, float]] = []
+    for k in range(n_sites):
+        angle = 2.0 * np.pi * k / n_sites + 0.7
+        sites.append(
+            (
+                area * 0.5 + area * 0.3 * np.cos(angle),
+                area * 0.5 + area * 0.3 * np.sin(angle),
+            )
+        )
+    radius = area * 0.08
+
+    def orbit_path(site_idx: int, turns: float) -> Path:
+        return circle_path(
+            sites[site_idx], radius=radius, n_turns=turns, n_points=40,
+            start_angle=2.0 * np.pi * site_idx / n_sites,
+        )
+
+    n_outliers = int(round(n_trajectories * outlier_fraction))
+    n_transits = int(round(n_trajectories * transit_fraction))
+    n_loiterers = n_trajectories - n_outliers - n_transits
+
+    idx = 0
+    for _ in range(n_loiterers):
+        site = int(rng.integers(n_sites))
+        t_start = rng.uniform(0.0, duration * 0.25)
+        dur = duration * rng.uniform(0.5, 0.7)
+        xs, ys, ts = _follow_path(
+            rng, orbit_path(site, rng.uniform(2.0, 3.5)), t_start, dur, n_samples,
+            lateral_noise=radius * 0.05, speed_jitter=0.1,
+        )
+        traj = Trajectory(f"drone{idx}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([f"site{site}"] * n_samples, dtype=object))
+        idx += 1
+
+    for _ in range(n_transits):
+        site_a, site_b = rng.choice(n_sites, size=2, replace=False)
+        t_start = rng.uniform(0.0, duration * 0.25)
+        dur = duration * rng.uniform(0.5, 0.7)
+        half = n_samples // 2
+        xs_a, ys_a, ts_a = _follow_path(
+            rng, orbit_path(int(site_a), rng.uniform(1.5, 2.5)), t_start, dur / 2,
+            half, lateral_noise=radius * 0.05, speed_jitter=0.1,
+        )
+        xs_b, ys_b, ts_b = _follow_path(
+            rng, orbit_path(int(site_b), rng.uniform(1.5, 2.5)),
+            t_start + dur / 2 + 1e-6, dur / 2, n_samples - half,
+            lateral_noise=radius * 0.05, speed_jitter=0.1,
+        )
+        traj = Trajectory(
+            f"drone{idx}", "0",
+            np.concatenate([xs_a, xs_b]),
+            np.concatenate([ys_a, ys_b]),
+            np.concatenate([ts_a, ts_b]),
+        )
+        mod.add(traj)
+        labels = np.array(
+            [f"site{int(site_a)}"] * half + [f"site{int(site_b)}"] * (n_samples - half),
+            dtype=object,
+        )
+        truth.set_labels(traj.key, labels)
+        idx += 1
+
+    for _ in range(n_outliers):
+        t_start = rng.uniform(0.0, duration * 0.3)
+        dur = duration * rng.uniform(0.4, 0.6)
+        xs, ys, ts = _random_walk(
+            rng, (0.0, 0.0, area, area), t_start, dur, n_samples, area * 0.04
+        )
+        traj = Trajectory(f"bird{idx}", "0", xs, ys, ts)
+        mod.add(traj)
+        truth.set_labels(traj.key, np.array([None] * n_samples, dtype=object))
+        idx += 1
 
     return mod, truth
 

@@ -52,6 +52,8 @@ API_TARGETS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
     ("repro.qut.retratree", None),
     ("repro.qut.params", ("QuTParams",)),
     ("repro.s2t.params", ("S2TParams",)),
+    ("repro.datagen.profiles", None),
+    ("repro.eval.quality", None),
     ("repro.analysis", ("Checker", "Finding", "SourceModule", "lint_paths", "select_checkers")),
     ("repro.sql.errors", None),
     ("repro.storage.errors", None),
@@ -66,6 +68,7 @@ NAV: tuple[tuple[str, str], ...] = (
     ("ingestion.md", "Incremental ingestion"),
     ("persistence.md", "Persistence & recovery"),
     ("sql-dialect.md", "SQL dialect"),
+    ("quality-harness.md", "Quality harness"),
     ("static-analysis.md", "Static analysis"),
 )
 

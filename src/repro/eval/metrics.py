@@ -6,6 +6,8 @@ every clustering result can be projected to *per-sample* labels, all methods
 
 * **ARI**: adjusted Rand index between the cluster labels and the planted
   flow labels, over the samples that both sides label,
+* **NMI**: normalized mutual information over the same paired samples
+  (arithmetic-mean normalisation),
 * **purity**: fraction of clustered samples whose cluster's majority flow
   matches their own flow,
 * **coverage**: fraction of flow (non-noise) samples that end up in some
@@ -27,6 +29,7 @@ __all__ = [
     "QualityReport",
     "point_level_labels",
     "adjusted_rand_index",
+    "normalized_mutual_information",
     "clustering_quality",
 ]
 
@@ -41,6 +44,7 @@ class QualityReport:
     noise_precision: float
     noise_recall: float
     labelled_samples: int
+    nmi: float = 0.0
 
     @property
     def noise_f1(self) -> float:
@@ -50,6 +54,7 @@ class QualityReport:
     def as_dict(self) -> dict[str, float]:
         return {
             "ari": round(self.ari, 4),
+            "nmi": round(self.nmi, 4),
             "purity": round(self.purity, 4),
             "coverage": round(self.coverage, 4),
             "noise_precision": round(self.noise_precision, 4),
@@ -99,6 +104,44 @@ def adjusted_rand_index(labels_a: list[object], labels_b: list[object]) -> float
     return (sum_comb_cells - expected) / denom
 
 
+def normalized_mutual_information(labels_a: list[object], labels_b: list[object]) -> float:
+    """Normalized mutual information between two labelings of the same items.
+
+    Uses the arithmetic-mean normalisation ``2 * I(A; B) / (H(A) + H(B))``
+    (natural logarithms), which is 1.0 for identical partitions and 0.0 for
+    independent ones.  Two degenerate single-cluster labelings (both
+    entropies zero) count as perfect agreement when they are equal.
+    """
+    if len(labels_a) != len(labels_b):
+        raise ValueError("labelings must have the same length")
+    n = len(labels_a)
+    if n == 0:
+        return 0.0
+
+    contingency: dict[tuple[object, object], int] = defaultdict(int)
+    count_a: Counter = Counter()
+    count_b: Counter = Counter()
+    for a, b in zip(labels_a, labels_b):
+        contingency[(a, b)] += 1
+        count_a[a] += 1
+        count_b[b] += 1
+
+    def entropy(counts: Counter) -> float:
+        return -sum((c / n) * math.log(c / n) for c in counts.values() if c > 0)
+
+    h_a, h_b = entropy(count_a), entropy(count_b)
+    mi = 0.0
+    for (a, b), c in contingency.items():
+        p_ab = c / n
+        p_a = count_a[a] / n
+        p_b = count_b[b] / n
+        mi += p_ab * math.log(p_ab / (p_a * p_b))
+    if h_a + h_b <= 0.0:
+        # Both sides are a single cluster: identical partitions by construction.
+        return 1.0
+    return max(0.0, 2.0 * mi / (h_a + h_b))
+
+
 def clustering_quality(result: ClusteringResult, truth: GroundTruth) -> QualityReport:
     """Compare a clustering result against the planted ground truth."""
     assignments = point_level_labels(result)
@@ -131,6 +174,7 @@ def clustering_quality(result: ClusteringResult, truth: GroundTruth) -> QualityR
                 paired_pred.append(pred)
 
     ari = adjusted_rand_index(paired_truth, paired_pred) if paired_truth else 0.0
+    nmi = normalized_mutual_information(paired_truth, paired_pred) if paired_truth else 0.0
 
     # Purity: majority flow per predicted cluster.
     per_cluster: dict[object, Counter] = defaultdict(Counter)
@@ -145,6 +189,7 @@ def clustering_quality(result: ClusteringResult, truth: GroundTruth) -> QualityR
 
     return QualityReport(
         ari=ari,
+        nmi=nmi,
         purity=purity,
         coverage=coverage,
         noise_precision=noise_precision,

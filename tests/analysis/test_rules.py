@@ -369,6 +369,14 @@ def test_determinism_scoped_out_of_benchmarks(lint_tree, package):
     assert lint_tree({f"{package}/noise.py": DET_POSITIVE}, select=["determinism"]) == []
 
 
+def test_determinism_covers_quality_harness(lint_tree):
+    """eval/quality.py promises exact seed re-runs, so it is in scope even
+    though the rest of eval/ is not."""
+    findings = lint_tree({"eval/quality.py": DET_POSITIVE}, select=["determinism"])
+    assert [f.rule for f in findings] == ["REPRO105"] * 3
+    assert lint_tree({"eval/quality.py": DET_NEGATIVE}, select=["determinism"]) == []
+
+
 def test_determinism_suppression(lint_tree):
     source = """\
         import time

@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datagen.truth import GroundTruth
-from repro.eval.metrics import adjusted_rand_index, clustering_quality, point_level_labels
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    clustering_quality,
+    normalized_mutual_information,
+    point_level_labels,
+)
 from repro.s2t.result import Cluster, ClusteringResult
 from tests.conftest import make_linear_trajectory
 
@@ -51,6 +56,52 @@ class TestAdjustedRandIndex:
         assert adjusted_rand_index(labels, other) == pytest.approx(
             adjusted_rand_index(other, labels)
         )
+
+
+class TestNormalizedMutualInformation:
+    def test_identical_labelings(self):
+        nmi = normalized_mutual_information([1, 1, 2, 2], [5, 5, 9, 9])
+        assert nmi == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        nmi = normalized_mutual_information(
+            [0, 0, 1, 1, 0, 0, 1, 1], [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        assert nmi == pytest.approx(0.0, abs=1e-9)
+
+    def test_both_single_cluster_counts_as_agreement(self):
+        assert normalized_mutual_information([1, 1, 1], [7, 7, 7]) == 1.0
+
+    def test_empty_and_mismatched(self):
+        assert normalized_mutual_information([], []) == 0.0
+        with pytest.raises(ValueError):
+            normalized_mutual_information([1], [1, 2])
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = list(rng.integers(0, 4, 30))
+            b = list(rng.integers(0, 3, 30))
+            nmi = normalized_mutual_information(a, b)
+            assert 0.0 <= nmi <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_symmetric(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = list(rng.integers(0, 4, len(labels)))
+        assert normalized_mutual_information(labels, other) == pytest.approx(
+            normalized_mutual_information(other, labels)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40))
+    def test_self_agreement(self, labels):
+        nmi = normalized_mutual_information(labels, labels)
+        assert nmi == pytest.approx(1.0)
 
 
 def perfect_result_and_truth():
@@ -127,6 +178,7 @@ class TestClusteringQuality:
         assert data["ari"] == 1.0
         assert set(data) == {
             "ari",
+            "nmi",
             "purity",
             "coverage",
             "noise_precision",

@@ -42,7 +42,9 @@ ENFORCED_MODULES = [
     "repro/core/parallel.py",
     "repro/core/session.py",
     "repro/core/shard.py",
+    "repro/datagen/profiles.py",
     "repro/docsgen.py",
+    "repro/eval/quality.py",
     "repro/hermes/frame.py",
     "repro/hermes/shm.py",
     "repro/qut/retratree.py",
